@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+All benchmarks run their paper experiment through one shared
+:class:`Workbench` whose distilled models are cached on disk under
+``.cache/models`` — the first run trains ten small models (~3 minutes),
+subsequent runs load checkpoints.
+
+Each benchmark both *times* the experiment (pytest-benchmark) and *checks*
+the paper's qualitative claim (who wins, by roughly what factor), then
+prints the measured rows next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import format_table, run_experiment
+from repro.experiments.workbench import Workbench
+
+
+@pytest.fixture(scope="session")
+def wb() -> Workbench:
+    return Workbench()
+
+
+def run_and_report(benchmark, exp_id: str, wb: Workbench, paper_note: str):
+    """Benchmark one experiment once and print its table with paper refs."""
+    rows = benchmark.pedantic(
+        lambda: run_experiment(exp_id, wb, print_output=False),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n== {exp_id} | paper: {paper_note}")
+    print(format_table(rows))
+    return rows

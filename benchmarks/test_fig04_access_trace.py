@@ -1,0 +1,15 @@
+"""Figure 4: hash address scatter of consecutive sample points."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig4_access_trace(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig4", wb,
+        "hashed accesses show poor spatial locality across a 2^19 table",
+    )
+    row = rows[0]
+    # The Figure 4 claim: a large share of consecutive accesses scatter
+    # beyond any crossbar row range.
+    assert row["pct_jumps_beyond_xbar"] > 10.0
+    assert row["mean_jump"] > 32.0

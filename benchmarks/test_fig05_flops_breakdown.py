@@ -1,0 +1,15 @@
+"""Figure 5: FLOPs breakdown (paper: 2.10 embedding, density ~8% of MLP,
+color ~92% of MLP)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig5_flops_breakdown(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig5", wb,
+        "embedding 2.10%, density ~8% / color ~92% of MLP FLOPs",
+    )
+    shares = {r["phase"]: r for r in rows}
+    assert shares["embedding"]["pct_of_total"] < 10.0
+    assert 3.0 < shares["density"]["pct_of_mlp"] < 20.0
+    assert shares["color"]["pct_of_mlp"] > 80.0

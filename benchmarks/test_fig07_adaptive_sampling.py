@@ -1,0 +1,14 @@
+"""Figure 7: adaptive sampling achieves near-original quality with far
+fewer sample points (paper: 192 -> ~120 average, PSNR 36.37 -> 36.29)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig7_adaptive_sampling(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig7", wb,
+        "192 -> ~120 points/pixel at ~0.1 dB loss (lego)",
+    )
+    fixed, adaptive = rows[0], rows[1]
+    assert adaptive["avg_points_per_pixel"] < 0.8 * fixed["avg_points_per_pixel"]
+    assert abs(adaptive["psnr"] - fixed["psnr"]) < 0.5

@@ -1,0 +1,14 @@
+"""Figure 8: adjacent sample colors along rays are highly similar
+(paper: 95% of cosine similarities >= 0.996 across mic/lego/palace)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig8_color_similarity(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig8", wb,
+        "95% of adjacent-point cosine similarities ~1 in mic/lego/palace",
+    )
+    for row in rows:
+        assert row["p5_similarity"] > 0.9
+        assert row["frac_above_0.99"] > 0.7

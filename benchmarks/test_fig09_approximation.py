@@ -1,0 +1,15 @@
+"""Figure 9: color/density decoupling beats naive sample reduction
+(paper: ours 35.03 dB @54% FLOPs vs naive 33.32 dB @50% FLOPs)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig9_approximation(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig9", wb,
+        "approximation ~= original PSNR, ~1.7 dB above naive half sampling",
+    )
+    original, naive, ours = rows
+    assert ours["psnr"] >= naive["psnr"] - 0.1
+    assert ours["flops_pct"] < 80.0
+    assert abs(ours["psnr"] - original["psnr"]) < 0.5

@@ -1,0 +1,15 @@
+"""Figure 13: storage utilisation, all-hash vs hybrid mapping
+(paper: 62.20% -> 85.95% average over 16 levels)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig13_storage_utilization(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig13", wb, "average utilisation 62.20% -> 85.95%"
+    )
+    avg = rows[-1]
+    assert avg["level"] == "avg"
+    assert 45.0 < avg["original_pct"] < 75.0
+    assert avg["hybrid_pct"] > 78.0
+    assert avg["hybrid_pct"] - avg["original_pct"] > 15.0

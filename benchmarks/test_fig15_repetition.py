@@ -1,0 +1,20 @@
+"""Figure 15: inter-ray and intra-ray voxel repetition rates
+(paper: >=90% inter-ray repetition for 12/16 levels, >70% at the finest;
+98/192 points in one voxel at the coarsest level)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig15_repetition(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig15", wb,
+        "inter-ray repetition >=90% at coarse levels; strong intra-ray "
+        "voxel concentration",
+    )
+    coarse, fine = rows[0], rows[-1]
+    assert coarse["inter_ray_repetition_pct"] > 80.0
+    assert coarse["inter_ray_repetition_pct"] >= fine["inter_ray_repetition_pct"]
+    assert coarse["intra_ray_max_points_in_voxel"] >= 4
+    assert coarse["intra_ray_max_points_in_voxel"] >= fine[
+        "intra_ray_max_points_in_voxel"
+    ]

@@ -1,0 +1,20 @@
+"""Figure 16: rendering quality across ten scenes
+(paper: ASDR within 0.07 dB of Instant-NGP on average; Re-NeRF -2.06 dB,
+NeuRex -0.38 dB)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig16_quality(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig16", wb,
+        "ASDR ~lossless (-0.07 dB avg); Re-NeRF -2.06; NeuRex -0.38",
+    )
+    avg = rows[-1]
+    assert avg["scene"] == "average"
+    # ASDR stays within half a dB of Instant-NGP on average.
+    assert abs(avg["asdr_delta"]) < 0.5
+    # Naive reduction (Re-NeRF-like) loses clearly more than ASDR.
+    assert avg["re_nerf_sw"] < avg["asdr"]
+    # NeuRex's quantised encoding sits between the two.
+    assert avg["neurex"] <= avg["instant_ngp"] + 0.1

@@ -1,0 +1,27 @@
+"""Figure 17: end-to-end speedup over GPUs and NeuRex
+(paper: server ASDR 11.84x vs RTX 3070, NeuRex 2.89x;
+edge ASDR 49.61x vs Xavier NX, NeuRex 9.21x)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig17a_server_speedup(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig17a", wb,
+        "server avg: NeuRex 2.89x, ASDR 11.84x over RTX 3070",
+    )
+    avg = rows[-1]
+    assert avg["asdr_speedup"] > avg["neurex_speedup"] > 1.0
+    assert avg["asdr_speedup"] > 4.0
+    assert avg["asdr_vs_neurex"] > 1.5  # paper: 4.11x
+
+
+def test_fig17b_edge_speedup(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig17b", wb,
+        "edge avg: NeuRex 9.21x, ASDR 49.61x over Xavier NX",
+    )
+    avg = rows[-1]
+    assert avg["asdr_speedup"] > avg["neurex_speedup"] > 1.0
+    assert avg["asdr_speedup"] > 10.0
+    assert avg["asdr_vs_neurex"] > 1.5  # paper: 5.38x

@@ -1,0 +1,32 @@
+"""Figure 18: per-phase (encoding / MLP) speedups
+(paper server: ENC ~3.9x, MLP ~2.8x; edge: ENC ~17.4x, MLP ~7.5x vs
+baselines)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig18a_server_phases(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig18a", wb,
+        "server: encoding ~3.9x, MLP ~2.8x over baselines",
+    )
+    enc = np.mean([r["enc_speedup_vs_gpu"] for r in rows])
+    mlp = np.mean([r["mlp_speedup_vs_gpu"] for r in rows])
+    assert enc > 1.0
+    assert mlp > 1.0
+
+
+def test_fig18b_edge_phases(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig18b", wb,
+        "edge: encoding ~17.4x, MLP ~7.5x over baselines",
+    )
+    enc = np.mean([r["enc_speedup_vs_gpu"] for r in rows])
+    mlp = np.mean([r["mlp_speedup_vs_gpu"] for r in rows])
+    assert enc > 2.0
+    assert mlp > 2.0
+    # The encoding phase gains more than the MLP phase (the paper's
+    # explanation: mapping/reuse optimisations target encoding).
+    assert enc > mlp * 0.8

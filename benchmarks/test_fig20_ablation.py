@@ -1,0 +1,19 @@
+"""Figure 20: contribution analysis
+(paper, vs Xavier NX: strawman 2.49x, SW-only 12.86x, HW-only 10.60x,
+full ASDR 44.31x on family)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig20_ablation(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig20", wb,
+        "strawman 2.49x < SW 12.86x, HW 10.60x < ASDR 44.31x (family)",
+    )
+    for row in rows:
+        # Both single-sided optimisations beat the strawman ...
+        assert row["sw_only"] > row["strawman"]
+        assert row["hw_only"] > row["strawman"]
+        # ... and the combination beats either alone.
+        assert row["asdr"] > row["sw_only"]
+        assert row["asdr"] > row["hw_only"]

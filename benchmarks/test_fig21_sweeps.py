@@ -1,0 +1,34 @@
+"""Figure 21: design-space sweeps of delta and n
+(paper: delta=1/2048 gives ~6x speedup with <0.3 dB loss; n=4 saves ~2.7x
+energy with <0.3 dB loss)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig21a_threshold_sweep(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig21a", wb,
+        "delta=1/2048: ~6x speedup, <0.3 dB PSNR loss; diminishing beyond",
+    )
+    by_scene = {}
+    for row in rows:
+        by_scene.setdefault(row["scene"], {})[row["config"]] = row
+    for scene, configs in by_scene.items():
+        base = configs["no adaptive sampling"]
+        chosen = configs["delta=0.000488"]
+        assert chosen["speedup"] > 1.2
+        assert abs(chosen["psnr"] - base["psnr"]) < 0.5
+
+
+def test_fig21b_group_sweep(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig21b", wb,
+        "n=4 saves ~2.7x energy with <0.3 dB loss (lego/chair/mic)",
+    )
+    by_scene = {}
+    for row in rows:
+        by_scene.setdefault(row["scene"], {})[row["group_size"]] = row
+    for scene, groups in by_scene.items():
+        assert groups[4]["energy_saving"] > groups[2]["energy_saving"] * 0.95
+        assert groups[4]["energy_saving"] > 1.05
+        assert abs(groups[4]["psnr"] - groups[1]["psnr"]) < 1.0

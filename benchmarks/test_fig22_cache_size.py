@@ -1,0 +1,20 @@
+"""Figure 22: register-cache size sweep
+(paper: an 8-item cache per table gives ~2.49x over no cache)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig22_cache_size(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig22", wb, "8-item cache ~2.49x encoding speedup"
+    )
+    by_scene = {}
+    for row in rows:
+        by_scene.setdefault(row["scene"], {})[row["cache_entries"]] = row
+    for scene, sizes in by_scene.items():
+        # Monotone improvement with diminishing returns; the 8-entry design
+        # point removes a large share of crossbar traffic.
+        assert sizes[8]["encoding_speedup"] >= sizes[2]["encoding_speedup"] * 0.99
+        assert sizes[8]["encoding_speedup"] > 1.02
+        assert sizes[8]["access_reduction"] > 1.5
+        assert sizes[8]["cache_hit_rate"] > sizes[0]["cache_hit_rate"]

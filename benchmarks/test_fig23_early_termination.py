@@ -1,0 +1,18 @@
+"""Figure 23: early termination composes with adaptive sampling
+(paper: ET 3.67x, AS 4.40x, ET+AS 11.07x over the strawman)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig23_early_termination(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig23", wb,
+        "avg: ET 3.67x, AS 4.40x, ET+AS 11.07x over no-opt",
+    )
+    avg = rows[-1]
+    assert avg["scene"] == "average"
+    assert avg["et_speedup"] > 1.0
+    assert avg["as_speedup"] > 1.0
+    # Combination beats each individual technique (orthogonality claim).
+    assert avg["et_as_speedup"] > avg["et_speedup"]
+    assert avg["et_as_speedup"] > avg["as_speedup"]

@@ -1,0 +1,14 @@
+"""Figure 24: software-only GPU speedups
+(paper: AS 1.84x, AS+RA 2.75x on average across ten scenes)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig24_gpu_software(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig24", wb, "avg: AS 1.84x, AS+RA 2.75x on RTX 3070"
+    )
+    avg = rows[-1]
+    assert avg["scene"] == "average"
+    assert avg["as_speedup"] > 1.1
+    assert avg["as_ra_speedup"] > avg["as_speedup"]

@@ -1,0 +1,15 @@
+"""Figure 25: ASDR on TensoRF
+(paper: GPU software 1.27x, ASDR architecture ~29.98x over RTX 3070)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig25_tensorf(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig25", wb,
+        "TensoRF: sw 1.27x, architecture 29.98x over RTX 3070",
+    )
+    avg = rows[-1]
+    assert avg["gpu_sw_speedup"] > 1.0
+    assert avg["architecture_speedup"] > avg["gpu_sw_speedup"]
+    assert avg["architecture_speedup"] > 3.0

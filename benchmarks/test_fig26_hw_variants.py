@@ -1,0 +1,42 @@
+"""Figures 26-27: hardware-configuration variants
+(paper server speedups: SA 8.90x, SRAM 9.53x, ReRAM 11.84x; energy
+efficiency ordered the same way)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def _check_ordering(rows):
+    avg = rows[-1]
+    assert avg["ASDR (SA)"] <= avg["ASDR (SRAM)"] * 1.02
+    assert avg["ASDR (SRAM)"] <= avg["ASDR (ReRAM)"] * 1.02
+    assert avg["ASDR (ReRAM)"] > 1.0
+
+
+def test_fig26a_server_variants(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig26a", wb, "server: SA 8.90x < SRAM 9.53x < ReRAM 11.84x"
+    )
+    _check_ordering(rows)
+
+
+def test_fig26b_edge_variants(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig26b", wb, "edge: SA 37.29x < SRAM 39.91x < ReRAM 49.61x"
+    )
+    _check_ordering(rows)
+
+
+def test_fig27a_server_energy_variants(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig27a", wb,
+        "server energy: SA 18.22x < SRAM 27.45x < ReRAM 36.06x",
+    )
+    _check_ordering(rows)
+
+
+def test_fig27b_edge_energy_variants(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "fig27b", wb,
+        "edge energy: SA 41.63x < SRAM 62.70x < ReRAM 82.39x",
+    )
+    _check_ordering(rows)

@@ -1,0 +1,18 @@
+"""Table 2: area/power budget of the ASDR design points
+(paper: server 15.09 mm^2 / 5.77 W, edge 3.77 mm^2 / 1.44 W)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table2_area_power(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "table2", wb,
+        "totals: 15.09 mm2 / 5.77 W (server), 3.77 mm2 / 1.44 W (edge)",
+    )
+    total = rows[-1]
+    assert total["server_area_mm2"] == pytest.approx(15.09, rel=0.02)
+    assert total["server_power_mw"] == pytest.approx(5770.0, rel=0.02)
+    assert total["edge_area_mm2"] == pytest.approx(3.77, rel=0.02)
+    assert total["edge_power_mw"] == pytest.approx(1440.0, rel=0.02)

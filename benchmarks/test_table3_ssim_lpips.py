@@ -1,0 +1,13 @@
+"""Table 3: SSIM / LPIPS of ASDR vs Instant-NGP
+(paper: average deltas ~0.002 in both metrics)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table3_ssim_lpips(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "table3", wb, "SSIM/LPIPS deltas ~0.002 on average"
+    )
+    avg = rows[-1]
+    assert abs(avg["ssim_instant_ngp"] - avg["ssim_asdr"]) < 0.02
+    assert abs(avg["lpips_instant_ngp"] - avg["lpips_asdr"]) < 0.02

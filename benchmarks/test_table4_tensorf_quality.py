@@ -1,0 +1,14 @@
+"""Table 4: rendering quality of ASDR on TensoRF
+(paper: PSNR delta 0.14 dB avg; SSIM/LPIPS deltas ~0.005)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table4_tensorf_quality(benchmark, wb):
+    rows = run_and_report(
+        benchmark, "table4", wb, "TensoRF vs ASDR: near-lossless across metrics"
+    )
+    avg = rows[-1]
+    assert abs(avg["psnr_tensorf"] - avg["psnr_asdr"]) < 0.5
+    assert abs(avg["ssim_tensorf"] - avg["ssim_asdr"]) < 0.02
+    assert abs(avg["lpips_tensorf"] - avg["lpips_asdr"]) < 0.02

@@ -1,0 +1,67 @@
+"""Design-space exploration: sweep ASDR's algorithm knobs on one scene.
+
+An architect's workflow: for a target scene, sweep the adaptive-sampling
+threshold ``delta`` and the approximation group size ``n``, and view the
+quality/performance frontier on the simulated server accelerator — the
+study behind the paper's Figure 21.
+
+Usage::
+
+    python examples/design_space_exploration.py [scene]
+"""
+
+import sys
+
+from repro import (
+    ASDRConfig,
+    ASDRRenderer,
+    AdaptiveSamplingConfig,
+    ApproximationConfig,
+    psnr,
+)
+from repro.arch import ASDRAccelerator, ArchConfig
+from repro.experiments import Workbench
+from repro.experiments.workbench import EXPERIMENT_GRID, EXPERIMENT_MODEL
+
+
+def main() -> None:
+    scene = sys.argv[1] if len(sys.argv) > 1 else "lego"
+    wb = Workbench()
+    model = wb.model(scene)
+    camera = wb.dataset(scene).cameras[0]
+    reference = wb.reference(scene)
+    accelerator = ASDRAccelerator(
+        ArchConfig.server(),
+        EXPERIMENT_GRID,
+        EXPERIMENT_MODEL.density_mlp_config,
+        EXPERIMENT_MODEL.color_mlp_config,
+    )
+
+    print(f"Scene: {scene}\n")
+    print(f"{'delta':>12s} {'n':>3s} {'avg pts':>8s} {'PSNR':>7s} "
+          f"{'cycles':>10s} {'ms':>8s}")
+
+    base_cycles = None
+    for delta in (0.0, 1.0 / 2048.0, 1.0 / 256.0):
+        for n in (1, 2, 4):
+            config = ASDRConfig(
+                adaptive=AdaptiveSamplingConfig(threshold=delta),
+                approximation=ApproximationConfig(n) if n > 1 else None,
+            )
+            renderer = ASDRRenderer(
+                model, config=config, num_samples=wb.config.num_samples
+            )
+            result = renderer.render_image(camera)
+            report = accelerator.simulate_render(camera, result, group_size=n)
+            if base_cycles is None:
+                base_cycles = report.total_cycles
+            print(f"{delta:12.6f} {n:3d} {result.average_samples_per_ray:8.1f} "
+                  f"{psnr(result.image, reference):7.2f} {report.total_cycles:10d} "
+                  f"{report.time_seconds * 1e3:8.3f}")
+
+    print("\nLower delta / higher n trade quality for speed; the paper "
+          "selects delta=1/2048, n=2 as near-lossless.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Edge/VR deployment study: ASDR-Edge vs Jetson Xavier NX.
+
+The paper's motivation: VR/AR needs 120 Hz under a ~30 W power envelope,
+which neither edge GPUs nor desktop GPUs deliver on NeRF workloads.  This
+example renders a scene, prices the same workload on the Xavier NX roofline
+and on the simulated ASDR-Edge accelerator, and reports frame rate and
+energy per frame for both.
+
+Usage::
+
+    python examples/vr_edge_rendering.py [scene]
+"""
+
+import sys
+
+from repro import ASDRRenderer, BaselineRenderer
+from repro.arch import ASDRAccelerator, ArchConfig
+from repro.baselines import GPUModel, NeurexModel, NEUREX_EDGE, Workload, XAVIER_NX
+from repro.experiments import Workbench
+
+
+def main() -> None:
+    scene = sys.argv[1] if len(sys.argv) > 1 else "fox"
+    wb = Workbench()
+    print(f"Scene: {scene} ({wb.config.width}x{wb.config.height}, "
+          f"{wb.config.num_samples} samples full budget)")
+
+    model = wb.model(scene)
+    camera = wb.dataset(scene).cameras[0]
+    baseline = wb.baseline_render(scene)
+    asdr_result = wb.asdr_render(scene)
+
+    workload = Workload.from_render_result(baseline, model)
+    xavier = GPUModel(XAVIER_NX).run(workload)
+    neurex = NeurexModel(NEUREX_EDGE).run(workload)
+
+    accelerator = ASDRAccelerator(
+        ArchConfig.edge(),
+        model.config.grid,
+        model.config.density_mlp_config,
+        model.config.color_mlp_config,
+    )
+    asdr = accelerator.simulate_render(camera, asdr_result, group_size=2)
+
+    print(f"\n{'platform':>12s} {'ms/frame':>10s} {'fps':>8s} {'mJ/frame':>10s}")
+    for name, t, e in (
+        ("Xavier NX", xavier.time_seconds, xavier.energy_joules),
+        ("NeuRex-Edge", neurex.time_seconds, neurex.energy_joules),
+        ("ASDR-Edge", asdr.time_seconds, asdr.energy_joules),
+    ):
+        print(f"{name:>12s} {t * 1e3:10.3f} {1.0 / t:8.0f} {e * 1e3:10.4f}")
+
+    print(f"\nASDR-Edge speedup over Xavier NX: "
+          f"{xavier.time_seconds / asdr.time_seconds:.1f}x "
+          f"(paper reports 49.61x average at full 800x800 scale)")
+    print(f"Register-cache hit rate: {asdr.encoding.cache_hit_rate:.1%}, "
+          f"conflict cycles: {asdr.encoding.conflict_cycles}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — reproduction of ASDR (ASPLOS 2025).
+
+ASDR accelerates Instant-NGP neural rendering through adaptive sampling,
+color/density decoupling, and a ReRAM CIM architecture with hybrid address
+mapping and register-cache data reuse.  This package implements the full
+stack in NumPy: procedural scenes, the Instant-NGP/TensoRF substrates, the
+ASDR algorithm, a cycle-level accelerator simulator, baseline platform
+models, and the experiment harness regenerating every paper table/figure.
+
+Quickstart::
+
+    from repro import (
+        load_dataset, InstantNGPModel, InstantNGPConfig,
+        distill_scene, ASDRRenderer, BaselineRenderer, psnr,
+    )
+
+    dataset = load_dataset("lego")
+    model = InstantNGPModel(InstantNGPConfig())
+    distill_scene(model, dataset.scene)
+    image = ASDRRenderer(model).render_image(dataset.cameras[0]).image
+"""
+
+from repro.core import (
+    ASDRConfig,
+    ASDRRenderer,
+    ASDRRenderResult,
+    AdaptiveSamplingConfig,
+    ApproximationConfig,
+)
+from repro.metrics import lpips_proxy, psnr, ssim
+from repro.nerf import (
+    BaselineRenderer,
+    HashGridConfig,
+    InstantNGPConfig,
+    InstantNGPModel,
+    TensoRFConfig,
+    TensoRFModel,
+    TrainingConfig,
+    distill_scene,
+)
+from repro.scenes import SceneDataset, load_dataset, make_scene, scene_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASDRConfig",
+    "ASDRRenderer",
+    "ASDRRenderResult",
+    "AdaptiveSamplingConfig",
+    "ApproximationConfig",
+    "BaselineRenderer",
+    "HashGridConfig",
+    "InstantNGPConfig",
+    "InstantNGPModel",
+    "TensoRFConfig",
+    "TensoRFModel",
+    "TrainingConfig",
+    "distill_scene",
+    "SceneDataset",
+    "load_dataset",
+    "make_scene",
+    "scene_names",
+    "lpips_proxy",
+    "psnr",
+    "ssim",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Cycle-level simulator of the ASDR accelerator (Section 5).
+
+The simulator is trace-driven: it replays the address/point streams the
+algorithm layer produces through the three engines (encoding, MLP, volume
+rendering) and reports cycles, energy and utilisation.  Server and edge
+configurations follow Table 2.
+"""
+
+from repro.arch.buffers import BufferModel, BufferSpec, default_buffers
+from repro.arch.bus import BusSpec, BusTraffic, bus_cycles
+from repro.arch.config import ArchConfig
+from repro.arch.energy import AreaPowerModel, COMPONENT_TABLE
+from repro.arch.encoding_engine import EncodingEngine, EncodingReport
+from repro.arch.mlp_engine import MLPEngine, MLPReport
+from repro.arch.render_engine import RenderEngine, RenderEngineReport
+from repro.arch.accelerator import ASDRAccelerator, SimReport
+from repro.arch.trace import encoding_corner_stream, repetition_profile
+
+__all__ = [
+    "BufferModel",
+    "BufferSpec",
+    "default_buffers",
+    "BusSpec",
+    "BusTraffic",
+    "bus_cycles",
+    "ArchConfig",
+    "AreaPowerModel",
+    "COMPONENT_TABLE",
+    "EncodingEngine",
+    "EncodingReport",
+    "MLPEngine",
+    "MLPReport",
+    "RenderEngine",
+    "RenderEngineReport",
+    "ASDRAccelerator",
+    "SimReport",
+    "encoding_corner_stream",
+    "repetition_profile",
+]

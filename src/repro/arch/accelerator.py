@@ -1,0 +1,268 @@
+"""Top-level ASDR accelerator simulator (Section 5.5 dataflow).
+
+The three engines form a pipeline over wavefronts of rays: while the
+encoding engine fetches wavefront *k*'s embeddings, the MLP engine runs
+wavefront *k-1* and the rendering engine composites *k-2*; a wavefront's
+contribution to total latency is therefore the maximum of its three engine
+costs.  Phase I (probe rendering + adaptive sampling) and Phase II (full
+image) are simulated back to back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.buffers import BufferModel, default_buffers
+from repro.arch.bus import BusSpec, BusTraffic, bus_cycles
+from repro.arch.config import ArchConfig
+from repro.arch.encoding_engine import EncodingEngine, EncodingReport
+from repro.arch.energy import AreaPowerModel
+from repro.arch.mlp_engine import MLPEngine, MLPReport
+from repro.arch.render_engine import RenderEngine, RenderEngineReport
+from repro.arch.trace import EncodingBatch, _points_for_rays
+from repro.core.approximation import anchor_indices
+from repro.errors import SimulationError
+from repro.nerf.hashgrid import HashGridConfig, HashGridEncoder
+from repro.nerf.mlp import MLPConfig
+from repro.scenes.cameras import Camera
+
+
+@dataclass
+class SimReport:
+    """Cycle/energy outcome of simulating one rendered image.
+
+    Attributes:
+        name: Configuration label.
+        total_cycles: Pipelined end-to-end cycles.
+        encoding: Encoding-engine aggregate report.
+        mlp: MLP-engine aggregate report.
+        render: Rendering-engine aggregate report.
+        energy_by_component: Joules per Table 2 component.
+        buffer_stall_cycles: Pipeline cycles lost to on-chip buffer
+            overflows (0 with the Table 2 capacities at default wavefronts).
+        bus_cycles: System-bus cycles for descriptor/RGB traffic (never
+            on the critical path; reported for completeness).
+    """
+
+    name: str
+    clock_hz: float
+    total_cycles: int = 0
+    encoding: EncodingReport = field(default_factory=EncodingReport)
+    mlp: MLPReport = field(default_factory=MLPReport)
+    render: RenderEngineReport = field(default_factory=RenderEngineReport)
+    energy_by_component: Dict[str, float] = field(default_factory=dict)
+    buffer_stall_cycles: int = 0
+    bus_cycles: int = 0
+
+    @property
+    def time_seconds(self) -> float:
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def energy_joules(self) -> float:
+        return sum(self.energy_by_component.values())
+
+    @property
+    def dynamic_energy_joules(self) -> float:
+        """Energy of the compute engines alone (excludes the shared
+        buffers/clock/IO overhead charged for wall time) — the quantity
+        the Figure 21b energy-saving ablation varies."""
+        shared = ("buffers", "system_overhead")
+        return sum(
+            v for k, v in self.energy_by_component.items() if k not in shared
+        )
+
+    @property
+    def encoding_seconds(self) -> float:
+        return self.encoding.cycles / self.clock_hz
+
+    @property
+    def mlp_seconds(self) -> float:
+        return self.mlp.cycles / self.clock_hz
+
+    def merge(self, other: "SimReport") -> None:
+        self.total_cycles += other.total_cycles
+        self.encoding.merge(other.encoding)
+        self.mlp.merge(other.mlp)
+        self.render.merge(other.render)
+        self.buffer_stall_cycles += other.buffer_stall_cycles
+        self.bus_cycles += other.bus_cycles
+        for key, value in other.energy_by_component.items():
+            self.energy_by_component[key] = (
+                self.energy_by_component.get(key, 0.0) + value
+            )
+
+
+class ASDRAccelerator:
+    """Trace-driven simulator of one ASDR design point.
+
+    Args:
+        config: Hardware configuration (server/edge/strawman/variants).
+        grid: Hash-grid configuration of the accelerated model.
+        density_mlp / color_mlp: Decoder network shapes.
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        grid: HashGridConfig,
+        density_mlp: MLPConfig,
+        color_mlp: MLPConfig,
+    ) -> None:
+        self.config = config
+        self.grid = grid
+        self.mlp_engine = MLPEngine(config, density_mlp, color_mlp)
+        self.render_engine = RenderEngine(config)
+        self._encoder = HashGridEncoder(grid)
+        scale = "edge" if "edge" in config.name else "server"
+        self.power_model = AreaPowerModel(scale)
+
+    # ------------------------------------------------------------------
+    def simulate_pass(
+        self,
+        camera: Camera,
+        budgets: np.ndarray,
+        color_fraction: float = 1.0,
+        difficulty_evals: int = 0,
+    ) -> SimReport:
+        """Simulate one rendering pass.
+
+        Args:
+            camera: View being rendered.
+            budgets: ``(H*W,)`` per-ray sample counts for this pass (0 for
+                rays not rendered in the pass).
+            color_fraction: Fraction of density points whose color MLP runs
+                (1.0 without decoupling; ``~1/n`` with group size ``n``).
+            difficulty_evals: Eq. (3) candidate comparisons charged to the
+                adaptive sampling unit (Phase I).
+        """
+        budgets = np.asarray(budgets, dtype=np.int64)
+        if budgets.shape[0] != camera.width * camera.height:
+            raise SimulationError("budgets length must equal the pixel count")
+        if not 0.0 <= color_fraction <= 1.0:
+            raise SimulationError("color_fraction must lie in [0, 1]")
+
+        encoding_engine = EncodingEngine(self.config, self.grid)
+        scale = "edge" if "edge" in self.config.name else "server"
+        buffers = BufferModel(default_buffers(scale))
+        report = SimReport(name=self.config.name, clock_hz=self.config.clock_hz)
+
+        for budget in np.unique(budgets):
+            if budget <= 0:
+                continue
+            ray_ids = np.nonzero(budgets == budget)[0]
+            for start in range(0, len(ray_ids), self.config.wavefront_rays):
+                ids = ray_ids[start : start + self.config.wavefront_rays]
+                points, hit = _points_for_rays(camera, ids, int(budget))
+                if not hit.any():
+                    continue
+                flat = points[hit].reshape(-1, 3)
+                corners = {
+                    level: self._encoder.voxel_vertices(flat, level)[0]
+                    for level in range(self.grid.num_levels)
+                }
+                batch = EncodingBatch(
+                    corners=corners,
+                    point_ray=np.repeat(ids[hit], int(budget)),
+                    num_points=flat.shape[0],
+                )
+                enc = encoding_engine.process_batch(batch)
+                color_points = math.ceil(batch.num_points * color_fraction)
+                mlp = self.mlp_engine.process(batch.num_points, color_points)
+                ren = self.render_engine.process(
+                    composited_points=batch.num_points,
+                    interpolated_points=batch.num_points - color_points,
+                )
+                stall = buffers.observe_wavefront(
+                    in_flight_points=min(
+                        batch.num_points, self.config.wavefront_rays
+                    ),
+                    levels=self.grid.num_levels,
+                    ray_working_points=batch.num_points,
+                )
+                report.encoding.merge(enc)
+                report.mlp.merge(mlp)
+                report.render.merge(ren)
+                report.buffer_stall_cycles += stall
+                report.total_cycles += (
+                    max(enc.cycles, mlp.cycles, ren.cycles) + stall
+                )
+
+        if difficulty_evals:
+            # The adaptive sampling unit compares candidate renders at the
+            # tail of Phase I (it cannot overlap the batches that produce
+            # its inputs' final samples).
+            ren = self.render_engine.process(0, 0, difficulty_evals)
+            report.render.merge(ren)
+            report.total_cycles += ren.cycles
+
+        rendered = int((budgets > 0).sum())
+        report.bus_cycles = bus_cycles(BusTraffic(pixels=rendered))
+
+        self._charge_energy(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def simulate_render(
+        self,
+        camera: Camera,
+        result,
+        group_size: int = 1,
+    ) -> SimReport:
+        """Simulate a completed render (baseline or ASDR).
+
+        Accepts either a :class:`~repro.nerf.renderer.RenderResult` (fixed
+        budget baseline: every point runs both MLPs) or an
+        :class:`~repro.core.stats.ASDRRenderResult` (two-phase: probes at
+        full budget in Phase I, interpolated budgets with color decoupling
+        in Phase II).
+        """
+        plan = getattr(result, "plan", None)
+        if plan is None:  # baseline RenderResult
+            return self.simulate_pass(camera, result.sample_counts, 1.0)
+
+        n_pixels = camera.width * camera.height
+        total = SimReport(name=self.config.name, clock_hz=self.config.clock_hz)
+
+        if len(plan.probe_indices):
+            probe_budgets = np.zeros(n_pixels, dtype=np.int64)
+            probe_budgets[plan.probe_indices] = plan.full_budget
+            phase1 = self.simulate_pass(
+                camera,
+                probe_budgets,
+                color_fraction=1.0,
+                difficulty_evals=len(plan.probe_indices) * plan.num_candidates,
+            )
+            total.merge(phase1)
+
+        phase2_budgets = result.sample_counts.copy()
+        if len(plan.probe_indices):
+            phase2_budgets[plan.probe_indices] = 0
+        color_fraction = 1.0
+        if group_size > 1:
+            full = max(plan.full_budget, 1)
+            color_fraction = len(anchor_indices(full, group_size)) / full
+        phase2 = self.simulate_pass(camera, phase2_budgets, color_fraction)
+        total.merge(phase2)
+        return total
+
+    # ------------------------------------------------------------------
+    def _charge_energy(self, report: SimReport) -> None:
+        clock = self.config.clock_hz
+        busy = {
+            "encoding": report.encoding.cycles / clock,
+            "mlp": report.mlp.cycles / clock,
+            "render": report.render.cycles / clock,
+            # The two MLP sub-engines are busy for their own pipelines —
+            # color decoupling idles the color arrays even when the density
+            # pipeline sets the engine's latency.
+            "density_subengine": report.mlp.density_cycles / clock,
+            "color_subengine": report.mlp.color_cycles / clock,
+        }
+        report.energy_by_component = self.power_model.energy_j(
+            busy, report.time_seconds
+        )

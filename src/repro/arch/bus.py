@@ -1,0 +1,74 @@
+"""System-bus model for off-accelerator traffic (Section 5.5 dataflow).
+
+Phase I receives probe-pixel descriptors from the bus; Phase II streams
+per-ray descriptors in and final RGB values out.  The bus is never the
+ASDR bottleneck (that is the point of computing in memory), but modelling
+it closes the dataflow and lets experiments confirm the claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BusSpec:
+    """A simple synchronous bus.
+
+    Attributes:
+        bytes_per_cycle: Transfer width (e.g. 32 B/cycle ~ 32 GB/s @1 GHz).
+        request_overhead_cycles: Fixed cost per burst.
+        burst_bytes: Maximum burst size.
+    """
+
+    bytes_per_cycle: int = 32
+    request_overhead_cycles: int = 8
+    burst_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle < 1 or self.burst_bytes < self.bytes_per_cycle:
+            raise ConfigurationError("invalid bus geometry")
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Cycles to move ``num_bytes`` including burst overheads."""
+        if num_bytes <= 0:
+            return 0
+        bursts = math.ceil(num_bytes / self.burst_bytes)
+        return bursts * self.request_overhead_cycles + math.ceil(
+            num_bytes / self.bytes_per_cycle
+        )
+
+
+@dataclass
+class BusTraffic:
+    """Traffic of one rendered image over the bus.
+
+    Attributes:
+        pixels: Image pixels (descriptors in, RGB out).
+        probe_pixels: Phase I probe descriptors.
+    """
+
+    pixels: int
+    probe_pixels: int = 0
+
+    # Per-pixel descriptor: ray id + budget (8 B); output RGB: 3 x 2 B.
+    DESCRIPTOR_BYTES = 8
+    RGB_BYTES = 6
+
+    @property
+    def input_bytes(self) -> int:
+        return (self.pixels + self.probe_pixels) * self.DESCRIPTOR_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.pixels * self.RGB_BYTES
+
+
+def bus_cycles(traffic: BusTraffic, spec: BusSpec = BusSpec()) -> int:
+    """Total bus cycles for one image's in/out traffic."""
+    return spec.transfer_cycles(traffic.input_bytes) + spec.transfer_cycles(
+        traffic.output_bytes
+    )

@@ -1,0 +1,118 @@
+"""Hardware configuration of the ASDR accelerator (Table 2).
+
+Two design points ship with the paper: ASDR-Server (64 address units,
+64 MB of memory crossbars, 4 MLP sub-engines of each kind) and ASDR-Edge
+(a quarter-to-sixteenth scale variant for <1.5 W operation).  All counts
+are per Table 2's "Config" column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cim.crossbar import CrossbarConfig
+from repro.cim.reram import RERAM, SRAM, DeviceParams
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ArchConfig:
+    """Full accelerator configuration.
+
+    Attributes:
+        name: Design point label.
+        clock_hz: Core clock (paper: 1 GHz, TSMC 28 nm).
+        address_units: Addresses generated per cycle (hash + low-res units).
+        cache_entries: Register-cache entries per resolution level
+            (Figure 22's design point is 8).
+        mem_xbar_mb: Memory-crossbar capacity for embedding tables.
+        fusion_lanes: Trilinear-interpolation MACs per cycle.
+        density_engines / color_engines: MLP sub-engine counts.
+        pes_per_engine: CIM PEs (crossbar tiles) usable in parallel by one
+            sub-engine.
+        approx_lanes: Linear interpolations per cycle (approximation unit).
+        rgb_lanes: Compositing accumulations per cycle (RGB unit).
+        adaptive_lanes: Eq. (3) comparisons per cycle (adaptive sample unit).
+        mapping_mode: ``"hybrid"``, ``"hash"`` or ``"naive"`` addressing.
+        crossbar: CIM PE geometry/precision.
+        memory_device: Technology of the embedding-table storage.
+        mlp_device: Technology of the MLP CIM arrays.
+        wavefront_rays: Rays processed per pipeline batch.
+    """
+
+    name: str = "server"
+    clock_hz: float = 1e9
+    address_units: int = 64
+    cache_entries: int = 8
+    mem_xbar_mb: int = 64
+    fusion_lanes: int = 32
+    density_engines: int = 4
+    color_engines: int = 4
+    pes_per_engine: int = 16
+    approx_lanes: int = 16
+    rgb_lanes: int = 8
+    adaptive_lanes: int = 8
+    mapping_mode: str = "hybrid"
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    memory_device: DeviceParams = RERAM
+    mlp_device: DeviceParams = RERAM
+    wavefront_rays: int = 64
+
+    def __post_init__(self) -> None:
+        positive = (
+            "clock_hz",
+            "address_units",
+            "fusion_lanes",
+            "density_engines",
+            "color_engines",
+            "pes_per_engine",
+            "approx_lanes",
+            "rgb_lanes",
+            "adaptive_lanes",
+            "wavefront_rays",
+        )
+        for attr in positive:
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be positive")
+        if self.cache_entries < 0:
+            raise ConfigurationError("cache_entries must be >= 0")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def server(cls, **overrides) -> "ArchConfig":
+        """The ASDR-Server design point of Table 2."""
+        return cls(**overrides) if overrides else cls()
+
+    @classmethod
+    def edge(cls, **overrides) -> "ArchConfig":
+        """The ASDR-Edge design point of Table 2."""
+        base = cls(
+            name="edge",
+            address_units=16,
+            cache_entries=8,
+            mem_xbar_mb=2,
+            fusion_lanes=8,
+            density_engines=1,
+            color_engines=1,
+            pes_per_engine=8,
+            approx_lanes=4,
+            rgb_lanes=2,
+            adaptive_lanes=2,
+        )
+        return replace(base, **overrides) if overrides else base
+
+    @classmethod
+    def strawman(cls, scale: str = "server") -> "ArchConfig":
+        """Basic CIM design: hash mapping everywhere, no register cache.
+
+        This is the ablation baseline of Figure 20 — it keeps the CIM MVM
+        capability but none of ASDR's data-reuse machinery.
+        """
+        base = cls.server() if scale == "server" else cls.edge()
+        return replace(
+            base, name=f"strawman-{scale}", mapping_mode="hash", cache_entries=0
+        )
+
+    def with_sram_memory(self) -> "ArchConfig":
+        """SRAM-based encoding storage (the SA / SRAM variants of Fig. 26)."""
+        return replace(self, memory_device=SRAM, name=self.name + "-sram-mem")

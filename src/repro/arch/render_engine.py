@@ -1,0 +1,78 @@
+"""Volume rendering engine simulation (Section 5.4).
+
+Three digital units: the approximation unit (linear color interpolation of
+non-anchor points), the RGB computation unit (Eq. 1 accumulation), and the
+adaptive sampling unit (Eq. 3 subtract/compare trees).  All are simple
+throughput pipelines sized by Table 2's Config column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import ArchConfig
+
+
+@dataclass
+class RenderEngineReport:
+    """Aggregate volume-rendering-engine outcome.
+
+    Attributes:
+        cycles: Total pipelined cycles (units overlap).
+        approx_cycles / rgb_cycles / adaptive_cycles: Per-unit busy cycles.
+        interpolated_points: Colors produced by the approximation unit.
+        composited_points: Samples accumulated by the RGB unit.
+        difficulty_evals: Eq. (3) candidate evaluations.
+    """
+
+    cycles: int = 0
+    approx_cycles: int = 0
+    rgb_cycles: int = 0
+    adaptive_cycles: int = 0
+    interpolated_points: int = 0
+    composited_points: int = 0
+    difficulty_evals: int = 0
+
+    def merge(self, other: "RenderEngineReport") -> None:
+        self.cycles += other.cycles
+        self.approx_cycles += other.approx_cycles
+        self.rgb_cycles += other.rgb_cycles
+        self.adaptive_cycles += other.adaptive_cycles
+        self.interpolated_points += other.interpolated_points
+        self.composited_points += other.composited_points
+        self.difficulty_evals += other.difficulty_evals
+
+
+class RenderEngine:
+    """Analytic throughput model of the three rendering units."""
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+
+    def process(
+        self,
+        composited_points: int,
+        interpolated_points: int = 0,
+        difficulty_evals: int = 0,
+    ) -> RenderEngineReport:
+        """Cost of compositing a batch.
+
+        Args:
+            composited_points: Samples entering Eq. (1) accumulation.
+            interpolated_points: Non-anchor samples needing approximation.
+            difficulty_evals: Probe-pixel candidate renders compared by the
+                adaptive sampling unit (Phase I only).
+        """
+        approx = math.ceil(interpolated_points / self.config.approx_lanes)
+        rgb = math.ceil(composited_points / self.config.rgb_lanes)
+        adaptive = math.ceil(difficulty_evals / self.config.adaptive_lanes)
+        return RenderEngineReport(
+            cycles=max(approx, rgb, adaptive),
+            approx_cycles=approx,
+            rgb_cycles=rgb,
+            adaptive_cycles=adaptive,
+            interpolated_points=interpolated_points,
+            composited_points=composited_points,
+            difficulty_evals=difficulty_evals,
+        )

@@ -1,0 +1,161 @@
+"""Trace generation and locality profiling.
+
+The simulator replays the exact voxel-vertex streams the renderer touches.
+:func:`encoding_corner_stream` regenerates, for a batch of rays with given
+budgets, the per-level voxel corner coordinates in render order.
+:func:`repetition_profile` measures the inter-ray / intra-ray voxel
+repetition rates of Figure 15, and :func:`hash_address_trace` produces the
+Figure 4 address-scatter data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nerf.hashgrid import HashGridConfig, HashGridEncoder, hash_coords
+from repro.nerf.rays import sample_along_rays
+from repro.scenes.cameras import Camera
+
+
+@dataclass
+class EncodingBatch:
+    """One wavefront of sample points headed into the encoding engine.
+
+    Attributes:
+        corners: Per level: ``(P, 8, 3)`` voxel-vertex coordinates of the
+            batch's sample points, in render order.
+        point_ray: ``(P,)`` ray index of each point (for locality studies).
+        num_points: Points in the batch.
+    """
+
+    corners: Dict[int, np.ndarray]
+    point_ray: np.ndarray
+    num_points: int
+
+
+def _points_for_rays(
+    camera: Camera, ray_ids: np.ndarray, budget: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample positions for rays sharing a budget -> ``(points, hit)``."""
+    origins, directions = camera.rays_for_pixels(ray_ids)
+    points, _, hit = sample_along_rays(origins, directions, budget)
+    return points, hit
+
+
+def encoding_corner_stream(
+    camera: Camera,
+    budgets: np.ndarray,
+    grid: HashGridConfig,
+    wavefront_rays: int = 64,
+    encoder: HashGridEncoder = None,
+) -> Iterator[EncodingBatch]:
+    """Yield encoding-engine wavefronts for an image render.
+
+    Rays are grouped by sample budget (as the renderer executes them) and
+    split into wavefronts of ``wavefront_rays``; rays that miss the scene
+    produce no lookups.
+    """
+    encoder = encoder or HashGridEncoder(grid)
+    budgets = np.asarray(budgets)
+    for budget in np.unique(budgets):
+        if budget <= 0:
+            continue
+        ray_ids = np.nonzero(budgets == budget)[0]
+        for start in range(0, len(ray_ids), wavefront_rays):
+            ids = ray_ids[start : start + wavefront_rays]
+            points, hit = _points_for_rays(camera, ids, int(budget))
+            if not hit.any():
+                continue
+            points = points[hit]
+            ray_of_point = np.repeat(ids[hit], int(budget))
+            flat = points.reshape(-1, 3)
+            corners = {}
+            for level in range(grid.num_levels):
+                c, _ = encoder.voxel_vertices(flat, level)
+                corners[level] = c
+            yield EncodingBatch(
+                corners=corners,
+                point_ray=ray_of_point,
+                num_points=flat.shape[0],
+            )
+
+
+# ----------------------------------------------------------------------
+# Locality profiling (Figures 4, 8, 15)
+# ----------------------------------------------------------------------
+def voxel_ids(corners: np.ndarray, resolution: int) -> np.ndarray:
+    """Scalar voxel id of each point from its corner-0 coordinates."""
+    base = corners[:, 0, :]
+    stride = resolution + 1
+    return (base[:, 2] * stride + base[:, 1]) * stride + base[:, 0]
+
+
+def repetition_profile(
+    camera: Camera,
+    grid: HashGridConfig,
+    num_samples: int,
+    max_ray_pairs: int = 256,
+) -> Tuple[List[float], List[int]]:
+    """Measure inter-ray and intra-ray voxel locality (Figure 15).
+
+    Returns:
+        ``(inter_ray_rates, intra_ray_peaks)`` per level: the average
+        fraction of a ray's sample voxels that also appear in the
+        neighbouring ray's voxel set, and the maximum number of one ray's
+        samples sharing a voxel.
+    """
+    encoder = HashGridEncoder(grid)
+    resolutions = grid.level_resolutions
+    width = camera.width
+    origins, directions = camera.pixel_rays()
+    t_near_hits = sample_along_rays(origins, directions, 1)[2]
+    hit_ids = np.nonzero(t_near_hits)[0]
+    # Neighbouring-pixel pairs that both hit the scene.
+    pairs = [(r, r + 1) for r in hit_ids if (r + 1) % width and t_near_hits[min(r + 1, len(t_near_hits) - 1)]]
+    pairs = pairs[:max_ray_pairs]
+
+    inter = [[] for _ in range(grid.num_levels)]
+    intra = [0] * grid.num_levels
+    for left, right in pairs:
+        ids = np.array([left, right])
+        points, hit = _points_for_rays(camera, ids, num_samples)
+        if not hit.all():
+            continue
+        for level in range(grid.num_levels):
+            res = int(resolutions[level])
+            c_l, _ = encoder.voxel_vertices(points[0], level)
+            c_r, _ = encoder.voxel_vertices(points[1], level)
+            v_l = voxel_ids(c_l, res)
+            v_r = voxel_ids(c_r, res)
+            shared = np.isin(v_l, v_r).mean()
+            inter[level].append(float(shared))
+            _, counts = np.unique(v_l, return_counts=True)
+            intra[level] = max(intra[level], int(counts.max()))
+    rates = [float(np.mean(x)) if x else 0.0 for x in inter]
+    return rates, intra
+
+
+def hash_address_trace(
+    camera: Camera,
+    grid: HashGridConfig,
+    num_samples: int,
+    num_points: int = 1500,
+    level: int = None,
+) -> np.ndarray:
+    """Hash-table addresses of consecutive sample points (Figure 4).
+
+    Returns the ``(num_points,)`` table index of each consecutive sample's
+    first voxel vertex at the finest (default) level — the scatter the
+    paper plots to show poor spatial locality of hashed accesses.
+    """
+    encoder = HashGridEncoder(grid)
+    if level is None:
+        level = grid.num_levels - 1
+    origins, directions = camera.pixel_rays()
+    points, _, hit = sample_along_rays(origins, directions, num_samples)
+    flat = points[hit].reshape(-1, 3)[:num_points]
+    corners, _ = encoder.voxel_vertices(flat, level)
+    return hash_coords(corners[:, 0, :], grid.table_size)

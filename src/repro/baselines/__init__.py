@@ -1,0 +1,35 @@
+"""Baseline platform models the paper compares against (Section 6.1).
+
+* :mod:`repro.baselines.gpu` — roofline models of the RTX 3070 and Jetson
+  Xavier NX fed with the pipeline's exact FLOP/byte counts.
+* :mod:`repro.baselines.neurex` — NeuRex-like accelerator (subgrid-cached
+  encoding + systolic MLP), server and edge scaled.
+* :mod:`repro.baselines.variants` — ASDR hardware variants of Section 6.9:
+  SA (SRAM memory + systolic MLP), SRAM CIM, and native ReRAM.
+"""
+
+from repro.baselines.platform import PlatformModel, PlatformReport, Workload
+from repro.baselines.gpu import GPUModel, RTX3070, XAVIER_NX, GPUSpec
+from repro.baselines.neurex import NeurexModel, NeurexSpec, NEUREX_SERVER, NEUREX_EDGE
+from repro.baselines.variants import (
+    HardwareVariant,
+    variant_configs,
+    simulate_variant,
+)
+
+__all__ = [
+    "PlatformModel",
+    "PlatformReport",
+    "Workload",
+    "GPUModel",
+    "GPUSpec",
+    "RTX3070",
+    "XAVIER_NX",
+    "NeurexModel",
+    "NeurexSpec",
+    "NEUREX_SERVER",
+    "NEUREX_EDGE",
+    "HardwareVariant",
+    "variant_configs",
+    "simulate_variant",
+]

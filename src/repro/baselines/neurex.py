@@ -1,0 +1,92 @@
+"""NeuRex-like accelerator model (Lee et al., ISCA'23 — the paper's main
+accelerator baseline).
+
+NeuRex partitions the input grid into subgrids so only part of each hash
+table lives in an on-chip buffer, giving high (but not perfect) encoding
+locality, and executes the MLPs on a dense systolic array.  The paper
+compares against server and edge scalings of that design; we model the same
+structure analytically:
+
+* encoding: ``lanes`` lookups/cycle from the grid buffer; a small miss
+  fraction pays a DRAM penalty (subgrid refills);
+* MLP: systolic array of ``array_macs`` MACs at ``utilisation``;
+* volume rendering: elementwise units, never the bottleneck.
+
+NeuRex runs the *original* fixed-budget algorithm — it has no adaptive
+sampling or color decoupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.platform import PlatformModel, PlatformReport, Workload
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NeurexSpec:
+    """Design-point parameters of a NeuRex scaling.
+
+    Attributes:
+        name: Label.
+        clock_hz: Core clock.
+        encoding_lanes: Grid-buffer lookups per cycle.
+        miss_rate: Fraction of lookups missing the subgrid buffer.
+        miss_penalty_cycles: DRAM refill cost per miss.
+        array_macs: Systolic array MAC count.
+        utilisation: Achieved MAC utilisation on the NeRF MLPs.
+        power_w: Average active power.
+    """
+
+    name: str
+    clock_hz: float = 1e9
+    encoding_lanes: int = 32
+    miss_rate: float = 0.005
+    miss_penalty_cycles: int = 8
+    array_macs: int = 128 * 128
+    utilisation: float = 0.75
+    power_w: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.miss_rate <= 1:
+            raise ConfigurationError("miss_rate must lie in [0, 1]")
+        if min(self.encoding_lanes, self.array_macs) < 1:
+            raise ConfigurationError("lanes and array_macs must be positive")
+
+
+NEUREX_SERVER = NeurexSpec(name="NeuRex-Server")
+
+NEUREX_EDGE = NeurexSpec(
+    name="NeuRex-Edge",
+    encoding_lanes=8,
+    miss_rate=0.008,
+    miss_penalty_cycles=16,
+    array_macs=64 * 64,
+    utilisation=0.7,
+    power_w=2.0,
+)
+
+
+class NeurexModel(PlatformModel):
+    """Analytic NeuRex execution of a workload."""
+
+    def __init__(self, spec: NeurexSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+
+    def run(self, workload: Workload) -> PlatformReport:
+        s = self.spec
+        lookup_cycles = workload.lookups / s.encoding_lanes
+        miss_cycles = workload.lookups * s.miss_rate * s.miss_penalty_cycles
+        encoding = (lookup_cycles + miss_cycles) / s.clock_hz
+        mlp_macs = workload.mlp_flops / 2
+        mlp = mlp_macs / (s.array_macs * s.utilisation) / s.clock_hz
+        volume = workload.volume_flops / (s.array_macs / 8) / s.clock_hz
+        phases = {"encoding": encoding, "mlp": mlp, "volume": volume}
+        total = sum(phases.values())
+        return PlatformReport(
+            name=self.name,
+            phase_seconds=phases,
+            energy_joules=s.power_w * total,
+        )

@@ -1,0 +1,39 @@
+"""Computing-in-memory substrate (Section 2.3 / 5 of the paper).
+
+Device-level ReRAM/SRAM parameters, CIM crossbar MVM timing/energy, memory
+crossbar banks with read-conflict serialisation, the hybrid address
+generator (hash + bit-reorder + replication), the register-based cache
+model, and storage-utilisation analysis.
+"""
+
+from repro.cim.reram import DeviceParams, RERAM, SRAM
+from repro.cim.crossbar import CrossbarConfig, CIMCrossbarModel, MVMCost
+from repro.cim.memxbar import MemXbarBank, ReadStats
+from repro.cim.address import (
+    bit_reorder_address,
+    naive_concat_address,
+    HybridAddressGenerator,
+    LevelMapping,
+)
+from repro.cim.cache import RegisterCache, window_hits, exact_lru_hits
+from repro.cim.mapping import storage_utilization, hybrid_utilization
+
+__all__ = [
+    "DeviceParams",
+    "RERAM",
+    "SRAM",
+    "CrossbarConfig",
+    "CIMCrossbarModel",
+    "MVMCost",
+    "MemXbarBank",
+    "ReadStats",
+    "bit_reorder_address",
+    "naive_concat_address",
+    "HybridAddressGenerator",
+    "LevelMapping",
+    "RegisterCache",
+    "window_hits",
+    "exact_lru_hits",
+    "storage_utilization",
+    "hybrid_utilization",
+]

@@ -1,0 +1,111 @@
+"""Memory crossbar banks storing embedding tables.
+
+Each memory crossbar (Mem Xbar) holds ``rows`` table entries and serves one
+row read per cycle — the mechanism behind the paper's Figure 3(c): when the
+eight vertex lookups of a sample point land on the same crossbar they
+serialise, while lookups hitting distinct crossbars proceed in parallel.
+
+:meth:`MemXbarBank.read_cycles` consumes a batch of addresses grouped into
+parallel *issue groups* (one group per lookup cycle, e.g. the 8 vertices of
+a voxel) and returns the conflict-serialised cycle count, vectorised over
+the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cim.reram import RERAM, DeviceParams
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ReadStats:
+    """Outcome of replaying a lookup stream on a bank.
+
+    Attributes:
+        cycles: Total read cycles after conflict serialisation.
+        accesses: Row reads issued (equals the number of addresses).
+        conflicts: Extra cycles lost to same-crossbar serialisation
+            (``cycles - ideal_cycles``).
+        energy_pj: Dynamic read energy.
+    """
+
+    cycles: int
+    accesses: int
+    conflicts: int
+    energy_pj: float
+
+
+class MemXbarBank:
+    """A bank of memory crossbars addressed linearly.
+
+    Address ``a`` maps to crossbar ``a // rows``, row ``a % rows``.
+
+    Args:
+        total_entries: Table entries the bank stores.
+        rows: Entries per crossbar (paper: 64).
+        device: Memory technology for energy accounting.
+    """
+
+    def __init__(
+        self,
+        total_entries: int,
+        rows: int = 64,
+        device: DeviceParams = RERAM,
+    ) -> None:
+        if total_entries < 1:
+            raise ConfigurationError("total_entries must be >= 1")
+        if rows < 1:
+            raise ConfigurationError("rows must be >= 1")
+        self.total_entries = total_entries
+        self.rows = rows
+        self.device = device
+
+    @property
+    def num_xbars(self) -> int:
+        return -(-self.total_entries // self.rows)
+
+    def xbar_of(self, addresses: np.ndarray) -> np.ndarray:
+        """Crossbar id of each address."""
+        return np.asarray(addresses, dtype=np.int64) // self.rows
+
+    def read_cycles(self, grouped_addresses: np.ndarray) -> ReadStats:
+        """Replay reads issued in parallel groups.
+
+        Args:
+            grouped_addresses: ``(G, K)`` array; each row is one issue group
+                of ``K`` addresses presented in the same cycle (e.g. the 8
+                voxel-vertex lookups of one sample point).  Negative
+                addresses mark lanes with nothing to read (cache hits).
+
+        Returns:
+            :class:`ReadStats` with conflict-serialised cycles.
+        """
+        grouped = np.atleast_2d(np.asarray(grouped_addresses, dtype=np.int64))
+        valid = grouped >= 0
+        accesses = int(valid.sum())
+        if accesses == 0:
+            return ReadStats(cycles=0, accesses=0, conflicts=0, energy_pj=0.0)
+
+        xbars = np.where(valid, grouped // self.rows, -1)
+        # Per group, the cycle cost is the largest number of addresses
+        # landing on one crossbar.  Sorting each row makes equal crossbar
+        # ids adjacent; the longest run is found with run-length tricks.
+        order = np.sort(xbars, axis=1)
+        same_as_prev = (order[:, 1:] == order[:, :-1]) & (order[:, 1:] >= 0)
+        run = np.ones(order.shape, dtype=np.int64)
+        for k in range(1, order.shape[1]):
+            run[:, k] = np.where(same_as_prev[:, k - 1], run[:, k - 1] + 1, 1)
+        group_cycles = np.where(valid.any(axis=1), run.max(axis=1), 0)
+        cycles = int(group_cycles.sum()) * self.device.read_latency_cycles
+        ideal = int(valid.any(axis=1).sum()) * self.device.read_latency_cycles
+        energy = accesses * self.device.read_energy_pj
+        return ReadStats(
+            cycles=cycles,
+            accesses=accesses,
+            conflicts=cycles - ideal,
+            energy_pj=energy,
+        )

@@ -1,0 +1,68 @@
+"""Device-level parameters for ReRAM and SRAM CIM arrays.
+
+Representative numbers follow the NeuroSim-style modelling the paper uses
+(64x64 crossbars, 5-bit ADCs, 28 nm digital logic at 1 GHz).  The absolute
+values matter less than their ratios — SRAM reads are faster but the cell
+is larger; ReRAM gives denser storage and cheaper in-situ MVMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Per-device energy/latency characteristics of a CIM technology.
+
+    Attributes:
+        name: Technology label.
+        read_latency_cycles: Crossbar row activation latency at 1 GHz.
+        read_energy_pj: Energy of activating one crossbar row (all columns).
+        mvm_energy_pj: Energy of one full-array analog MVM activation
+            (one input-bit slice), including DAC but not ADC.
+        adc_energy_pj: Energy per ADC conversion (one column readout).
+        write_energy_pj: Energy per cell write (programming).
+        cell_bits: Bits stored per device cell.
+        density_mm2_per_mb: Array area per MB of storage.
+    """
+
+    name: str
+    read_latency_cycles: int
+    read_energy_pj: float
+    mvm_energy_pj: float
+    adc_energy_pj: float
+    write_energy_pj: float
+    cell_bits: int
+    density_mm2_per_mb: float
+
+    def __post_init__(self) -> None:
+        if self.read_latency_cycles < 1:
+            raise ConfigurationError("read_latency_cycles must be >= 1")
+        if self.cell_bits < 1:
+            raise ConfigurationError("cell_bits must be >= 1")
+
+
+RERAM = DeviceParams(
+    name="ReRAM",
+    read_latency_cycles=1,
+    read_energy_pj=1.1,
+    mvm_energy_pj=2.4,
+    adc_energy_pj=1.6,
+    write_energy_pj=9.0,
+    cell_bits=2,
+    density_mm2_per_mb=0.079,  # 5.03 mm^2 / 64 MB (Table 2 server Mem Xbars)
+)
+
+SRAM = DeviceParams(
+    name="SRAM",
+    read_latency_cycles=1,
+    read_energy_pj=0.6,
+    mvm_energy_pj=3.4,
+    adc_energy_pj=1.6,
+    write_energy_pj=0.7,
+    cell_bits=1,
+    density_mm2_per_mb=0.9,
+)

@@ -1,0 +1,108 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiment <id> [...]`` — run registered paper experiments and print
+  their tables (``all`` runs everything).
+* ``render <scene> --out img.ppm`` — distill (or load a cached model for)
+  a scene and write baseline + ASDR renders side by side.
+* ``report [--out EXPERIMENTS.md]`` — regenerate the paper-vs-measured
+  report.
+* ``scenes`` — list available scenes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.experiments.harness import EXPERIMENTS, run_experiment
+from repro.experiments.report import generate_report
+from repro.experiments.workbench import Workbench
+from repro.metrics.image import psnr
+from repro.scenes.analytic import scene_names
+from repro.utils.imageio import write_ppm
+
+
+def _cmd_scenes(_args) -> int:
+    for name in scene_names():
+        print(name)
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    wb = Workbench()
+    ids = sorted(EXPERIMENTS) if "all" in args.ids else args.ids
+    for exp_id in ids:
+        run_experiment(exp_id, wb)
+        print()
+    return 0
+
+
+def _cmd_render(args) -> int:
+    wb = Workbench()
+    if args.scene not in scene_names():
+        print(f"unknown scene {args.scene!r}; see `python -m repro scenes`",
+              file=sys.stderr)
+        return 2
+    baseline = wb.baseline_render(args.scene)
+    asdr = wb.asdr_render(args.scene)
+    reference = wb.reference(args.scene)
+    side_by_side = np.concatenate([baseline.image, asdr.image], axis=1)
+    write_ppm(side_by_side, args.out)
+    print(f"wrote {args.out} (left: fixed budget, right: ASDR)")
+    print(f"PSNR vs ground truth: baseline {psnr(baseline.image, reference):.2f}"
+          f" | ASDR {psnr(asdr.image, reference):.2f}")
+    print(f"avg points/pixel: {baseline.points_total / baseline.num_rays:.1f}"
+          f" -> {asdr.average_samples_per_ray:.1f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    generate_report(args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ASDR reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenes", help="list available scenes").set_defaults(
+        fn=_cmd_scenes
+    )
+
+    p_exp = sub.add_parser("experiment", help="run paper experiments")
+    p_exp.add_argument("ids", nargs="+",
+                       help="experiment ids (e.g. fig17a) or 'all'")
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_render = sub.add_parser("render", help="render a scene to a PPM image")
+    p_render.add_argument("scene")
+    p_render.add_argument("--out", default="render.ppm")
+    p_render.set_defaults(fn=_cmd_render)
+
+    p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_report.add_argument("--out", default="EXPERIMENTS.md")
+    p_report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    unknown = [i for i in getattr(args, "ids", []) if i != "all"
+               and i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

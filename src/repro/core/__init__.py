@@ -1,0 +1,35 @@
+"""ASDR's algorithmic contribution (Section 4 of the paper).
+
+* :mod:`repro.core.difficulty` — pixel rendering difficulty, Eq. (3).
+* :mod:`repro.core.sampling_plan` — probe-grid budgets and bilinear
+  interpolation to all pixels (adaptive sampling, Section 4.2).
+* :mod:`repro.core.approximation` — color/density decoupling via grouped
+  color interpolation (Section 4.3).
+* :mod:`repro.core.pipeline` — the two-phase ASDR renderer (Section 5.5).
+"""
+
+from repro.core.config import (
+    AdaptiveSamplingConfig,
+    ApproximationConfig,
+    ASDRConfig,
+)
+from repro.core.difficulty import rendering_difficulty, select_sample_budgets
+from repro.core.sampling_plan import SamplingPlan, probe_pixel_indices, interpolate_budgets
+from repro.core.approximation import anchor_indices, interpolate_group_colors
+from repro.core.pipeline import ASDRRenderer
+from repro.core.stats import ASDRRenderResult
+
+__all__ = [
+    "AdaptiveSamplingConfig",
+    "ApproximationConfig",
+    "ASDRConfig",
+    "rendering_difficulty",
+    "select_sample_budgets",
+    "SamplingPlan",
+    "probe_pixel_indices",
+    "interpolate_budgets",
+    "anchor_indices",
+    "interpolate_group_colors",
+    "ASDRRenderer",
+    "ASDRRenderResult",
+]

@@ -1,0 +1,105 @@
+"""Configuration objects for the ASDR algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class AdaptiveSamplingConfig:
+    """Adaptive sampling parameters (Section 4.2).
+
+    Attributes:
+        probe_stride: Distance ``d`` between probe pixels in both image
+            directions (paper default 5).
+        threshold: Difficulty threshold ``delta``; a candidate budget is
+            accepted once its Eq. (3) difficulty is <= threshold.  The
+            paper sweeps 0, 1/2048 and 1/256 (Figure 21a).
+        candidate_fractions: Candidate budgets ``ns_i`` expressed as
+            fractions of the full budget ``ns`` (ascending).  The paper's
+            example uses budgets down to 12/192 = 1/16.
+        min_samples: Lower bound on any pixel's budget.
+    """
+
+    probe_stride: int = 5
+    threshold: float = 1.0 / 2048.0
+    candidate_fractions: Sequence[float] = (1 / 16, 1 / 8, 1 / 4, 1 / 2, 3 / 4)
+    min_samples: int = 4
+
+    def __post_init__(self) -> None:
+        if self.probe_stride < 1:
+            raise ConfigurationError("probe_stride must be >= 1")
+        if self.threshold < 0:
+            raise ConfigurationError("threshold must be >= 0")
+        fracs = list(self.candidate_fractions)
+        if not fracs or any(not 0 < f < 1 for f in fracs):
+            raise ConfigurationError(
+                "candidate_fractions must be non-empty fractions in (0, 1)"
+            )
+        if sorted(fracs) != fracs:
+            raise ConfigurationError("candidate_fractions must be ascending")
+
+    def candidate_counts(self, full_samples: int) -> List[int]:
+        """Concrete candidate budgets for a given full budget (ascending,
+        ending with the full budget itself)."""
+        counts = []
+        for f in self.candidate_fractions:
+            counts.append(max(self.min_samples, int(round(f * full_samples))))
+        counts.append(full_samples)
+        # Deduplicate while keeping order (tiny budgets may collide).
+        seen = set()
+        unique = []
+        for c in counts:
+            if c not in seen:
+                seen.add(c)
+                unique.append(c)
+        return unique
+
+
+@dataclass
+class ApproximationConfig:
+    """Color/density decoupling parameters (Section 4.3).
+
+    Attributes:
+        group_size: ``n``; the color MLP runs on one anchor point per group
+            of ``n`` consecutive samples, remaining colors are linearly
+            interpolated.  ``n = 1`` disables the approximation.
+    """
+
+    group_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ConfigurationError("group_size must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.group_size > 1
+
+
+@dataclass
+class ASDRConfig:
+    """Full algorithm configuration.
+
+    Attributes:
+        adaptive: Adaptive sampling settings; ``None`` disables Phase I and
+            every ray uses the full budget.
+        approximation: Color decoupling settings; ``None`` disables it.
+        early_termination: Opacity threshold for classic early termination
+            (Section 6.6); ``None`` disables it.
+    """
+
+    adaptive: Optional[AdaptiveSamplingConfig] = field(
+        default_factory=AdaptiveSamplingConfig
+    )
+    approximation: Optional[ApproximationConfig] = field(
+        default_factory=ApproximationConfig
+    )
+    early_termination: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.early_termination is not None and not 0 < self.early_termination <= 1:
+            raise ConfigurationError("early_termination must lie in (0, 1]")

@@ -1,0 +1,271 @@
+"""The two-phase ASDR renderer (Sections 4 and 5.5).
+
+Phase I — *initial computation for adaptive sampling*: a sparse probe grid
+of pixels is rendered at the full budget; re-compositing the cached MLP
+outputs at each candidate prefix yields the Eq. (3) difficulty, from which
+each probe's budget is selected; budgets for the remaining pixels come from
+bilinear interpolation.
+
+Phase II — *full image rendering*: every non-probe ray is rendered with its
+assigned budget; the color MLP runs only on group anchors and the
+approximation unit interpolates the rest (Section 4.3); optional early
+termination truncates rays whose accumulated opacity saturates.
+
+The renderer works with any model exposing the Instant-NGP query interface
+(InstantNGP or TensoRF), mirroring Section 6.8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.approximation import anchor_indices, interpolate_group_colors
+from repro.core.config import ASDRConfig
+from repro.core.difficulty import select_sample_budgets
+from repro.core.sampling_plan import (
+    SamplingPlan,
+    interpolate_budgets,
+    probe_pixel_indices,
+)
+from repro.core.stats import ASDRRenderResult
+from repro.nerf.rays import sample_along_rays
+from repro.nerf.renderer import PhaseCounts
+from repro.nerf.volume import composite, composite_prefix, early_termination_counts
+from repro.scenes.cameras import Camera
+
+
+def _new_phase_counts() -> Dict[str, PhaseCounts]:
+    return {name: PhaseCounts() for name in ("embedding", "density", "color", "volume")}
+
+
+class ASDRRenderer:
+    """Adaptive-sampling, color-decoupled renderer.
+
+    Args:
+        model: Radiance field with ``query_density`` / ``query_color``.
+        config: Algorithm configuration (see :class:`ASDRConfig`).
+        num_samples: Full per-ray budget ``ns`` (paper: 192).
+        background: Background intensity.
+        batch_rays: Ray batch size bounding peak memory.
+    """
+
+    def __init__(
+        self,
+        model,
+        config: Optional[ASDRConfig] = None,
+        num_samples: int = 64,
+        background: float = 1.0,
+        batch_rays: int = 4096,
+    ) -> None:
+        self.model = model
+        self.config = config or ASDRConfig()
+        self.num_samples = num_samples
+        self.background = background
+        self.batch_rays = batch_rays
+
+    # ------------------------------------------------------------------
+    # Phase I
+    # ------------------------------------------------------------------
+    def plan_sampling(self, camera: Camera) -> Tuple[SamplingPlan, np.ndarray, Dict[str, PhaseCounts], int]:
+        """Run Phase I and return the sampling plan.
+
+        Returns:
+            ``(plan, probe_rgb, phase_counts, probe_points)`` where
+            ``probe_rgb`` holds the probes' full-budget colors (reused for
+            their pixels so Phase II never re-renders them).
+        """
+        counts = _new_phase_counts()
+        n_pixels = camera.height * camera.width
+        adaptive = self.config.adaptive
+        if adaptive is None:
+            budgets = np.full(n_pixels, self.num_samples, dtype=np.int64)
+            plan = SamplingPlan(
+                budgets=budgets,
+                probe_indices=np.empty(0, dtype=np.int64),
+                probe_budgets=np.empty(0, dtype=np.int64),
+                full_budget=self.num_samples,
+            )
+            return plan, np.empty((0, 3)), counts, 0
+
+        probe_idx, rows, cols = probe_pixel_indices(
+            camera.height, camera.width, adaptive.probe_stride
+        )
+        origins, directions = camera.rays_for_pixels(probe_idx)
+        candidates = adaptive.candidate_counts(self.num_samples)
+
+        probe_budgets = np.empty(len(probe_idx), dtype=np.int64)
+        probe_rgb = np.empty((len(probe_idx), 3))
+        probe_points = 0
+        for start in range(0, len(probe_idx), self.batch_rays):
+            sl = slice(start, min(start + self.batch_rays, len(probe_idx)))
+            sigmas, colors, deltas, hit = self._predict(
+                origins[sl], directions[sl], self.num_samples, counts
+            )
+            probe_points += int(hit.sum()) * self.num_samples
+            budgets_b, rgb_b = select_sample_budgets(
+                sigmas, colors, deltas, candidates, adaptive.threshold, self.background
+            )
+            # Rays that miss the scene need only the minimum budget.
+            budgets_b = np.where(hit, budgets_b, candidates[0])
+            probe_budgets[sl] = budgets_b
+            probe_rgb[sl] = rgb_b
+            # Adaptive-sampling unit work: one subtract/compare per
+            # candidate per channel (Eq. 3 hardware of Section 5.4).
+            counts["volume"].add(len(budgets_b) * len(candidates) * 6)
+
+        budgets = interpolate_budgets(
+            probe_budgets, rows, cols, camera.height, camera.width
+        )
+        budgets[probe_idx] = probe_budgets
+        plan = SamplingPlan(
+            budgets=budgets,
+            probe_indices=probe_idx,
+            probe_budgets=probe_budgets,
+            full_budget=self.num_samples,
+            num_candidates=len(candidates),
+        )
+        return plan, probe_rgb, counts, probe_points
+
+    # ------------------------------------------------------------------
+    # Phase II
+    # ------------------------------------------------------------------
+    def render_image(self, camera: Camera) -> ASDRRenderResult:
+        """Render a full image through both ASDR phases."""
+        plan, probe_rgb, counts, probe_points = self.plan_sampling(camera)
+        n_pixels = camera.height * camera.width
+        image = np.zeros((n_pixels, 3))
+        sample_counts = np.zeros(n_pixels, dtype=np.int64)
+
+        # Probe pixels were fully rendered in Phase I; reuse their colors.
+        rendered = np.zeros(n_pixels, dtype=bool)
+        if len(plan.probe_indices):
+            image[plan.probe_indices] = probe_rgb
+            sample_counts[plan.probe_indices] = self.num_samples
+            rendered[plan.probe_indices] = True
+
+        density_points = probe_points
+        color_points = probe_points
+        interpolated_points = 0
+
+        remaining = np.nonzero(~rendered)[0]
+        budgets = plan.budgets[remaining]
+        for budget in np.unique(budgets):
+            ray_ids = remaining[budgets == budget]
+            for start in range(0, len(ray_ids), self.batch_rays):
+                ids = ray_ids[start : start + self.batch_rays]
+                rgb, used, evals = self._render_group(camera, ids, int(budget), counts)
+                image[ids] = rgb
+                sample_counts[ids] = used
+                density_points += evals[0]
+                color_points += evals[1]
+                interpolated_points += evals[2]
+
+        return ASDRRenderResult(
+            image=image.reshape(camera.height, camera.width, 3),
+            plan=plan,
+            num_rays=n_pixels,
+            density_points=density_points,
+            color_points=color_points,
+            interpolated_points=interpolated_points,
+            probe_points=probe_points,
+            phase_counts=counts,
+            sample_counts=sample_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _predict(
+        self,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        num_samples: int,
+        counts: Dict[str, PhaseCounts],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Full (density + color) prediction used by Phase I probes."""
+        points, deltas, hit = sample_along_rays(origins, directions, num_samples)
+        flat = points.reshape(-1, 3)
+        dirs_rep = np.repeat(directions, num_samples, axis=0)
+        sigma, geo = self.model.query_density(flat)
+        rgb = self.model.query_color(geo, dirs_rep)
+        r = origins.shape[0]
+        sigmas = sigma.reshape(r, num_samples) * hit[:, None]
+        colors = rgb.reshape(r, num_samples, 3)
+        n_points = int(hit.sum()) * num_samples
+        self._charge(counts, n_points, n_points)
+        counts["volume"].add(n_points * 10)
+        return sigmas, colors, deltas, hit
+
+    def _render_group(
+        self,
+        camera: Camera,
+        ray_ids: np.ndarray,
+        budget: int,
+        counts: Dict[str, PhaseCounts],
+    ) -> Tuple[np.ndarray, np.ndarray, Tuple[int, int, int]]:
+        """Render one batch of rays sharing a sample budget.
+
+        Returns:
+            ``(rgb, used_counts, (density_evals, color_evals, interpolated))``
+        """
+        origins, directions = camera.rays_for_pixels(ray_ids)
+        points, deltas, hit = sample_along_rays(origins, directions, budget)
+        r = len(ray_ids)
+        t_vals = np.cumsum(deltas, axis=-1)
+
+        flat = points.reshape(-1, 3)
+        sigma, geo = self.model.query_density(flat)
+        sigmas = sigma.reshape(r, budget) * hit[:, None]
+        geo = geo.reshape(r, budget, -1)
+
+        used = np.full(r, budget, dtype=np.int64)
+        if self.config.early_termination is not None:
+            used = early_termination_counts(sigmas, deltas, self.config.early_termination)
+            mask = np.arange(budget)[None, :] < used[:, None]
+            sigmas = sigmas * mask
+        used = used * hit
+
+        # Hardware marches rays incrementally, so early termination saves
+        # MLP work even though this vectorised implementation evaluates the
+        # full budget; operation accounting therefore uses ``used``.
+        approx = self.config.approximation
+        if approx is not None and approx.enabled and budget > approx.group_size:
+            anchors = anchor_indices(budget, approx.group_size)
+            anchor_geo = geo[:, anchors, :].reshape(-1, geo.shape[-1])
+            anchor_dirs = np.repeat(directions, len(anchors), axis=0)
+            anchor_rgb = self.model.query_color(anchor_geo, anchor_dirs)
+            anchor_rgb = anchor_rgb.reshape(r, len(anchors), 3)
+            colors = interpolate_group_colors(anchor_rgb, anchors, t_vals)
+            # Anchors at or beyond a ray's termination point never run.
+            anchors_used = np.searchsorted(anchors, used, side="left")
+            color_evals = int(anchors_used.sum())
+            interpolated = int(used.sum()) - color_evals
+            # Approximation unit: one lerp (4 FLOPs x 3 channels) per
+            # interpolated point.
+            counts["volume"].add(interpolated * 12)
+        else:
+            dirs_rep = np.repeat(directions, budget, axis=0)
+            colors = self.model.query_color(
+                geo.reshape(-1, geo.shape[-1]), dirs_rep
+            ).reshape(r, budget, 3)
+            color_evals = int(used.sum())
+            interpolated = 0
+
+        density_evals = int(used.sum())
+        self._charge(counts, density_evals, color_evals)
+        counts["volume"].add(density_evals * 10)
+        rgb, _ = composite(sigmas, colors, deltas, self.background)
+        return rgb, used, (density_evals, color_evals, interpolated)
+
+    def _charge(
+        self, counts: Dict[str, PhaseCounts], density_points: int, color_points: int
+    ) -> None:
+        m = self.model
+        counts["embedding"].add(
+            density_points * m.flops_embedding_per_point(),
+            density_points * m.bytes_embedding_per_point(),
+        )
+        counts["density"].add(density_points * m.flops_density_per_point())
+        counts["color"].add(color_points * m.flops_color_per_point())

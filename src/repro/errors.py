@@ -1,0 +1,21 @@
+"""Exception types used across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object holds inconsistent or invalid values."""
+
+
+class SceneError(ReproError):
+    """A scene is unknown or malformed."""
+
+
+class TrainingError(ReproError):
+    """Model training failed to make progress or received bad inputs."""
+
+
+class SimulationError(ReproError):
+    """The architecture simulator received an inconsistent trace."""

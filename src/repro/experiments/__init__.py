@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every paper table and figure.
+
+Each ``fig*``/``table*`` function renders the required workloads on the
+shared :class:`~repro.experiments.workbench.Workbench` (which distills and
+disk-caches one model per scene) and returns a list of row dictionaries the
+harness can print in the paper's format.  DESIGN.md maps experiment ids to
+paper artifacts; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.experiments.workbench import Workbench, WorkbenchConfig
+from repro.experiments.harness import format_table, run_experiment, EXPERIMENTS
+from repro.experiments import (
+    profiling,
+    quality,
+    performance,
+    sweeps,
+    gpu_sw,
+    tensorf_exp,
+    hwconfigs,
+    extensions,
+)
+
+__all__ = [
+    "Workbench",
+    "WorkbenchConfig",
+    "format_table",
+    "run_experiment",
+    "EXPERIMENTS",
+    "profiling",
+    "quality",
+    "performance",
+    "sweeps",
+    "gpu_sw",
+    "tensorf_exp",
+    "hwconfigs",
+    "extensions",
+]

@@ -1,0 +1,85 @@
+"""Experiment registry and table formatting.
+
+``run_experiment("fig17")`` renders the workloads, simulates the platforms
+and prints the paper-style rows; every experiment returns its rows so tests
+and benchmarks can assert on the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.experiments.workbench import Workbench
+
+Rows = List[Dict[str, object]]
+
+#: Experiment id -> (title, function(workbench) -> rows).  Populated by
+#: :func:`register`; the experiment modules register themselves on import.
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[Workbench], Rows]]] = {}
+
+
+def register(exp_id: str, title: str):
+    """Decorator adding an experiment function to the registry."""
+
+    def wrap(fn: Callable[[Workbench], Rows]):
+        EXPERIMENTS[exp_id] = (title, fn)
+        return fn
+
+    return wrap
+
+
+def format_table(rows: Rows, floatfmt: str = "{:.3f}") -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = []
+    for row in rows:
+        rendered.append(
+            [
+                floatfmt.format(v) if isinstance(v, float) else str(v)
+                for v in (row.get(c, "") for c in columns)
+            ]
+        )
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def run_experiment(
+    exp_id: str,
+    workbench: Optional[Workbench] = None,
+    print_output: bool = True,
+) -> Rows:
+    """Run one registered experiment and (optionally) print its table."""
+    # Importing the experiment modules populates the registry lazily,
+    # avoiding a circular import at package-import time.
+    from repro.experiments import (  # noqa: F401
+        extensions,
+        gpu_sw,
+        hwconfigs,
+        performance,
+        profiling,
+        quality,
+        sweeps,
+        tensorf_exp,
+    )
+
+    if exp_id not in EXPERIMENTS:
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    title, fn = EXPERIMENTS[exp_id]
+    rows = fn(workbench or Workbench())
+    if print_output:
+        print(f"== {exp_id}: {title} ==")
+        print(format_table(rows))
+    return rows

@@ -1,0 +1,73 @@
+"""Hardware-configuration generality: Figures 26 and 27 (Section 6.9)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.baselines.gpu import GPUModel, RTX3070, XAVIER_NX
+from repro.baselines.platform import Workload
+from repro.baselines.variants import VARIANTS, simulate_variant
+from repro.experiments.harness import register
+from repro.experiments.workbench import EXPERIMENT_GRID, EXPERIMENT_MODEL, Workbench
+
+HW_SCENES = ("palace", "fountain", "family", "fox", "mic")
+
+
+def _variant_rows(wb: Workbench, scale: str, metric: str) -> List[Dict[str, object]]:
+    gpu = GPUModel(RTX3070 if scale == "server" else XAVIER_NX)
+    rows = []
+    for scene in HW_SCENES:
+        model = wb.model(scene)
+        camera = wb.dataset(scene).cameras[0]
+        base_wl = Workload.from_render_result(wb.baseline_render(scene), model)
+        gpu_report = gpu.run(base_wl)
+        asdr_result = wb.asdr_render(scene)
+        row: Dict[str, object] = {"scene": scene}
+        for key in ("sa", "sram", "reram"):
+            report = simulate_variant(
+                key,
+                scale,
+                EXPERIMENT_GRID,
+                EXPERIMENT_MODEL.density_mlp_config,
+                EXPERIMENT_MODEL.color_mlp_config,
+                camera,
+                asdr_result,
+                group_size=wb.group_size(),
+            )
+            if metric == "speedup":
+                row[VARIANTS[key].label] = (
+                    gpu_report.time_seconds / report.time_seconds
+                )
+            else:
+                row[VARIANTS[key].label] = (
+                    gpu_report.energy_joules / report.energy_joules
+                )
+        rows.append(row)
+    avg: Dict[str, object] = {"scene": "average"}
+    for key in ("sa", "sram", "reram"):
+        label = VARIANTS[key].label
+        avg[label] = float(np.mean([r[label] for r in rows]))
+    rows.append(avg)
+    return rows
+
+
+@register("fig26a", "Speedup of hardware variants (server)")
+def fig26_server(wb: Workbench) -> List[Dict[str, object]]:
+    return _variant_rows(wb, "server", "speedup")
+
+
+@register("fig26b", "Speedup of hardware variants (edge)")
+def fig26_edge(wb: Workbench) -> List[Dict[str, object]]:
+    return _variant_rows(wb, "edge", "speedup")
+
+
+@register("fig27a", "Energy efficiency of hardware variants (server)")
+def fig27_server(wb: Workbench) -> List[Dict[str, object]]:
+    return _variant_rows(wb, "server", "energy")
+
+
+@register("fig27b", "Energy efficiency of hardware variants (edge)")
+def fig27_edge(wb: Workbench) -> List[Dict[str, object]]:
+    return _variant_rows(wb, "edge", "energy")

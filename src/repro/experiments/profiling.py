@@ -1,0 +1,140 @@
+"""Motivation/profiling experiments: Figures 4, 5, 8, 13 and 15."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.arch.trace import hash_address_trace, repetition_profile
+from repro.cim.mapping import (
+    average_utilization,
+    hybrid_utilization,
+    storage_utilization,
+)
+from repro.experiments.harness import register
+from repro.experiments.workbench import EXPERIMENT_GRID, Workbench
+from repro.nerf.hashgrid import HashGridConfig
+from repro.nerf.renderer import BaselineRenderer
+from repro.utils.math import normalize_rows
+
+#: Paper-scale grid used by the storage-utilisation analysis (Figure 13
+#: plots all 16 levels of the 2^19-entry configuration).
+PAPER_GRID = HashGridConfig(
+    num_levels=16, table_size=2**19, base_resolution=16, max_resolution=512
+)
+
+
+@register("fig4", "Data access visualisation: hash addresses of consecutive samples")
+def fig4_access_trace(wb: Workbench) -> List[Dict[str, object]]:
+    """Quantify the scatter of hashed addresses (paper: Figure 4).
+
+    The paper plots 1,500 consecutive sample addresses; we report summary
+    statistics of the same trace: consecutive-address jump magnitude and
+    the fraction of jumps leaving a 64-entry crossbar row range.
+    """
+    camera = wb.dataset("lego").cameras[0]
+    trace = hash_address_trace(camera, EXPERIMENT_GRID, wb.config.num_samples)
+    jumps = np.abs(np.diff(trace.astype(np.int64)))
+    return [
+        {
+            "trace": "hashed (finest level)",
+            "samples": int(len(trace)),
+            "mean_jump": float(jumps.mean()),
+            "median_jump": float(np.median(jumps)),
+            "pct_jumps_beyond_xbar": float((jumps > 64).mean() * 100.0),
+            "address_space": int(EXPERIMENT_GRID.table_size),
+        }
+    ]
+
+
+@register("fig5", "FLOPs breakdown: embedding / density MLP / color MLP")
+def fig5_flops_breakdown(wb: Workbench) -> List[Dict[str, object]]:
+    """Reproduce the Figure 5 FLOP shares (paper: 2.1 / ~8 / ~92 split)."""
+    result = wb.baseline_render("lego")
+    total = result.total_flops
+    mlp_total = (
+        result.phase_counts["density"].flops + result.phase_counts["color"].flops
+    )
+    return [
+        {
+            "phase": name,
+            "flops": result.phase_counts[name].flops,
+            "pct_of_total": 100.0 * result.phase_counts[name].flops / total,
+            "pct_of_mlp": (
+                100.0 * result.phase_counts[name].flops / mlp_total
+                if name in ("density", "color")
+                else float("nan")
+            ),
+        }
+        for name in ("embedding", "density", "color", "volume")
+    ]
+
+
+@register("fig8", "Cosine similarity of adjacent sample colors along rays")
+def fig8_color_similarity(wb: Workbench) -> List[Dict[str, object]]:
+    """Reproduce Figure 8: adjacent-point color similarity (>=95% near 1)."""
+    rows = []
+    for scene in ("mic", "lego", "palace"):
+        model = wb.model(scene)
+        camera = wb.dataset(scene).cameras[0]
+        renderer = BaselineRenderer(model, num_samples=wb.config.num_samples)
+        origins, dirs = camera.pixel_rays()
+        keep = slice(0, 1024)
+        _, sigmas, colors, _, hit = renderer.render_rays(origins[keep], dirs[keep])
+        colors = colors[hit]
+        a = normalize_rows(colors[:, :-1, :] + 1e-6)
+        b = normalize_rows(colors[:, 1:, :] + 1e-6)
+        cos = np.sum(a * b, axis=-1).reshape(-1)
+        rows.append(
+            {
+                "scene": scene,
+                "p5_similarity": float(np.percentile(cos, 5)),
+                "frac_above_0.99": float((cos >= 0.99).mean()),
+                "mean_similarity": float(cos.mean()),
+            }
+        )
+    return rows
+
+
+@register("fig13", "Storage utilisation: all-hash vs hybrid mapping")
+def fig13_storage_utilization(wb: Workbench) -> List[Dict[str, object]]:
+    """Reproduce Figure 13 (paper: 62.20% -> 85.95% average)."""
+    original = storage_utilization(PAPER_GRID)
+    hybrid = hybrid_utilization(PAPER_GRID)
+    rows = [
+        {
+            "level": level,
+            "resolution": int(PAPER_GRID.level_resolutions[level]),
+            "original_pct": 100.0 * original[level],
+            "hybrid_pct": 100.0 * hybrid[level],
+        }
+        for level in range(PAPER_GRID.num_levels)
+    ]
+    rows.append(
+        {
+            "level": "avg",
+            "resolution": "-",
+            "original_pct": 100.0 * average_utilization(original),
+            "hybrid_pct": 100.0 * average_utilization(hybrid),
+        }
+    )
+    return rows
+
+
+@register("fig15", "Inter-ray / intra-ray sample-point repetition rates")
+def fig15_repetition(wb: Workbench) -> List[Dict[str, object]]:
+    """Reproduce Figure 15's locality profile."""
+    camera = wb.dataset("lego").cameras[0]
+    inter, intra = repetition_profile(
+        camera, EXPERIMENT_GRID, wb.config.num_samples, max_ray_pairs=128
+    )
+    return [
+        {
+            "level": level,
+            "resolution": int(EXPERIMENT_GRID.level_resolutions[level]),
+            "inter_ray_repetition_pct": 100.0 * inter[level],
+            "intra_ray_max_points_in_voxel": intra[level],
+        }
+        for level in range(EXPERIMENT_GRID.num_levels)
+    ]

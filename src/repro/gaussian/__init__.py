@@ -1,0 +1,22 @@
+"""Minimal 3D Gaussian Splatting substrate + adaptive Gaussian sampling.
+
+Section 8.2 of the paper proposes extending adaptive sampling to 3DGS as
+"adaptive Gaussian sampling — optimizing the number of Gaussian primitives
+per pixel or tile" and defers it to future work.  This package implements
+that extension: a small 3DGS renderer (Gaussian cloud fitted to the
+analytic scenes, depth-sorted alpha compositing) and the probe-based
+per-pixel primitive-budget selection mirroring Section 4.2.
+"""
+
+from repro.gaussian.splats import GaussianCloud, fit_gaussians
+from repro.gaussian.render import GaussianRenderer, GaussianRenderResult
+from repro.gaussian.adaptive import AdaptiveGaussianConfig, AdaptiveGaussianRenderer
+
+__all__ = [
+    "GaussianCloud",
+    "fit_gaussians",
+    "GaussianRenderer",
+    "GaussianRenderResult",
+    "AdaptiveGaussianConfig",
+    "AdaptiveGaussianRenderer",
+]

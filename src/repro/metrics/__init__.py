@@ -1,0 +1,5 @@
+"""Image quality metrics: PSNR, SSIM, and a perceptual LPIPS proxy."""
+
+from repro.metrics.image import mse, psnr, ssim, lpips_proxy
+
+__all__ = ["mse", "psnr", "ssim", "lpips_proxy"]

@@ -1,0 +1,109 @@
+"""Image quality metrics used by the evaluation (Section 6.1).
+
+PSNR and SSIM follow their standard definitions.  LPIPS requires a
+pretrained perceptual network which cannot be shipped offline, so
+:func:`lpips_proxy` substitutes a multi-scale structural/gradient distance
+with the same orientation (lower is better) and sensitivity to the local
+color-drift artifacts ASDR's approximations can introduce (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _as_float_image(img: np.ndarray) -> np.ndarray:
+    img = np.asarray(img, dtype=np.float64)
+    if img.ndim == 2:
+        img = img[..., None]
+    return img
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error between two images in [0, 1]."""
+    a, b = _as_float_image(a), _as_float_image(b)
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, data_range: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (higher is better)."""
+    err = mse(a, b)
+    if err <= _EPS:
+        return float("inf")
+    return float(10.0 * np.log10(data_range**2 / err))
+
+
+def _box_filter(img: np.ndarray, radius: int) -> np.ndarray:
+    """Separable box filter with edge padding, per channel."""
+    size = 2 * radius + 1
+    padded = np.pad(img, ((radius, radius), (radius, radius), (0, 0)), mode="edge")
+    cs = np.cumsum(padded, axis=0)
+    vert = (
+        np.concatenate([cs[size - 1 : size], cs[size:] - cs[:-size]], axis=0) / size
+    )
+    cs = np.cumsum(vert, axis=1)
+    return (
+        np.concatenate([cs[:, size - 1 : size], cs[:, size:] - cs[:, :-size]], axis=1)
+        / size
+    )
+
+
+def ssim(
+    a: np.ndarray,
+    b: np.ndarray,
+    data_range: float = 1.0,
+    radius: int = 3,
+) -> float:
+    """Mean structural similarity (box-window variant, higher is better)."""
+    a, b = _as_float_image(a), _as_float_image(b)
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+    mu_a = _box_filter(a, radius)
+    mu_b = _box_filter(b, radius)
+    var_a = _box_filter(a * a, radius) - mu_a**2
+    var_b = _box_filter(b * b, radius) - mu_b**2
+    cov = _box_filter(a * b, radius) - mu_a * mu_b
+    num = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    den = (mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2)
+    return float(np.mean(num / den))
+
+
+def _gradients(img: np.ndarray) -> np.ndarray:
+    gx = np.diff(img, axis=1, prepend=img[:, :1])
+    gy = np.diff(img, axis=0, prepend=img[:1])
+    return np.concatenate([gx, gy], axis=-1)
+
+
+def _downsample(img: np.ndarray) -> np.ndarray:
+    h, w = img.shape[0] // 2 * 2, img.shape[1] // 2 * 2
+    img = img[:h, :w]
+    return (
+        img[0::2, 0::2] + img[1::2, 0::2] + img[0::2, 1::2] + img[1::2, 1::2]
+    ) / 4.0
+
+
+def lpips_proxy(a: np.ndarray, b: np.ndarray, scales: int = 3) -> float:
+    """Multi-scale perceptual distance proxy (lower is better).
+
+    At each dyadic scale the distance combines normalised gradient
+    differences (edge structure, the dominant term in learned perceptual
+    metrics) with local mean color differences.  Returns values roughly in
+    [0, 1] like LPIPS.
+    """
+    a, b = _as_float_image(a), _as_float_image(b)
+    total = 0.0
+    weight = 0.0
+    for s in range(scales):
+        ga, gb = _gradients(a), _gradients(b)
+        grad_term = np.mean(np.abs(ga - gb))
+        mean_term = np.mean(np.abs(_box_filter(a, 2) - _box_filter(b, 2)))
+        level = 2.0 * grad_term + 0.5 * mean_term
+        w = 1.0 / (s + 1)
+        total += w * level
+        weight += w
+        if min(a.shape[0], a.shape[1]) < 8:
+            break
+        a, b = _downsample(a), _downsample(b)
+    return float(total / weight)

@@ -1,0 +1,40 @@
+"""Instant-NGP substrate implemented in NumPy.
+
+This package contains everything the ASDR paper's rendering pipeline needs:
+multi-resolution hash-grid encoding (Eq. 2), spherical-harmonics direction
+encoding, density/color MLPs, volume rendering (Eq. 1) with optional early
+termination, a distillation trainer, and a baseline renderer with FLOP and
+memory-access accounting.  A TensoRF variant supports Section 6.8.
+"""
+
+from repro.nerf.hashgrid import HashGridConfig, HashGridEncoder
+from repro.nerf.spherical import sh_encode, SH_DIM
+from repro.nerf.mlp import MLP, MLPConfig
+from repro.nerf.model import InstantNGPConfig, InstantNGPModel
+from repro.nerf.tensorf import TensoRFConfig, TensoRFModel
+from repro.nerf.rays import ray_aabb_intersect, sample_along_rays
+from repro.nerf.volume import composite, composite_prefix, transmittance
+from repro.nerf.training import TrainingConfig, distill_scene
+from repro.nerf.renderer import BaselineRenderer, RenderResult
+
+__all__ = [
+    "HashGridConfig",
+    "HashGridEncoder",
+    "sh_encode",
+    "SH_DIM",
+    "MLP",
+    "MLPConfig",
+    "InstantNGPConfig",
+    "InstantNGPModel",
+    "TensoRFConfig",
+    "TensoRFModel",
+    "ray_aabb_intersect",
+    "sample_along_rays",
+    "composite",
+    "composite_prefix",
+    "transmittance",
+    "TrainingConfig",
+    "distill_scene",
+    "BaselineRenderer",
+    "RenderResult",
+]

@@ -1,0 +1,124 @@
+"""The Instant-NGP model: hash encoding -> density MLP -> color MLP.
+
+The density network maps the concatenated hash-grid features to a scalar
+density (through a truncated exponential) plus a geometry feature vector;
+the color network maps that feature vector concatenated with the
+spherical-harmonics-encoded view direction to RGB (through a sigmoid).
+This is the exact stage structure of Figure 2 of the paper, and the FLOP
+accessors reproduce the imbalance motivating Challenge 2 (density MLP
+~8 % of MLP FLOPs, color MLP ~92 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nerf.hashgrid import HashGridConfig, HashGridEncoder
+from repro.nerf.mlp import MLP, MLPConfig
+from repro.nerf.spherical import SH_DIM, sh_encode
+from repro.utils.math import sigmoid, trunc_exp
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class InstantNGPConfig:
+    """Hyper-parameters of the full model.
+
+    The default MLP widths follow the paper's FLOP balance: a one-hidden-
+    layer density network and a three-hidden-layer, twice-as-wide color
+    network, giving the ~8/92 density/color FLOP split of Section 3.
+    """
+
+    grid: HashGridConfig = field(default_factory=HashGridConfig)
+    geo_feature_dim: int = 15
+    density_hidden_dim: int = 64
+    density_num_hidden: int = 1
+    color_hidden_dim: int = 128
+    color_num_hidden: int = 3
+
+    def __post_init__(self) -> None:
+        if self.geo_feature_dim < 1:
+            raise ConfigurationError("geo_feature_dim must be >= 1")
+
+    @property
+    def density_mlp_config(self) -> MLPConfig:
+        return MLPConfig(
+            input_dim=self.grid.output_dim,
+            hidden_dim=self.density_hidden_dim,
+            num_hidden=self.density_num_hidden,
+            output_dim=1 + self.geo_feature_dim,
+        )
+
+    @property
+    def color_mlp_config(self) -> MLPConfig:
+        return MLPConfig(
+            input_dim=self.geo_feature_dim + SH_DIM,
+            hidden_dim=self.color_hidden_dim,
+            num_hidden=self.color_num_hidden,
+            output_dim=3,
+        )
+
+
+class InstantNGPModel:
+    """A trainable Instant-NGP radiance field."""
+
+    def __init__(self, config: InstantNGPConfig, seed: int = 0) -> None:
+        self.config = config
+        self.encoder = HashGridEncoder(config.grid, seed=derive_seed(seed, "grid"))
+        self.density_mlp = MLP(
+            config.density_mlp_config, seed=derive_seed(seed, "density")
+        )
+        self.color_mlp = MLP(config.color_mlp_config, seed=derive_seed(seed, "color"))
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def query_density(self, points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Density and geometry features at unit-cube points.
+
+        Returns:
+            ``(sigma, geo_feat)`` with shapes ``(N,)`` and ``(N, G)``.
+        """
+        encoding = self.encoder.encode(points)
+        raw, _ = self.density_mlp.forward(encoding)
+        sigma = trunc_exp(raw[:, 0])
+        return sigma, raw[:, 1:]
+
+    def query_color(self, geo_feat: np.ndarray, dirs: np.ndarray) -> np.ndarray:
+        """RGB colors from geometry features and unit view directions."""
+        color_in = np.concatenate([geo_feat, sh_encode(dirs)], axis=-1)
+        raw, _ = self.color_mlp.forward(color_in)
+        return sigmoid(raw)
+
+    def query(self, points: np.ndarray, dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Full per-point query: ``(sigma, rgb)``."""
+        sigma, geo = self.query_density(points)
+        return sigma, self.query_color(geo, dirs)
+
+    # ------------------------------------------------------------------
+    # FLOP accounting (drives Figure 5 and the roofline baselines)
+    # ------------------------------------------------------------------
+    def flops_embedding_per_point(self) -> int:
+        return self.encoder.lookup_flops_per_point()
+
+    def flops_density_per_point(self) -> int:
+        return self.density_mlp.flops_per_point()
+
+    def flops_color_per_point(self) -> int:
+        return self.color_mlp.flops_per_point()
+
+    def bytes_embedding_per_point(self, bytes_per_feature: int = 2) -> int:
+        """Embedding-table bytes fetched per point (8 vertices per level)."""
+        cfg = self.config.grid
+        return cfg.num_levels * 8 * cfg.feature_dim * bytes_per_feature
+
+    def parameter_count(self) -> int:
+        return (
+            self.encoder.parameter_count()
+            + self.density_mlp.parameter_count()
+            + self.color_mlp.parameter_count()
+        )

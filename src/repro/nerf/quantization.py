@@ -1,0 +1,107 @@
+"""Weight/feature quantisation for CIM execution.
+
+The ASDR accelerator stores MLP weights on 8-bit crossbar cells and
+embedding features in fixed-point memory crossbars (Section 6.1: 64x64
+arrays, 5-bit ADC).  The algorithm-level pipeline runs in float; this
+module provides the quantised inference path so the quality impact of the
+hardware's precision choices can be measured (the `ext_quant` ablation
+experiment sweeps it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def quantize_symmetric(values: np.ndarray, bits: int) -> Tuple[np.ndarray, float]:
+    """Symmetric per-tensor quantisation.
+
+    Returns:
+        ``(quantised, scale)`` where ``quantised = round(values / scale)``
+        clipped to the signed ``bits``-bit range and ``values ~ quantised
+        * scale``.
+    """
+    if bits < 2:
+        raise ConfigurationError("need at least 2 bits for signed weights")
+    qmax = 2 ** (bits - 1) - 1
+    scale = float(np.max(np.abs(values))) / qmax if np.any(values) else 1.0
+    if scale == 0.0:
+        scale = 1.0
+    q = np.clip(np.round(values / scale), -qmax - 1, qmax)
+    return q, scale
+
+
+def fake_quantize(values: np.ndarray, bits: int) -> np.ndarray:
+    """Quantise and immediately dequantise (simulated fixed-point)."""
+    q, scale = quantize_symmetric(values, bits)
+    return q * scale
+
+
+class QuantizedInstantNGP:
+    """Instant-NGP inference with CIM-precision weights and tables.
+
+    Wraps a trained float model; every weight matrix is fake-quantised to
+    ``weight_bits`` (the crossbar cell precision) and every embedding
+    table to ``table_bits`` at construction.  The wrapper satisfies the
+    renderer's model interface, so any renderer runs on it unchanged.
+    """
+
+    def __init__(self, model, weight_bits: int = 8, table_bits: int = 8) -> None:
+        self._model = model
+        self.config = model.config
+        self.weight_bits = weight_bits
+        self.table_bits = table_bits
+
+        import copy
+
+        self._quantized = copy.copy(model)
+        self._quantized.encoder = copy.copy(model.encoder)
+        self._quantized.encoder.tables = [
+            fake_quantize(t, table_bits) for t in model.encoder.tables
+        ]
+        self._quantized.density_mlp = _quantize_mlp(model.density_mlp, weight_bits)
+        self._quantized.color_mlp = _quantize_mlp(model.color_mlp, weight_bits)
+
+    def query_density(self, points):
+        return self._quantized.query_density(points)
+
+    def query_color(self, geo_feat, dirs):
+        return self._quantized.query_color(geo_feat, dirs)
+
+    def query(self, points, dirs):
+        return self._quantized.query(points, dirs)
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+
+def _quantize_mlp(mlp, bits: int):
+    import copy
+
+    out = copy.copy(mlp)
+    out.weights = [fake_quantize(w, bits) for w in mlp.weights]
+    out.biases = [b.copy() for b in mlp.biases]
+    return out
+
+
+def quantization_error_profile(
+    model, points: np.ndarray, bit_widths: List[int]
+) -> List[Tuple[int, float]]:
+    """Density RMS error of quantised inference across bit widths.
+
+    Returns ``(bits, rms_error)`` pairs; errors shrink monotonically (in
+    expectation) as precision grows — the property the crossbar precision
+    choice rests on.
+    """
+    reference, _ = model.query_density(points)
+    profile = []
+    for bits in bit_widths:
+        quantized = QuantizedInstantNGP(model, weight_bits=bits, table_bits=bits)
+        approx, _ = quantized.query_density(points)
+        rms = float(np.sqrt(np.mean((approx - reference) ** 2)))
+        profile.append((bits, rms))
+    return profile

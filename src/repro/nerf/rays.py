@@ -1,0 +1,71 @@
+"""Ray/AABB intersection and stratified sampling along rays.
+
+The scene lives in the unit cube ``[0, 1]^3``; rays that miss it get zero
+samples (the renderer composites the background directly).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def ray_aabb_intersect(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    box_min: float = 0.0,
+    box_max: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Intersect rays with an axis-aligned cube.
+
+    Returns:
+        ``(t_near, t_far, hit)``: entry/exit distances (``(R,)``) and a
+        boolean hit mask.  ``t_near`` is clamped to zero so origins inside
+        the box work.
+    """
+    inv = 1.0 / np.where(np.abs(directions) < 1e-12, 1e-12, directions)
+    t0 = (box_min - origins) * inv
+    t1 = (box_max - origins) * inv
+    t_near = np.max(np.minimum(t0, t1), axis=-1)
+    t_far = np.min(np.maximum(t0, t1), axis=-1)
+    t_near = np.maximum(t_near, 0.0)
+    hit = t_far > t_near
+    return t_near, t_far, hit
+
+
+def sample_along_rays(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    num_samples: int,
+    jitter_rng: Optional[np.random.Generator] = None,
+    box_min: float = 0.0,
+    box_max: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Place ``num_samples`` points along each ray inside the scene cube.
+
+    Sampling is uniform in depth between the ray's cube entry and exit
+    (optionally jittered per-bin, the stratified scheme used for training).
+    Rays that miss the cube receive points collapsed at the origin with
+    zero ``delta`` so they contribute nothing to compositing.
+
+    Returns:
+        ``(points, deltas, hit)``: ``(R, N, 3)`` sample positions inside the
+        unit cube, ``(R, N)`` inter-sample distances, and the ``(R,)`` hit
+        mask.
+    """
+    t_near, t_far, hit = ray_aabb_intersect(origins, directions, box_min, box_max)
+    num_rays = origins.shape[0]
+    edges = np.linspace(0.0, 1.0, num_samples + 1)
+    mids = (edges[:-1] + edges[1:]) / 2.0
+    fractions = np.broadcast_to(mids, (num_rays, num_samples)).copy()
+    if jitter_rng is not None:
+        jitter = (jitter_rng.random((num_rays, num_samples)) - 0.5) / num_samples
+        fractions += jitter
+    span = np.where(hit, t_far - t_near, 0.0)
+    t_vals = t_near[:, None] + fractions * span[:, None]
+    points = origins[:, None, :] + t_vals[..., None] * directions[:, None, :]
+    deltas = np.full((num_rays, num_samples), 1.0, dtype=np.float64)
+    deltas *= (span / num_samples)[:, None]
+    points = np.clip(points, box_min, box_max - 1e-9)
+    return points, deltas, hit

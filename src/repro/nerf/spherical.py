@@ -1,0 +1,52 @@
+"""Spherical-harmonics encoding of view directions (degree 0-3).
+
+Instant-NGP feeds the color MLP the viewing direction encoded with the
+first 16 real spherical harmonics; we use the same basis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SH_DIM = 16
+
+_C0 = 0.28209479177387814
+_C1 = 0.4886025119029199
+_C2 = (1.0925484305920792, -1.0925484305920792, 0.31539156525252005,
+       -1.0925484305920792, 0.5462742152960396)
+_C3 = (-0.5900435899266435, 2.890611442640554, -0.4570457994644658,
+       0.3731763325901154, -0.4570457994644658, 1.445305721320277,
+       -0.5900435899266435)
+
+
+def sh_encode(dirs: np.ndarray) -> np.ndarray:
+    """Encode unit direction vectors with 16 real SH basis functions.
+
+    Args:
+        dirs: ``(N, 3)`` unit vectors.
+
+    Returns:
+        ``(N, 16)`` encoding.
+    """
+    dirs = np.atleast_2d(dirs)
+    x, y, z = dirs[:, 0], dirs[:, 1], dirs[:, 2]
+    xx, yy, zz = x * x, y * y, z * z
+    xy, yz, xz = x * y, y * z, x * z
+    out = np.empty((dirs.shape[0], SH_DIM), dtype=np.float64)
+    out[:, 0] = _C0
+    out[:, 1] = -_C1 * y
+    out[:, 2] = _C1 * z
+    out[:, 3] = -_C1 * x
+    out[:, 4] = _C2[0] * xy
+    out[:, 5] = _C2[1] * yz
+    out[:, 6] = _C2[2] * (2.0 * zz - xx - yy)
+    out[:, 7] = _C2[3] * xz
+    out[:, 8] = _C2[4] * (xx - yy)
+    out[:, 9] = _C3[0] * y * (3.0 * xx - yy)
+    out[:, 10] = _C3[1] * xy * z
+    out[:, 11] = _C3[2] * y * (4.0 * zz - xx - yy)
+    out[:, 12] = _C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy)
+    out[:, 13] = _C3[4] * x * (4.0 * zz - xx - yy)
+    out[:, 14] = _C3[5] * z * (xx - yy)
+    out[:, 15] = _C3[6] * x * (xx - 3.0 * yy)
+    return out

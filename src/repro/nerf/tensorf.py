@@ -1,0 +1,218 @@
+"""TensoRF substrate (Section 6.8 of the paper).
+
+TensoRF factorises the feature volume into vector-matrix (VM) components:
+for each of the three axes the field is the sum over components of a plane
+feature (bilinear lookup on the two other axes) times a line feature
+(linear lookup on the axis).  The decoder MLPs are shared with the
+Instant-NGP model, so ASDR's adaptive sampling and color approximation
+apply unchanged — the property Section 6.8 demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nerf.mlp import MLP, MLPConfig
+from repro.nerf.spherical import SH_DIM, sh_encode
+from repro.utils.math import sigmoid, trunc_exp
+from repro.utils.rng import derive_seed, seeded_rng
+
+# Axis triples: (line axis, plane axis u, plane axis v).
+_VM_AXES = ((0, 1, 2), (1, 0, 2), (2, 0, 1))
+
+
+@dataclass
+class TensoRFConfig:
+    """Shape of the VM-decomposed feature volume.
+
+    Attributes:
+        resolution: Grid resolution along each axis.
+        num_components: Rank of the VM decomposition per axis.
+        feature_dim: Output feature channels of the aggregation.
+        geo_feature_dim / hidden dims: Decoder MLP shapes.
+        grid_lr_multiplier: Scale applied to the trainer's table learning
+            rate for the VM grids.  The line-times-plane factorisation
+            attenuates gradients by the magnitude of the co-factor (~0.1),
+            so the grids need a much larger step than direct embedding
+            tables to train at the same pace.
+    """
+
+    resolution: int = 64
+    num_components: int = 8
+    feature_dim: int = 16
+    grid_lr_multiplier: float = 130.0
+    geo_feature_dim: int = 15
+    density_hidden_dim: int = 64
+    density_num_hidden: int = 1
+    color_hidden_dim: int = 128
+    color_num_hidden: int = 3
+
+    def __post_init__(self) -> None:
+        if self.resolution < 4:
+            raise ConfigurationError("resolution must be >= 4")
+        if self.num_components < 1:
+            raise ConfigurationError("num_components must be >= 1")
+
+    @property
+    def encoding_dim(self) -> int:
+        """Raw VM feature dimensionality (3 axes x components)."""
+        return 3 * self.num_components
+
+    @property
+    def density_mlp_config(self) -> MLPConfig:
+        return MLPConfig(
+            input_dim=self.encoding_dim,
+            hidden_dim=self.density_hidden_dim,
+            num_hidden=self.density_num_hidden,
+            output_dim=1 + self.geo_feature_dim,
+        )
+
+    @property
+    def color_mlp_config(self) -> MLPConfig:
+        return MLPConfig(
+            input_dim=self.geo_feature_dim + SH_DIM,
+            hidden_dim=self.color_hidden_dim,
+            num_hidden=self.color_num_hidden,
+            output_dim=3,
+        )
+
+
+class TensoRFModel:
+    """A trainable TensoRF (VM decomposition) radiance field."""
+
+    def __init__(self, config: TensoRFConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = seeded_rng(derive_seed(seed, "tensorf"))
+        r = config.resolution
+        c = config.num_components
+        scale = 0.1
+        # planes[k]: (C, R, R); lines[k]: (C, R)
+        self.planes: List[np.ndarray] = [
+            rng.normal(0.0, scale, size=(c, r, r)) for _ in range(3)
+        ]
+        self.lines: List[np.ndarray] = [
+            rng.normal(0.0, scale, size=(c, r)) for _ in range(3)
+        ]
+        self.density_mlp = MLP(
+            config.density_mlp_config, seed=derive_seed(seed, "t-density")
+        )
+        self.color_mlp = MLP(
+            config.color_mlp_config, seed=derive_seed(seed, "t-color")
+        )
+
+    # ------------------------------------------------------------------
+    def _line_lookup(self, line: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Linear interpolation on a per-component 1D grid -> ``(N, C)``."""
+        r = self.config.resolution
+        x = np.clip(t, 0.0, 1.0) * (r - 1)
+        i0 = np.floor(x).astype(np.int64)
+        i0 = np.clip(i0, 0, r - 2)
+        f = x - i0
+        return (line[:, i0] * (1.0 - f) + line[:, i0 + 1] * f).T
+
+    def _plane_lookup(self, plane: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Bilinear interpolation on a per-component 2D grid -> ``(N, C)``."""
+        r = self.config.resolution
+        x = np.clip(u, 0.0, 1.0) * (r - 1)
+        y = np.clip(v, 0.0, 1.0) * (r - 1)
+        i0 = np.clip(np.floor(x).astype(np.int64), 0, r - 2)
+        j0 = np.clip(np.floor(y).astype(np.int64), 0, r - 2)
+        fx = x - i0
+        fy = y - j0
+        p00 = plane[:, i0, j0]
+        p10 = plane[:, i0 + 1, j0]
+        p01 = plane[:, i0, j0 + 1]
+        p11 = plane[:, i0 + 1, j0 + 1]
+        out = (
+            p00 * (1 - fx) * (1 - fy)
+            + p10 * fx * (1 - fy)
+            + p01 * (1 - fx) * fy
+            + p11 * fx * fy
+        )
+        return out.T
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """VM features at unit-cube points -> ``(N, 3*C)``."""
+        points = np.atleast_2d(points)
+        feats = []
+        for k, (la, ua, va) in enumerate(_VM_AXES):
+            line_f = self._line_lookup(self.lines[k], points[:, la])
+            plane_f = self._plane_lookup(self.planes[k], points[:, ua], points[:, va])
+            feats.append(line_f * plane_f)
+        return np.concatenate(feats, axis=-1)
+
+    def encode_backward(
+        self, points: np.ndarray, grad_output: np.ndarray, learning_rate: float
+    ) -> None:
+        """SGD update of planes/lines given d(loss)/d(encoding)."""
+        points = np.atleast_2d(points)
+        learning_rate = learning_rate * self.config.grid_lr_multiplier
+        r = self.config.resolution
+        c = self.config.num_components
+        for k, (la, ua, va) in enumerate(_VM_AXES):
+            g = grad_output[:, k * c : (k + 1) * c]  # (N, C)
+            line_f = self._line_lookup(self.lines[k], points[:, la])
+            plane_f = self._plane_lookup(self.planes[k], points[:, ua], points[:, va])
+            grad_line = g * plane_f  # (N, C)
+            grad_plane = g * line_f  # (N, C)
+
+            t = np.clip(points[:, la], 0.0, 1.0) * (r - 1)
+            i0 = np.clip(np.floor(t).astype(np.int64), 0, r - 2)
+            f = t - i0
+            np.add.at(
+                self.lines[k].T, i0, -learning_rate * grad_line * (1.0 - f)[:, None]
+            )
+            np.add.at(
+                self.lines[k].T, i0 + 1, -learning_rate * grad_line * f[:, None]
+            )
+
+            u = np.clip(points[:, ua], 0.0, 1.0) * (r - 1)
+            v = np.clip(points[:, va], 0.0, 1.0) * (r - 1)
+            iu = np.clip(np.floor(u).astype(np.int64), 0, r - 2)
+            iv = np.clip(np.floor(v).astype(np.int64), 0, r - 2)
+            fu = (u - iu)[:, None]
+            fv = (v - iv)[:, None]
+            plane_t = np.transpose(self.planes[k], (1, 2, 0))  # (R, R, C) view
+            np.add.at(plane_t, (iu, iv), -learning_rate * grad_plane * (1 - fu) * (1 - fv))
+            np.add.at(plane_t, (iu + 1, iv), -learning_rate * grad_plane * fu * (1 - fv))
+            np.add.at(plane_t, (iu, iv + 1), -learning_rate * grad_plane * (1 - fu) * fv)
+            np.add.at(plane_t, (iu + 1, iv + 1), -learning_rate * grad_plane * fu * fv)
+
+    # ------------------------------------------------------------------
+    def query_density(self, points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        encoding = self.encode(points)
+        raw, _ = self.density_mlp.forward(encoding)
+        return trunc_exp(raw[:, 0]), raw[:, 1:]
+
+    def query_color(self, geo_feat: np.ndarray, dirs: np.ndarray) -> np.ndarray:
+        color_in = np.concatenate([geo_feat, sh_encode(dirs)], axis=-1)
+        raw, _ = self.color_mlp.forward(color_in)
+        return sigmoid(raw)
+
+    def query(self, points: np.ndarray, dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        sigma, geo = self.query_density(points)
+        return sigma, self.query_color(geo, dirs)
+
+    # ------------------------------------------------------------------
+    def flops_embedding_per_point(self) -> int:
+        """Bilinear (4) + linear (2) lookups and the product, per axis."""
+        c = self.config.num_components
+        return 3 * (4 * 2 * c + 2 * 2 * c + c)
+
+    def flops_density_per_point(self) -> int:
+        return self.density_mlp.flops_per_point()
+
+    def flops_color_per_point(self) -> int:
+        return self.color_mlp.flops_per_point()
+
+    def bytes_embedding_per_point(self, bytes_per_feature: int = 2) -> int:
+        c = self.config.num_components
+        return 3 * (4 + 2) * c * bytes_per_feature
+
+    def parameter_count(self) -> int:
+        grids = sum(p.size for p in self.planes) + sum(l.size for l in self.lines)
+        return grids + self.density_mlp.parameter_count() + self.color_mlp.parameter_count()

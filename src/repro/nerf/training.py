@@ -1,0 +1,203 @@
+"""Distillation training of radiance-field models from analytic scenes.
+
+The paper starts from trained Instant-NGP checkpoints; offline we produce
+equivalent models by *distilling* the analytic scene fields: the model is
+regressed directly against the scene's ground-truth density ``sigma*(x)``
+and color ``c*(x, d)`` at randomly sampled points.  This is much cheaper
+than photometric training and yields a model whose rendering pipeline is
+identical to a trained checkpoint — which is all ASDR's evaluation needs.
+
+Supports both :class:`~repro.nerf.model.InstantNGPModel` and
+:class:`~repro.nerf.tensorf.TensoRFModel` (their decoder interfaces match).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nerf.spherical import sh_encode
+from repro.scenes.analytic import AnalyticScene
+from repro.utils.math import normalize_rows, sigmoid, sigmoid_grad, trunc_exp
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+@dataclass
+class TrainingConfig:
+    """Distillation hyper-parameters.
+
+    Attributes:
+        steps: Number of Adam steps.
+        batch_size: Points per step.
+        learning_rate: Adam step size for the MLPs.
+        table_learning_rate: SGD step size for the feature grids.
+        surface_fraction: Fraction of each batch drawn near the scene
+            surface (importance sampling; the rest is uniform so empty
+            space learns zero density).
+        density_scale: Weight of the density loss term.
+        seed: Seed for the sampling streams.
+    """
+
+    steps: int = 600
+    batch_size: int = 2048
+    learning_rate: float = 3e-3
+    table_learning_rate: float = 0.15
+    surface_fraction: float = 0.5
+    density_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.steps < 1 or self.batch_size < 1:
+            raise TrainingError("steps and batch_size must be positive")
+        if not 0.0 <= self.surface_fraction <= 1.0:
+            raise TrainingError("surface_fraction must lie in [0, 1]")
+
+
+class Adam:
+    """Adam optimiser over a fixed list of parameter arrays (in-place)."""
+
+    def __init__(self, params: List[np.ndarray], lr: float) -> None:
+        self.params = params
+        self.lr = lr
+        self.beta1 = 0.9
+        self.beta2 = 0.999
+        self.eps = 1e-8
+        self.t = 0
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+
+    def step(self, grads: List[np.ndarray]) -> None:
+        """Apply one update given gradients aligned with ``params``."""
+        self.t += 1
+        b1c = 1.0 - self.beta1**self.t
+        b2c = 1.0 - self.beta2**self.t
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)
+
+
+def _sample_training_points(
+    scene: AnalyticScene,
+    count: int,
+    surface_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Mix of uniform cube points and points clustered near the surface."""
+    n_surface = int(count * surface_fraction)
+    n_uniform = count - n_surface
+    uniform = rng.random((n_uniform, 3))
+    if n_surface == 0:
+        return uniform
+    # Rejection-free surface sampling: draw candidates, keep the ones with
+    # the highest density (they are near the surface), and jitter them.
+    candidates = rng.random((n_surface * 4, 3))
+    sigma = scene.density(candidates)
+    order = np.argsort(sigma)[::-1]
+    near = candidates[order[:n_surface]]
+    near = near + rng.normal(0.0, 0.02, size=near.shape)
+    near = np.clip(near, 0.0, 1.0 - 1e-9)
+    return np.concatenate([uniform, near], axis=0)
+
+
+def distill_step(
+    model,
+    scene: AnalyticScene,
+    points: np.ndarray,
+    dirs: np.ndarray,
+    mlp_optimizer: Adam,
+    table_learning_rate: float,
+    density_scale: float,
+) -> float:
+    """One forward/backward distillation step.  Returns the scalar loss."""
+    n = points.shape[0]
+
+    # Forward ---------------------------------------------------------
+    encoding = model.encode(points) if hasattr(model, "encode") else None
+    if encoding is None:
+        encoding = model.encoder.encode(points)
+    raw_d, cache_d = model.density_mlp.forward(encoding, keep_activations=True)
+    sigma = trunc_exp(raw_d[:, 0])
+    geo = raw_d[:, 1:]
+    sh = sh_encode(dirs)
+    color_in = np.concatenate([geo, sh], axis=-1)
+    raw_c, cache_c = model.color_mlp.forward(color_in, keep_activations=True)
+    rgb = sigmoid(raw_c)
+
+    # Targets -----------------------------------------------------------
+    sigma_target = scene.density(points)
+    rgb_target = scene.color(points, dirs)
+
+    # Loss: density in log space (stable across decades), color weighted
+    # towards occupied space where it actually matters.
+    log_err = np.log1p(sigma) - np.log1p(sigma_target)
+    color_w = (sigma_target / (sigma_target + 1.0))[:, None]
+    color_err = rgb - rgb_target
+    loss = density_scale * np.mean(log_err**2) + np.mean(color_w * color_err**2)
+
+    # Backward ----------------------------------------------------------
+    grad_raw_c = (2.0 / n / 3.0) * color_w * color_err * sigmoid_grad(rgb)
+    grad_color_in, gw_c, gb_c = model.color_mlp.backward(cache_c, grad_raw_c)
+    geo_dim = geo.shape[1]
+
+    grad_raw_d = np.zeros_like(raw_d)
+    # d loss / d raw_d[:,0]: through trunc_exp (identity gradient inside the
+    # clip range: d sigma / d raw = sigma).
+    grad_raw_d[:, 0] = (
+        density_scale * (2.0 / n) * log_err * (sigma / (1.0 + sigma))
+    )
+    grad_raw_d[:, 1:] = grad_color_in[:, :geo_dim]
+    grad_encoding, gw_d, gb_d = model.density_mlp.backward(cache_d, grad_raw_d)
+
+    mlp_optimizer.step(_interleave(gw_d, gb_d) + _interleave(gw_c, gb_c))
+    model_backward = getattr(model, "encode_backward", None)
+    if model_backward is not None:
+        model_backward(points, grad_encoding, table_learning_rate)
+    else:
+        model.encoder.encode_backward(points, grad_encoding, table_learning_rate)
+    return float(loss)
+
+
+def _interleave(ws: List[np.ndarray], bs: List[np.ndarray]) -> List[np.ndarray]:
+    out: List[np.ndarray] = []
+    for w, b in zip(ws, bs):
+        out.extend([w, b])
+    return out
+
+
+def distill_scene(
+    model,
+    scene: AnalyticScene,
+    config: Optional[TrainingConfig] = None,
+) -> List[float]:
+    """Distill ``scene`` into ``model``; returns the per-step loss history."""
+    config = config or TrainingConfig()
+    rng = seeded_rng(derive_seed(config.seed, "distill", scene.name))
+    optimizer = Adam(
+        model.density_mlp.parameters() + model.color_mlp.parameters(),
+        lr=config.learning_rate,
+    )
+    losses: List[float] = []
+    for step in range(config.steps):
+        points = _sample_training_points(
+            scene, config.batch_size, config.surface_fraction, rng
+        )
+        dirs = normalize_rows(rng.normal(size=(config.batch_size, 3)))
+        loss = distill_step(
+            model,
+            scene,
+            points,
+            dirs,
+            optimizer,
+            config.table_learning_rate,
+            config.density_scale,
+        )
+        losses.append(loss)
+    if not np.isfinite(losses[-1]):
+        raise TrainingError("distillation diverged (non-finite loss)")
+    return losses

@@ -1,0 +1,51 @@
+"""Procedural scene substrate.
+
+The paper evaluates on Synthetic-NeRF / NSVF / BlendedMVS / Tanks&Temples
+scenes; offline we substitute analytic radiance fields built from signed
+distance functions.  Each named scene exposes a continuous density and
+view-dependent color field, ground-truth camera poses, and reference
+renders (see DESIGN.md, "Substitutions").
+"""
+
+from repro.scenes.sdf import (
+    SDF,
+    Sphere,
+    Box,
+    Cylinder,
+    Torus,
+    Plane,
+    RoundedBox,
+    Union,
+    Intersection,
+    Difference,
+    Translate,
+    Scale,
+    Repeat,
+)
+from repro.scenes.analytic import AnalyticScene, scene_names, make_scene
+from repro.scenes.cameras import Camera, look_at_pose, orbit_cameras
+from repro.scenes.dataset import SceneDataset, load_dataset
+
+__all__ = [
+    "SDF",
+    "Sphere",
+    "Box",
+    "Cylinder",
+    "Torus",
+    "Plane",
+    "RoundedBox",
+    "Union",
+    "Intersection",
+    "Difference",
+    "Translate",
+    "Scale",
+    "Repeat",
+    "AnalyticScene",
+    "scene_names",
+    "make_scene",
+    "Camera",
+    "look_at_pose",
+    "orbit_cameras",
+    "SceneDataset",
+    "load_dataset",
+]

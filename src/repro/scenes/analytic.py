@@ -1,0 +1,364 @@
+"""Analytic radiance fields standing in for the paper's datasets.
+
+Each :class:`AnalyticScene` defines a continuous volume density ``sigma(x)``
+and a view-dependent color ``c(x, d)`` over the unit cube ``[0, 1]^3`` (the
+same domain Instant-NGP's hash grid indexes).  Geometry comes from signed
+distance functions; color combines a procedural albedo with Lambertian and
+specular shading from a fixed light, so the field is smooth enough for the
+hash-grid model to distill yet textured enough that pixel rendering
+difficulty varies across the image — the property ASDR's adaptive sampling
+exploits.
+
+The ten scene names match Table 1 of the paper: palace, fountain, family,
+fox, mic, lego, hotdog, ficus, chair, ship.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.scenes import sdf as S
+from repro.utils.math import sigmoid
+
+
+@dataclass
+class AnalyticScene:
+    """A procedurally defined radiance field.
+
+    Attributes:
+        name: Scene identifier.
+        geometry: Signed distance field describing the solid geometry.
+        albedo_fn: Maps ``(N, 3)`` points to ``(N, 3)`` base colors in [0, 1].
+        sigma_max: Peak volume density inside the surface.
+        softness: Width of the density falloff around the surface (scene
+            units); smaller values give harder edges and harder pixels.
+        light_dir: Direction *towards* the light (unit vector).
+    """
+
+    name: str
+    geometry: S.SDF
+    albedo_fn: Callable[[np.ndarray], np.ndarray]
+    sigma_max: float = 40.0
+    softness: float = 0.015
+    light_dir: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.light_dir is None:
+            self.light_dir = np.array([0.5, 0.7, 0.4])
+        self.light_dir = np.asarray(self.light_dir, dtype=np.float64)
+        self.light_dir = self.light_dir / np.linalg.norm(self.light_dir)
+
+    # The hash grid and ray sampler both work in the unit cube; the SDFs
+    # are authored in [-1, 1]^3, so scene queries remap.
+    @staticmethod
+    def _to_world(points01: np.ndarray) -> np.ndarray:
+        return points01 * 2.0 - 1.0
+
+    def density(self, points01: np.ndarray) -> np.ndarray:
+        """Volume density at unit-cube points ``(N, 3)`` -> ``(N,)``."""
+        pts = self._to_world(np.atleast_2d(points01))
+        dist = self.geometry.distance(pts)
+        return self.sigma_max * sigmoid(-dist / self.softness)
+
+    def color(self, points01: np.ndarray, dirs: np.ndarray) -> np.ndarray:
+        """View-dependent RGB at unit-cube points, ``(N, 3)`` each -> ``(N, 3)``."""
+        pts01 = np.atleast_2d(points01)
+        pts = self._to_world(pts01)
+        dirs = np.atleast_2d(dirs)
+        normals = S.estimate_normals(self.geometry, pts, eps=2e-3)
+        albedo = np.clip(self.albedo_fn(pts), 0.0, 1.0)
+        diffuse = np.clip(normals @ self.light_dir, 0.0, 1.0)[:, None]
+        half = self.light_dir - dirs
+        half_norm = np.linalg.norm(half, axis=-1, keepdims=True)
+        half = half / np.maximum(half_norm, 1e-12)
+        spec = np.clip(np.sum(normals * half, axis=-1), 0.0, 1.0) ** 16
+        shaded = albedo * (0.35 + 0.65 * diffuse) + 0.25 * spec[:, None]
+        return np.clip(shaded, 0.0, 1.0)
+
+
+def _checker(p: np.ndarray, scale: float, c0, c1) -> np.ndarray:
+    mask = (
+        np.floor(p[:, 0] * scale) + np.floor(p[:, 1] * scale) + np.floor(p[:, 2] * scale)
+    ) % 2
+    return np.where(mask[:, None] > 0, np.asarray(c1), np.asarray(c0))
+
+
+def _stripes(p: np.ndarray, axis: int, freq: float, c0, c1) -> np.ndarray:
+    t = 0.5 + 0.5 * np.sin(p[:, axis] * freq * np.pi)
+    return t[:, None] * np.asarray(c1) + (1.0 - t[:, None]) * np.asarray(c0)
+
+
+def _gradient(p: np.ndarray, axis: int, c0, c1) -> np.ndarray:
+    t = np.clip((p[:, axis] + 1.0) / 2.0, 0.0, 1.0)
+    return t[:, None] * np.asarray(c1) + (1.0 - t[:, None]) * np.asarray(c0)
+
+
+def _lego_scene() -> AnalyticScene:
+    """Blocky excavator-like arrangement of bricks (stand-in for LEGO)."""
+    base = S.Box((0.0, -0.55, 0.0), (0.55, 0.08, 0.4))
+    body = S.Box((0.0, -0.3, 0.0), (0.3, 0.18, 0.25))
+    arm = S.Translate(S.Box((0.0, 0.0, 0.0), (0.08, 0.35, 0.08)), (0.3, 0.05, 0.0))
+    bucket = S.Translate(S.Box((0.0, 0.0, 0.0), (0.14, 0.1, 0.12)), (0.42, 0.38, 0.0))
+    cab = S.Box((-0.12, 0.0, 0.0), (0.14, 0.14, 0.16))
+    studs = S.Repeat(S.Cylinder((0.0, -0.44, 0.0), 0.05, 0.03), 0.22)
+    studs = S.Intersection([studs, S.Box((0.0, -0.44, 0.0), (0.55, 0.05, 0.4))])
+    geometry = S.Union([base, body, arm, bucket, cab, studs])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        yellow = _stripes(p, 0, 6.0, (0.9, 0.75, 0.1), (0.85, 0.6, 0.05))
+        grey = np.asarray((0.45, 0.45, 0.5))
+        return np.where(p[:, 1:2] < -0.45, grey, yellow)
+
+    return AnalyticScene("lego", geometry, albedo, softness=0.012)
+
+
+def _mic_scene() -> AnalyticScene:
+    """Microphone on a stand: sphere head, thin neck, round base."""
+    head = S.Sphere((0.0, 0.35, 0.0), 0.22)
+    neck = S.Cylinder((0.0, -0.05, 0.0), 0.05, 0.35)
+    base = S.Cylinder((0.0, -0.5, 0.0), 0.3, 0.06)
+    geometry = S.Union([head, neck, base])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        mesh = _checker(p, 14.0, (0.2, 0.2, 0.22), (0.65, 0.65, 0.7))
+        chrome = np.asarray((0.75, 0.75, 0.8))
+        return np.where(p[:, 1:2] > 0.1, mesh, chrome)
+
+    return AnalyticScene("mic", geometry, albedo, softness=0.01)
+
+
+def _ship_scene() -> AnalyticScene:
+    """Hull floating on a rippled water plane."""
+    hull = S.Intersection(
+        [
+            S.Sphere((0.0, 0.15, 0.0), 0.62),
+            S.Box((0.0, -0.25, 0.0), (0.6, 0.22, 0.3)),
+        ]
+    )
+    mast = S.Cylinder((0.0, 0.25, 0.0), 0.035, 0.45)
+    sail = S.Box((0.12, 0.3, 0.0), (0.02, 0.3, 0.22))
+    water = S.Box((0.0, -0.78, 0.0), (0.95, 0.3, 0.95))
+    geometry = S.Union([hull, mast, sail, water])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        wood = _stripes(p, 1, 10.0, (0.45, 0.28, 0.12), (0.3, 0.18, 0.08))
+        ripple = 0.5 + 0.25 * np.sin(8.0 * p[:, 0]) * np.sin(8.0 * p[:, 2])
+        water_c = np.stack(
+            [0.1 * np.ones_like(ripple), 0.3 * ripple, 0.5 * ripple], axis=-1
+        )
+        cloth = np.asarray((0.9, 0.88, 0.8))
+        out = np.where(p[:, 1:2] < -0.45, water_c, wood)
+        return np.where(np.abs(p[:, 0:1] - 0.12) < 0.05, cloth, out)
+
+    return AnalyticScene("ship", geometry, albedo, softness=0.02)
+
+
+def _chair_scene() -> AnalyticScene:
+    """Four legs, a seat, and a back rest."""
+    seat = S.Box((0.0, -0.1, 0.0), (0.35, 0.05, 0.35))
+    back = S.Box((0.0, 0.3, -0.32), (0.35, 0.35, 0.04))
+    legs = S.Union(
+        [
+            S.Cylinder((sx * 0.3, -0.42, sz * 0.3), 0.05, 0.3)
+            for sx in (-1, 1)
+            for sz in (-1, 1)
+        ]
+    )
+    geometry = S.Union([seat, back, legs])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        return _stripes(p, 2, 8.0, (0.55, 0.32, 0.15), (0.4, 0.22, 0.1))
+
+    return AnalyticScene("chair", geometry, albedo, softness=0.012)
+
+
+def _ficus_scene() -> AnalyticScene:
+    """Pot with a trunk and a cloud of leaf spheres (high-frequency)."""
+    pot = S.Cylinder((0.0, -0.5, 0.0), 0.22, 0.14)
+    trunk = S.Cylinder((0.0, -0.15, 0.0), 0.05, 0.3)
+    rng = np.random.default_rng(7)
+    leaves = []
+    for _ in range(24):
+        offset = rng.normal(0.0, 0.22, size=3)
+        offset[1] = abs(offset[1]) * 0.8 + 0.18
+        leaves.append(S.Sphere(tuple(offset), 0.1 + 0.06 * rng.random()))
+    geometry = S.Union([pot, trunk, S.Union(leaves)])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        leaf = _stripes(p, 0, 18.0, (0.1, 0.45, 0.12), (0.2, 0.6, 0.2))
+        terracotta = np.asarray((0.7, 0.35, 0.2))
+        return np.where(p[:, 1:2] < -0.32, terracotta, leaf)
+
+    return AnalyticScene("ficus", geometry, albedo, softness=0.014)
+
+
+def _hotdog_scene() -> AnalyticScene:
+    """Two buns and a sausage on a plate."""
+    plate = S.Cylinder((0.0, -0.5, 0.0), 0.7, 0.04)
+    sausage = S.Union(
+        [
+            S.Sphere((x, -0.3, 0.0), 0.12)
+            for x in np.linspace(-0.4, 0.4, 9)
+        ]
+    )
+    bun_l = S.Scale(S.Sphere((0.0, 0.0, 0.0), 1.0), 0.16)
+    bun = S.Union(
+        [
+            S.Translate(bun_l, (x, -0.34, z))
+            for x in np.linspace(-0.38, 0.38, 7)
+            for z in (-0.16, 0.16)
+        ]
+    )
+    geometry = S.Union([plate, sausage, bun])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        bun_c = _gradient(p, 1, (0.75, 0.5, 0.25), (0.9, 0.7, 0.4))
+        meat = np.asarray((0.65, 0.2, 0.1))
+        china = np.asarray((0.92, 0.92, 0.95))
+        out = np.where(np.abs(p[:, 2:3]) < 0.1, meat, bun_c)
+        return np.where(p[:, 1:2] < -0.44, china, out)
+
+    return AnalyticScene("hotdog", geometry, albedo, softness=0.018)
+
+
+def _palace_scene() -> AnalyticScene:
+    """Stepped towers with a colonnade (NSVF Palace stand-in)."""
+    tiers = S.Union(
+        [
+            S.Box((0.0, -0.6 + 0.22 * i, 0.0), (0.62 - 0.14 * i, 0.1, 0.62 - 0.14 * i))
+            for i in range(4)
+        ]
+    )
+    dome = S.Sphere((0.0, 0.35, 0.0), 0.2)
+    columns = S.Union(
+        [
+            S.Cylinder((x, -0.35, z), 0.04, 0.22)
+            for x in (-0.5, 0.5)
+            for z in np.linspace(-0.5, 0.5, 5)
+        ]
+    )
+    geometry = S.Union([tiers, dome, columns])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        stone = _checker(p, 9.0, (0.75, 0.7, 0.6), (0.65, 0.6, 0.52))
+        gold = np.asarray((0.85, 0.7, 0.25))
+        return np.where(p[:, 1:2] > 0.22, gold, stone)
+
+    return AnalyticScene("palace", geometry, albedo, softness=0.016)
+
+
+def _fountain_scene() -> AnalyticScene:
+    """Tiered basins with a central jet (BlendedMVS Fountain stand-in)."""
+    basins = S.Union(
+        [
+            S.Difference(
+                S.Cylinder((0.0, -0.55 + 0.3 * i, 0.0), 0.62 - 0.2 * i, 0.07),
+                S.Cylinder((0.0, -0.49 + 0.3 * i, 0.0), 0.54 - 0.2 * i, 0.07),
+            )
+            for i in range(3)
+        ]
+    )
+    column = S.Cylinder((0.0, -0.1, 0.0), 0.07, 0.5)
+    jet = S.Sphere((0.0, 0.48, 0.0), 0.12)
+    geometry = S.Union([basins, column, jet])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        stone = _gradient(p, 1, (0.5, 0.5, 0.48), (0.72, 0.72, 0.7))
+        ripple = 0.5 + 0.3 * np.sin(12.0 * np.linalg.norm(p[:, [0, 2]], axis=-1))
+        water = np.stack(
+            [0.2 * ripple, 0.45 * ripple, 0.65 * np.ones_like(ripple)], axis=-1
+        )
+        radial = np.linalg.norm(p[:, [0, 2]], axis=-1, keepdims=True)
+        return np.where((radial < 0.5) & (p[:, 1:2] > -0.4), water, stone)
+
+    return AnalyticScene("fountain", geometry, albedo, softness=0.02)
+
+
+def _family_scene() -> AnalyticScene:
+    """Group of rounded figures (Tanks&Temples Family stand-in)."""
+    figures = []
+    for i, (x, h) in enumerate([(-0.45, 0.5), (-0.15, 0.62), (0.18, 0.42), (0.46, 0.56)]):
+        body = S.Scale(S.Sphere((0.0, 0.0, 0.0), 1.0), 0.16)
+        body = S.Translate(body, (x, -0.6 + h * 0.5, 0.05 * i - 0.1))
+        head = S.Sphere((x, -0.6 + h + 0.12, 0.05 * i - 0.1), 0.1)
+        figures.extend([body, head])
+    ground = S.Box((0.0, -0.75, 0.0), (0.9, 0.12, 0.9))
+    geometry = S.Union(figures + [ground])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        cloth = _stripes(p, 0, 7.0, (0.6, 0.3, 0.3), (0.3, 0.35, 0.6))
+        grass = _checker(p, 6.0, (0.25, 0.45, 0.2), (0.2, 0.38, 0.16))
+        return np.where(p[:, 1:2] < -0.6, grass, cloth)
+
+    return AnalyticScene("family", geometry, albedo, softness=0.022)
+
+
+def _fox_scene() -> AnalyticScene:
+    """Fox-like head: snout, ears, neck (Instant-NGP Fox stand-in)."""
+    skull = S.Scale(S.Sphere((0.0, 0.0, 0.0), 1.0), 0.3)
+    skull = S.Translate(skull, (0.0, 0.05, 0.0))
+    snout = S.Translate(S.Scale(S.Sphere((0.0, 0.0, 0.0), 1.0), 0.16), (0.28, -0.05, 0.0))
+    ears = S.Union(
+        [
+            S.Translate(S.Scale(S.Box((0, 0, 0), (0.3, 0.8, 0.12)), 0.18), (-0.08, 0.38, z))
+            for z in (-0.18, 0.18)
+        ]
+    )
+    neck = S.Cylinder((-0.15, -0.4, 0.0), 0.18, 0.3)
+    geometry = S.Union([skull, snout, ears, neck])
+
+    def albedo(p: np.ndarray) -> np.ndarray:
+        fur = _gradient(p, 1, (0.8, 0.4, 0.15), (0.95, 0.6, 0.3))
+        white = np.asarray((0.95, 0.92, 0.88))
+        return np.where(p[:, 1:2] < -0.15, white, fur)
+
+    return AnalyticScene("fox", geometry, albedo, softness=0.018)
+
+
+_SCENE_BUILDERS: Dict[str, Callable[[], AnalyticScene]] = {
+    "lego": _lego_scene,
+    "mic": _mic_scene,
+    "ship": _ship_scene,
+    "chair": _chair_scene,
+    "ficus": _ficus_scene,
+    "hotdog": _hotdog_scene,
+    "palace": _palace_scene,
+    "fountain": _fountain_scene,
+    "family": _family_scene,
+    "fox": _fox_scene,
+}
+
+
+def scene_names() -> List[str]:
+    """Names of all available scenes, in the paper's Table 1 order."""
+    return [
+        "palace",
+        "fountain",
+        "family",
+        "fox",
+        "mic",
+        "lego",
+        "hotdog",
+        "ficus",
+        "chair",
+        "ship",
+    ]
+
+
+def make_scene(name: str) -> AnalyticScene:
+    """Build the named analytic scene.
+
+    Raises:
+        SceneError: if ``name`` is not one of :func:`scene_names`.
+    """
+    try:
+        builder = _SCENE_BUILDERS[name]
+    except KeyError:
+        raise SceneError(
+            f"unknown scene {name!r}; available: {', '.join(scene_names())}"
+        ) from None
+    return builder()

@@ -1,0 +1,126 @@
+"""Pinhole cameras and pose generation.
+
+Poses follow the OpenGL/NeRF convention: the camera looks down its local
+``-z`` axis and ``camera_to_world`` is a 4x4 matrix whose columns are the
+camera's right / up / backward axes and position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Camera:
+    """A pinhole camera.
+
+    Attributes:
+        width: Image width in pixels.
+        height: Image height in pixels.
+        focal: Focal length in pixels (shared by x and y).
+        camera_to_world: 4x4 pose matrix (OpenGL convention).
+    """
+
+    width: int
+    height: int
+    focal: float
+    camera_to_world: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("camera resolution must be positive")
+        if self.focal <= 0:
+            raise ConfigurationError("camera focal length must be positive")
+        self.camera_to_world = np.asarray(self.camera_to_world, dtype=np.float64)
+        if self.camera_to_world.shape != (4, 4):
+            raise ConfigurationError("camera_to_world must be a 4x4 matrix")
+
+    @property
+    def position(self) -> np.ndarray:
+        """Camera origin in world space."""
+        return self.camera_to_world[:3, 3]
+
+    def pixel_rays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate one ray per pixel.
+
+        Returns:
+            ``(origins, directions)`` arrays of shape ``(H*W, 3)``; rays are
+            ordered row-major (pixel ``(row, col)`` is index ``row*W + col``)
+            and directions are unit length.
+        """
+        cols, rows = np.meshgrid(
+            np.arange(self.width), np.arange(self.height), indexing="xy"
+        )
+        x = (cols - self.width / 2.0 + 0.5) / self.focal
+        y = -(rows - self.height / 2.0 + 0.5) / self.focal
+        dirs_cam = np.stack([x, y, -np.ones_like(x)], axis=-1).reshape(-1, 3)
+        rot = self.camera_to_world[:3, :3]
+        dirs = dirs_cam @ rot.T
+        dirs = dirs / np.linalg.norm(dirs, axis=-1, keepdims=True)
+        origins = np.broadcast_to(self.position, dirs.shape).copy()
+        return origins, dirs
+
+    def rays_for_pixels(self, pixel_indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Rays for a subset of flat (row-major) pixel indices."""
+        pixel_indices = np.asarray(pixel_indices)
+        rows = pixel_indices // self.width
+        cols = pixel_indices % self.width
+        x = (cols - self.width / 2.0 + 0.5) / self.focal
+        y = -(rows - self.height / 2.0 + 0.5) / self.focal
+        dirs_cam = np.stack([x, y, -np.ones_like(x, dtype=np.float64)], axis=-1)
+        rot = self.camera_to_world[:3, :3]
+        dirs = dirs_cam @ rot.T
+        dirs = dirs / np.linalg.norm(dirs, axis=-1, keepdims=True)
+        origins = np.broadcast_to(self.position, dirs.shape).copy()
+        return origins, dirs
+
+
+def look_at_pose(eye, target=(0.5, 0.5, 0.5), up=(0.0, 1.0, 0.0)) -> np.ndarray:
+    """Build a camera-to-world matrix looking from ``eye`` toward ``target``."""
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.asarray(up, dtype=np.float64)
+    backward = eye - target
+    backward = backward / np.linalg.norm(backward)
+    right = np.cross(up, backward)
+    right = right / np.linalg.norm(right)
+    true_up = np.cross(backward, right)
+    pose = np.eye(4)
+    pose[:3, 0] = right
+    pose[:3, 1] = true_up
+    pose[:3, 2] = backward
+    pose[:3, 3] = eye
+    return pose
+
+
+def orbit_cameras(
+    count: int,
+    width: int,
+    height: int,
+    radius: float = 1.4,
+    elevation: float = 0.35,
+    focal_ratio: float = 1.2,
+    center=(0.5, 0.5, 0.5),
+) -> List[Camera]:
+    """Cameras evenly spaced on a circle orbiting ``center``.
+
+    ``focal_ratio`` is focal length divided by image width (1.2 roughly
+    matches the Synthetic-NeRF field of view).
+    """
+    if count <= 0:
+        raise ConfigurationError("camera count must be positive")
+    cameras = []
+    center = np.asarray(center, dtype=np.float64)
+    for i in range(count):
+        angle = 2.0 * np.pi * i / count
+        eye = center + np.array(
+            [radius * np.cos(angle), elevation, radius * np.sin(angle)]
+        )
+        pose = look_at_pose(eye, center)
+        cameras.append(Camera(width, height, focal_ratio * width, pose))
+    return cameras

@@ -1,0 +1,200 @@
+"""Signed-distance-function primitives and CSG combinators.
+
+These build the analytic geometry that stands in for the paper's datasets.
+All ``distance`` implementations are vectorised: they take an ``(N, 3)``
+array of points and return an ``(N,)`` array of signed distances (negative
+inside the surface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+class SDF:
+    """Base class for signed distance fields."""
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        """Return signed distance from each point to the surface."""
+        raise NotImplementedError
+
+    def __or__(self, other: "SDF") -> "Union":
+        return Union([self, other])
+
+    def __and__(self, other: "SDF") -> "Intersection":
+        return Intersection([self, other])
+
+    def __sub__(self, other: "SDF") -> "Difference":
+        return Difference(self, other)
+
+
+@dataclass
+class Sphere(SDF):
+    """Sphere of ``radius`` centred at ``center``."""
+
+    center: Sequence[float] = (0.0, 0.0, 0.0)
+    radius: float = 1.0
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return np.linalg.norm(points - np.asarray(self.center), axis=-1) - self.radius
+
+
+@dataclass
+class Box(SDF):
+    """Axis-aligned box with half-extents ``half_size`` centred at ``center``."""
+
+    center: Sequence[float] = (0.0, 0.0, 0.0)
+    half_size: Sequence[float] = (0.5, 0.5, 0.5)
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        q = np.abs(points - np.asarray(self.center)) - np.asarray(self.half_size)
+        outside = np.linalg.norm(np.maximum(q, 0.0), axis=-1)
+        inside = np.minimum(np.max(q, axis=-1), 0.0)
+        return outside + inside
+
+
+@dataclass
+class RoundedBox(SDF):
+    """Box with edges rounded by ``rounding``."""
+
+    center: Sequence[float] = (0.0, 0.0, 0.0)
+    half_size: Sequence[float] = (0.5, 0.5, 0.5)
+    rounding: float = 0.1
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        box = Box(self.center, self.half_size)
+        return box.distance(points) - self.rounding
+
+
+@dataclass
+class Cylinder(SDF):
+    """Vertical (y-axis) capped cylinder."""
+
+    center: Sequence[float] = (0.0, 0.0, 0.0)
+    radius: float = 0.5
+    half_height: float = 0.5
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        p = points - np.asarray(self.center)
+        radial = np.linalg.norm(p[..., [0, 2]], axis=-1) - self.radius
+        vertical = np.abs(p[..., 1]) - self.half_height
+        outside = np.linalg.norm(
+            np.stack([np.maximum(radial, 0.0), np.maximum(vertical, 0.0)], axis=-1),
+            axis=-1,
+        )
+        inside = np.minimum(np.maximum(radial, vertical), 0.0)
+        return outside + inside
+
+
+@dataclass
+class Torus(SDF):
+    """Torus in the xz-plane with major radius ``major`` and tube ``minor``."""
+
+    center: Sequence[float] = (0.0, 0.0, 0.0)
+    major: float = 0.6
+    minor: float = 0.15
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        p = points - np.asarray(self.center)
+        ring = np.linalg.norm(p[..., [0, 2]], axis=-1) - self.major
+        return np.sqrt(ring**2 + p[..., 1] ** 2) - self.minor
+
+
+@dataclass
+class Plane(SDF):
+    """Half-space below the plane ``dot(normal, p) = offset``."""
+
+    normal: Sequence[float] = (0.0, 1.0, 0.0)
+    offset: float = 0.0
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        n = np.asarray(self.normal, dtype=np.float64)
+        n = n / np.linalg.norm(n)
+        return points @ n - self.offset
+
+
+@dataclass
+class Union(SDF):
+    """CSG union (minimum of distances)."""
+
+    parts: Sequence[SDF] = field(default_factory=list)
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        dists = [part.distance(points) for part in self.parts]
+        return np.minimum.reduce(dists)
+
+
+@dataclass
+class Intersection(SDF):
+    """CSG intersection (maximum of distances)."""
+
+    parts: Sequence[SDF] = field(default_factory=list)
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        dists = [part.distance(points) for part in self.parts]
+        return np.maximum.reduce(dists)
+
+
+@dataclass
+class Difference(SDF):
+    """CSG difference ``base - cut``."""
+
+    base: SDF = None
+    cut: SDF = None
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return np.maximum(self.base.distance(points), -self.cut.distance(points))
+
+
+@dataclass
+class Translate(SDF):
+    """Rigid translation of ``child`` by ``offset``."""
+
+    child: SDF = None
+    offset: Sequence[float] = (0.0, 0.0, 0.0)
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return self.child.distance(points - np.asarray(self.offset))
+
+
+@dataclass
+class Scale(SDF):
+    """Uniform scale of ``child`` by ``factor``."""
+
+    child: SDF = None
+    factor: float = 1.0
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return self.child.distance(points / self.factor) * self.factor
+
+
+@dataclass
+class Repeat(SDF):
+    """Tile ``child`` on an infinite grid with ``period`` spacing in xz."""
+
+    child: SDF = None
+    period: float = 1.0
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        p = points.copy()
+        half = self.period / 2.0
+        p[..., 0] = (p[..., 0] + half) % self.period - half
+        p[..., 2] = (p[..., 2] + half) % self.period - half
+        return self.child.distance(p)
+
+
+def estimate_normals(sdf: SDF, points: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference surface normals of ``sdf`` at ``points``."""
+    offsets = np.eye(3) * eps
+    grads = np.stack(
+        [
+            sdf.distance(points + offsets[i]) - sdf.distance(points - offsets[i])
+            for i in range(3)
+        ],
+        axis=-1,
+    )
+    norm = np.linalg.norm(grads, axis=-1, keepdims=True)
+    return grads / np.maximum(norm, 1e-12)

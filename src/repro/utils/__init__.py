@@ -1,0 +1,24 @@
+"""Small shared utilities: math helpers and deterministic RNG handling."""
+
+from repro.utils.math import (
+    relu,
+    relu_grad,
+    sigmoid,
+    sigmoid_grad,
+    softplus,
+    trunc_exp,
+    normalize_rows,
+)
+from repro.utils.rng import seeded_rng, derive_seed
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "sigmoid_grad",
+    "softplus",
+    "trunc_exp",
+    "normalize_rows",
+    "seeded_rng",
+    "derive_seed",
+]

@@ -1,0 +1,52 @@
+"""Minimal dependency-free image I/O (binary PPM / PGM).
+
+The CLI and examples write renders to disk without requiring PIL or
+matplotlib; PPM is viewable by most image tools and easy to diff.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def write_ppm(image: np.ndarray, path: Union[str, Path]) -> None:
+    """Write a float RGB image in [0, 1] as a binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ReproError("write_ppm expects an (H, W, 3) array")
+    data = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    height, width = data.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{width} {height}\n255\n".encode())
+        fh.write(data.tobytes())
+
+
+def write_pgm(image: np.ndarray, path: Union[str, Path]) -> None:
+    """Write a float grayscale image in [0, 1] as a binary PGM (P5)."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ReproError("write_pgm expects an (H, W) array")
+    data = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    height, width = data.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{width} {height}\n255\n".encode())
+        fh.write(data.tobytes())
+
+
+def read_ppm(path: Union[str, Path]) -> np.ndarray:
+    """Read a binary PPM (P6) back into a float RGB array in [0, 1]."""
+    with open(path, "rb") as fh:
+        magic = fh.readline().strip()
+        if magic != b"P6":
+            raise ReproError(f"{path} is not a binary PPM (P6)")
+        dims = fh.readline().split()
+        width, height = int(dims[0]), int(dims[1])
+        maxval = int(fh.readline())
+        raw = fh.read(width * height * 3)
+    data = np.frombuffer(raw, dtype=np.uint8).reshape(height, width, 3)
+    return data.astype(np.float64) / maxval

@@ -1,0 +1,52 @@
+"""Vectorised math primitives shared by the NeRF substrate.
+
+All functions operate element-wise on NumPy arrays and are safe for the
+float32 ranges produced by the renderer (no overflow in ``exp``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EXP_CLIP = 15.0
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`relu` with respect to its input."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out.astype(x.dtype, copy=False)
+
+
+def sigmoid_grad(y: np.ndarray) -> np.ndarray:
+    """Derivative of the sigmoid expressed in terms of its *output* ``y``."""
+    return y * (1.0 - y)
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(1 + exp(x))``."""
+    return np.logaddexp(0.0, x)
+
+
+def trunc_exp(x: np.ndarray) -> np.ndarray:
+    """``exp`` with the input clipped, as used by Instant-NGP for density."""
+    return np.exp(np.clip(x, -_EXP_CLIP, _EXP_CLIP))
+
+
+def normalize_rows(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Return ``x`` with each trailing-axis vector scaled to unit L2 norm."""
+    norm = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x / np.maximum(norm, eps)

@@ -1,0 +1,52 @@
+"""ASCII visualisation helpers for terminal inspection.
+
+The paper's Figure 7 colors pixels by sample budget; these helpers render
+the same maps as character ramps so examples and debugging sessions can
+inspect plans without an image viewer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, width: int = 64) -> str:
+    """Render a 2D array as an ASCII heat map (dark = low, dense = high)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError("ascii_heatmap expects a 2D array")
+    if values.shape[1] > width:
+        step = values.shape[1] / width
+        cols = (np.arange(width) * step).astype(int)
+        rows = (np.arange(int(values.shape[0] / step)) * step).astype(int)
+        values = values[np.ix_(np.clip(rows, 0, values.shape[0] - 1), cols)]
+    lo, hi = float(values.min()), float(values.max())
+    span = (hi - lo) or 1.0
+    normalised = (values - lo) / span
+    indices = np.clip((normalised * (len(_RAMP) - 1)).astype(int), 0, len(_RAMP) - 1)
+    lines = ["".join(_RAMP[i] for i in row) for row in indices]
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str], values: Sequence[float], width: int = 40
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    values = [float(v) for v in values]
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_w)} |{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def budget_map_ascii(plan, height: int, width: int, max_width: int = 64) -> str:
+    """The Figure 7 budget visualisation as ASCII (dense = more samples)."""
+    return ascii_heatmap(plan.budget_image(height, width), max_width)

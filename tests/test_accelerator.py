@@ -1,0 +1,140 @@
+"""Tests for the top-level accelerator simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import ASDRAccelerator
+from repro.arch.config import ArchConfig
+from repro.errors import SimulationError
+from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
+
+
+@pytest.fixture(scope="module")
+def server_acc():
+    return ASDRAccelerator(
+        ArchConfig.server(),
+        TEST_GRID,
+        TEST_MODEL_CONFIG.density_mlp_config,
+        TEST_MODEL_CONFIG.color_mlp_config,
+    )
+
+
+@pytest.fixture(scope="module")
+def edge_acc():
+    return ASDRAccelerator(
+        ArchConfig.edge(),
+        TEST_GRID,
+        TEST_MODEL_CONFIG.density_mlp_config,
+        TEST_MODEL_CONFIG.color_mlp_config,
+    )
+
+
+class TestSimulatePass:
+    def test_report_fields(self, server_acc, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        budgets = np.full(24 * 24, 12, dtype=np.int64)
+        report = server_acc.simulate_pass(camera, budgets)
+        assert report.total_cycles > 0
+        assert report.time_seconds > 0
+        assert report.energy_joules > 0
+        assert report.mlp.density_points > 0
+
+    def test_wrong_budget_length_rejected(self, server_acc, lego_dataset):
+        with pytest.raises(SimulationError):
+            server_acc.simulate_pass(lego_dataset.cameras[0], np.ones(7))
+
+    def test_invalid_color_fraction_rejected(self, server_acc, lego_dataset):
+        budgets = np.full(24 * 24, 4, dtype=np.int64)
+        with pytest.raises(SimulationError):
+            server_acc.simulate_pass(lego_dataset.cameras[0], budgets, 1.5)
+
+    def test_zero_budgets_cost_nothing(self, server_acc, lego_dataset):
+        report = server_acc.simulate_pass(
+            lego_dataset.cameras[0], np.zeros(24 * 24, dtype=np.int64)
+        )
+        assert report.total_cycles == 0
+
+    def test_more_points_more_cycles(self, server_acc, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        small = server_acc.simulate_pass(camera, np.full(576, 6, dtype=np.int64))
+        large = server_acc.simulate_pass(camera, np.full(576, 24, dtype=np.int64))
+        assert large.total_cycles > small.total_cycles
+
+    def test_color_fraction_reduces_mlp(self, server_acc, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        budgets = np.full(576, 12, dtype=np.int64)
+        full = server_acc.simulate_pass(camera, budgets, 1.0)
+        half = server_acc.simulate_pass(camera, budgets, 0.5)
+        assert half.mlp.color_points < full.mlp.color_points
+
+    def test_difficulty_evals_charged(self, server_acc, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        budgets = np.full(576, 8, dtype=np.int64)
+        without = server_acc.simulate_pass(camera, budgets)
+        with_de = server_acc.simulate_pass(camera, budgets, difficulty_evals=5000)
+        assert with_de.render.adaptive_cycles > without.render.adaptive_cycles
+
+
+class TestSimulateRender:
+    def test_baseline_result(self, server_acc, lego_dataset, baseline_result):
+        report = server_acc.simulate_render(lego_dataset.cameras[0], baseline_result)
+        assert report.total_cycles > 0
+        assert report.mlp.color_points == report.mlp.density_points
+
+    def test_asdr_result_cheaper(self, server_acc, lego_dataset,
+                                  baseline_result, asdr_result):
+        camera = lego_dataset.cameras[0]
+        base = server_acc.simulate_render(camera, baseline_result)
+        asdr = server_acc.simulate_render(camera, asdr_result, group_size=2)
+        assert asdr.total_cycles < base.total_cycles
+
+    def test_group_size_reduces_color_points(self, server_acc, lego_dataset,
+                                             asdr_result):
+        camera = lego_dataset.cameras[0]
+        g1 = server_acc.simulate_render(camera, asdr_result, group_size=1)
+        g4 = server_acc.simulate_render(camera, asdr_result, group_size=4)
+        assert g4.mlp.color_points < g1.mlp.color_points
+
+    def test_edge_slower_than_server(self, server_acc, edge_acc, lego_dataset,
+                                     asdr_result):
+        camera = lego_dataset.cameras[0]
+        s = server_acc.simulate_render(camera, asdr_result, group_size=2)
+        e = edge_acc.simulate_render(camera, asdr_result, group_size=2)
+        assert e.total_cycles > s.total_cycles
+
+    def test_strawman_slower_than_server(self, lego_dataset, baseline_result):
+        camera = lego_dataset.cameras[0]
+        strawman = ASDRAccelerator(
+            ArchConfig.strawman(),
+            TEST_GRID,
+            TEST_MODEL_CONFIG.density_mlp_config,
+            TEST_MODEL_CONFIG.color_mlp_config,
+        )
+        server = ASDRAccelerator(
+            ArchConfig.server(),
+            TEST_GRID,
+            TEST_MODEL_CONFIG.density_mlp_config,
+            TEST_MODEL_CONFIG.color_mlp_config,
+        )
+        t_straw = strawman.simulate_render(camera, baseline_result).total_cycles
+        t_server = server.simulate_render(camera, baseline_result).total_cycles
+        assert t_straw > t_server * 2
+
+    def test_energy_breakdown_components(self, server_acc, lego_dataset,
+                                         asdr_result):
+        report = server_acc.simulate_render(
+            lego_dataset.cameras[0], asdr_result, group_size=2
+        )
+        assert "mem_xbars" in report.energy_by_component
+        assert "color_subengine" in report.energy_by_component
+        assert report.energy_joules == pytest.approx(
+            sum(report.energy_by_component.values())
+        )
+
+    def test_merge_reports(self, server_acc, lego_dataset, asdr_result):
+        camera = lego_dataset.cameras[0]
+        a = server_acc.simulate_render(camera, asdr_result, group_size=2)
+        b = server_acc.simulate_render(camera, asdr_result, group_size=2)
+        cycles = a.total_cycles + b.total_cycles
+        a.merge(b)
+        assert a.total_cycles == cycles

@@ -1,0 +1,105 @@
+"""Tests for color/density decoupled approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.approximation import (
+    anchor_indices,
+    color_mlp_savings,
+    interpolate_group_colors,
+)
+
+
+class TestAnchors:
+    def test_group_two(self):
+        np.testing.assert_array_equal(anchor_indices(8, 2), [0, 2, 4, 6])
+
+    def test_group_larger_than_points(self):
+        np.testing.assert_array_equal(anchor_indices(3, 8), [0])
+
+    def test_group_one_is_identity(self):
+        np.testing.assert_array_equal(anchor_indices(5, 1), np.arange(5))
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            anchor_indices(8, 0)
+
+    @given(st.integers(1, 64), st.integers(1, 8))
+    @settings(max_examples=40)
+    def test_anchor_count_formula(self, n, g):
+        anchors = anchor_indices(n, g)
+        assert len(anchors) == -(-n // g)  # ceil(n/g)
+        assert anchors[0] == 0
+
+
+class TestInterpolation:
+    def _uniform_t(self, num_rays, n):
+        return np.tile(np.linspace(0.1, 1.0, n), (num_rays, 1))
+
+    def test_anchor_positions_exact(self, rng):
+        n, g = 12, 3
+        anchors = anchor_indices(n, g)
+        anchor_colors = rng.random((4, len(anchors), 3))
+        t_vals = self._uniform_t(4, n)
+        out = interpolate_group_colors(anchor_colors, anchors, t_vals)
+        np.testing.assert_allclose(out[:, anchors, :], anchor_colors)
+
+    def test_midpoint_is_average(self, rng):
+        anchors = np.array([0, 2])
+        anchor_colors = rng.random((2, 2, 3))
+        t_vals = self._uniform_t(2, 4)
+        out = interpolate_group_colors(anchor_colors, anchors, t_vals)
+        expected = (anchor_colors[:, 0] + anchor_colors[:, 1]) / 2
+        np.testing.assert_allclose(out[:, 1, :], expected)
+
+    def test_tail_constant_extrapolation(self, rng):
+        anchors = np.array([0, 4])
+        anchor_colors = rng.random((1, 2, 3))
+        t_vals = self._uniform_t(1, 8)
+        out = interpolate_group_colors(anchor_colors, anchors, t_vals)
+        for j in range(5, 8):
+            np.testing.assert_allclose(out[:, j, :], anchor_colors[:, 1, :])
+
+    def test_output_within_anchor_hull(self, rng):
+        """Linear interpolation cannot overshoot the anchor colors."""
+        n, g = 16, 4
+        anchors = anchor_indices(n, g)
+        anchor_colors = rng.random((8, len(anchors), 3))
+        t_vals = self._uniform_t(8, n)
+        out = interpolate_group_colors(anchor_colors, anchors, t_vals)
+        assert out.min() >= anchor_colors.min() - 1e-12
+        assert out.max() <= anchor_colors.max() + 1e-12
+
+    def test_smooth_field_reconstructed(self):
+        """A linear color ramp is reconstructed exactly (color locality)."""
+        n, g = 16, 2
+        t = np.linspace(0.0, 1.0, n)[None, :]
+        true_colors = np.stack([t, 0.5 * t, 1 - t], axis=-1)
+        anchors = anchor_indices(n, g)
+        out = interpolate_group_colors(true_colors[:, anchors, :], anchors, t)
+        np.testing.assert_allclose(out[:, : anchors[-1] + 1], true_colors[:, : anchors[-1] + 1], atol=1e-12)
+
+    def test_nonuniform_t_uses_distances(self):
+        """Weights follow actual distances, not index positions."""
+        anchors = np.array([0, 2])
+        anchor_colors = np.array([[[0.0, 0, 0], [1.0, 1, 1]]])
+        t_vals = np.array([[0.0, 0.9, 1.0]])  # middle point close to anchor 1
+        out = interpolate_group_colors(anchor_colors, anchors, t_vals)
+        assert out[0, 1, 0] == pytest.approx(0.9)
+
+
+class TestSavings:
+    def test_group_two_halves(self):
+        assert color_mlp_savings(64, 2) == pytest.approx(0.5)
+
+    def test_group_one_saves_nothing(self):
+        assert color_mlp_savings(64, 1) == 0.0
+
+    def test_zero_points(self):
+        assert color_mlp_savings(0, 4) == 0.0
+
+    def test_paper_46_percent(self):
+        """Figure 9: n=2 yields a ~46% compute reduction (ceil effects)."""
+        saving = color_mlp_savings(192, 2)
+        assert 0.45 <= saving <= 0.5

@@ -1,0 +1,88 @@
+"""Tests for accelerator configuration and the Table 2 energy model."""
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.energy import COMPONENT_TABLE, TOTALS, AreaPowerModel
+from repro.cim.reram import SRAM
+from repro.errors import ConfigurationError
+
+
+class TestArchConfig:
+    def test_server_defaults(self):
+        cfg = ArchConfig.server()
+        assert cfg.name == "server"
+        assert cfg.address_units == 64
+        assert cfg.mem_xbar_mb == 64
+
+    def test_edge_scaled_down(self):
+        server, edge = ArchConfig.server(), ArchConfig.edge()
+        assert edge.address_units < server.address_units
+        assert edge.density_engines < server.density_engines
+        assert edge.mem_xbar_mb < server.mem_xbar_mb
+
+    def test_strawman_disables_reuse(self):
+        cfg = ArchConfig.strawman()
+        assert cfg.mapping_mode == "hash"
+        assert cfg.cache_entries == 0
+
+    def test_strawman_edge_scale(self):
+        cfg = ArchConfig.strawman("edge")
+        assert "edge" in cfg.name
+        assert cfg.address_units == 16
+
+    def test_overrides(self):
+        cfg = ArchConfig.server(cache_entries=16)
+        assert cfg.cache_entries == 16
+
+    def test_with_sram_memory(self):
+        cfg = ArchConfig.server().with_sram_memory()
+        assert cfg.memory_device is SRAM
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArchConfig(address_units=0)
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArchConfig(cache_entries=-1)
+
+
+class TestAreaPowerModel:
+    def test_totals_match_table2(self):
+        """Component sums must reproduce the published totals (±2%)."""
+        for scale in ("server", "edge"):
+            model = AreaPowerModel(scale)
+            area, power = TOTALS[scale]
+            assert model.total_area_mm2() == pytest.approx(area, rel=0.02)
+            assert model.total_power_w() == pytest.approx(power, rel=0.02)
+
+    def test_every_component_has_both_scales(self):
+        for component, entries in COMPONENT_TABLE.items():
+            assert set(entries) == {"server", "edge"}
+
+    def test_edge_smaller_than_server(self):
+        for component, entries in COMPONENT_TABLE.items():
+            assert entries["edge"][0] < entries["server"][0]
+            assert entries["edge"][1] <= entries["server"][1]
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            AreaPowerModel("laptop")
+
+    def test_energy_charges_busy_components(self):
+        model = AreaPowerModel("server")
+        energy = model.energy_j({"encoding": 1.0, "mlp": 0.0, "render": 0.0}, 1.0)
+        assert energy["mem_xbars"] > energy["density_subengine"]
+
+    def test_energy_includes_leakage(self):
+        model = AreaPowerModel("server")
+        energy = model.energy_j({"encoding": 0.0, "mlp": 0.0, "render": 0.0}, 1.0)
+        # Idle components still leak ~10% of their power.
+        assert all(v > 0 for v in energy.values())
+
+    def test_shared_buffers_charged_for_total_time(self):
+        model = AreaPowerModel("server")
+        energy = model.energy_j({"encoding": 0.0, "mlp": 0.0, "render": 0.0}, 2.0)
+        expected = model.power_w("buffers") * 2.0 + 0.1 * model.power_w("buffers") * 2.0
+        assert energy["buffers"] == pytest.approx(expected)

@@ -1,0 +1,134 @@
+"""Tests for baseline platform models (GPU roofline, NeuRex, variants)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu import GPUModel, GPUSpec, RTX3070, XAVIER_NX
+from repro.baselines.neurex import NEUREX_EDGE, NEUREX_SERVER, NeurexModel, NeurexSpec
+from repro.baselines.platform import Workload
+from repro.baselines.variants import VARIANTS, simulate_variant, variant_configs
+from repro.errors import ConfigurationError
+from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
+
+
+@pytest.fixture(scope="module")
+def workload(baseline_result, trained_model):
+    return Workload.from_render_result(baseline_result, trained_model)
+
+
+class TestWorkload:
+    def test_fields_positive(self, workload):
+        assert workload.embedding_flops > 0
+        assert workload.embedding_bytes > 0
+        assert workload.density_flops > 0
+        assert workload.color_flops > 0
+        assert workload.lookups > 0
+
+    def test_total_flops_sums(self, workload):
+        assert workload.total_flops == (
+            workload.embedding_flops + workload.density_flops
+            + workload.color_flops + workload.volume_flops
+        )
+
+    def test_asdr_workload_smaller(self, asdr_result, baseline_result,
+                                   trained_model):
+        asdr_wl = Workload.from_render_result(asdr_result, trained_model)
+        base_wl = Workload.from_render_result(baseline_result, trained_model)
+        assert asdr_wl.total_flops < base_wl.total_flops
+        assert asdr_wl.color_points < base_wl.color_points
+
+
+class TestGPUModel:
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec("x", 0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            GPUSpec("x", 1, 1, 1, mlp_efficiency=0.0)
+
+    def test_phase_times_positive(self, workload):
+        report = GPUModel(RTX3070).run(workload)
+        for phase in ("encoding", "mlp", "volume"):
+            assert report.phase_seconds[phase] > 0
+
+    def test_edge_gpu_slower(self, workload):
+        desktop = GPUModel(RTX3070).run(workload)
+        edge = GPUModel(XAVIER_NX).run(workload)
+        assert edge.time_seconds > desktop.time_seconds
+
+    def test_energy_positive_bounded_by_tdp(self, workload):
+        report = GPUModel(RTX3070).run(workload)
+        assert 0 < report.energy_joules <= 220.0 * report.time_seconds * 1.01
+
+    def test_time_scales_with_work(self, workload, asdr_result, trained_model):
+        smaller = Workload.from_render_result(asdr_result, trained_model)
+        gpu = GPUModel(RTX3070)
+        assert gpu.run(smaller).time_seconds < gpu.run(workload).time_seconds
+
+
+class TestNeurexModel:
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            NeurexSpec("x", miss_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            NeurexSpec("x", encoding_lanes=0)
+
+    def test_faster_than_gpu(self, workload):
+        """NeuRex beats the GPU — the ordering Figure 17 reports."""
+        gpu = GPUModel(RTX3070).run(workload)
+        nrx = NeurexModel(NEUREX_SERVER).run(workload)
+        assert nrx.time_seconds < gpu.time_seconds
+
+    def test_edge_scaling_slower(self, workload):
+        server = NeurexModel(NEUREX_SERVER).run(workload)
+        edge = NeurexModel(NEUREX_EDGE).run(workload)
+        assert edge.time_seconds > server.time_seconds
+
+    def test_encoding_dominated(self, workload):
+        """NeuRex's remaining bottleneck is encoding (ASDR's opportunity)."""
+        report = NeurexModel(NEUREX_SERVER).run(workload)
+        assert report.encoding_seconds > report.mlp_seconds
+
+
+class TestVariants:
+    def test_three_variants(self):
+        assert set(VARIANTS) == {"sa", "sram", "reram"}
+
+    def test_variant_configs_scale_pes(self):
+        configs = variant_configs("server")
+        assert configs["sa"].pes_per_engine < configs["sram"].pes_per_engine
+        assert configs["sram"].pes_per_engine < configs["reram"].pes_per_engine
+
+    def test_unknown_variant_rejected(self, lego_dataset, asdr_result):
+        with pytest.raises(ConfigurationError):
+            simulate_variant(
+                "tpu", "server", TEST_GRID,
+                TEST_MODEL_CONFIG.density_mlp_config,
+                TEST_MODEL_CONFIG.color_mlp_config,
+                lego_dataset.cameras[0], asdr_result,
+            )
+
+    def test_ordering_matches_figure26(self, lego_dataset, asdr_result):
+        """SA <= SRAM <= ReRAM in speed (Figure 26)."""
+        times = {}
+        for key in ("sa", "sram", "reram"):
+            report = simulate_variant(
+                key, "server", TEST_GRID,
+                TEST_MODEL_CONFIG.density_mlp_config,
+                TEST_MODEL_CONFIG.color_mlp_config,
+                lego_dataset.cameras[0], asdr_result, group_size=2,
+            )
+            times[key] = report.time_seconds
+        assert times["reram"] <= times["sram"] <= times["sa"]
+
+    def test_reram_most_efficient(self, lego_dataset, asdr_result):
+        """ReRAM <= SRAM <= SA in energy (Figure 27)."""
+        energies = {}
+        for key in ("sa", "sram", "reram"):
+            report = simulate_variant(
+                key, "server", TEST_GRID,
+                TEST_MODEL_CONFIG.density_mlp_config,
+                TEST_MODEL_CONFIG.color_mlp_config,
+                lego_dataset.cameras[0], asdr_result, group_size=2,
+            )
+            energies[key] = report.energy_joules
+        assert energies["reram"] <= energies["sram"] <= energies["sa"]

@@ -1,0 +1,121 @@
+"""Tests for on-chip buffer and system-bus models."""
+
+import pytest
+
+from repro.arch.buffers import BufferModel, BufferSpec, default_buffers
+from repro.arch.bus import BusSpec, BusTraffic, bus_cycles
+from repro.errors import ConfigurationError
+
+
+class TestBufferSpec:
+    def test_capacity_entries(self):
+        spec = BufferSpec("x", capacity_bytes=1024, entry_bytes=8)
+        assert spec.capacity_entries == 128
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferSpec("x", capacity_bytes=4, entry_bytes=8)
+
+    def test_default_budget_scales(self):
+        server = default_buffers("server")
+        edge = default_buffers("edge")
+        for name in server:
+            assert edge[name].capacity_bytes < server[name].capacity_bytes
+
+    def test_default_names(self):
+        assert set(default_buffers()) == {"address", "embed", "density_color"}
+
+
+class TestBufferModel:
+    def test_fitting_wavefront_no_stall(self):
+        model = BufferModel(default_buffers("server"))
+        assert model.observe("embed", 10) == 0
+        assert model.reports["embed"].stall_cycles == 0
+
+    def test_overflow_stalls(self):
+        spec = {"embed": BufferSpec("embed", 1024, entry_bytes=32, refill_cycles=4)}
+        model = BufferModel(spec)
+        stall = model.observe("embed", 100)  # capacity 32 -> 4 passes
+        assert stall == 3 * 4
+        assert model.reports["embed"].overflow_wavefronts == 1
+
+    def test_peak_tracked(self):
+        model = BufferModel(default_buffers("server"))
+        model.observe("address", 100)
+        model.observe("address", 40)
+        assert model.reports["address"].peak_entries == 100
+
+    def test_wavefront_charges_all_buffers(self):
+        model = BufferModel(default_buffers("server"))
+        model.observe_wavefront(
+            in_flight_points=64, levels=8, ray_working_points=64 * 48
+        )
+        for name in ("address", "embed", "density_color"):
+            assert model.reports[name].peak_entries > 0
+
+    def test_table2_capacity_fits_default_wavefronts(self):
+        """The Table 2 buffer budget holds a 64-ray x 48-sample wavefront
+        without stalling — the design point the paper sizes for."""
+        model = BufferModel(default_buffers("server"))
+        stall = model.observe_wavefront(
+            in_flight_points=64, levels=8, ray_working_points=64 * 48
+        )
+        assert stall == 0
+
+    def test_total_stalls_aggregates(self):
+        spec = {"embed": BufferSpec("embed", 1024, entry_bytes=32)}
+        model = BufferModel(spec)
+        model.observe("embed", 1000)
+        assert model.total_stalls() == model.reports["embed"].stall_cycles
+
+
+class TestBus:
+    def test_zero_bytes_zero_cycles(self):
+        assert BusSpec().transfer_cycles(0) == 0
+
+    def test_transfer_includes_overhead(self):
+        spec = BusSpec(bytes_per_cycle=32, request_overhead_cycles=8,
+                       burst_bytes=4096)
+        assert spec.transfer_cycles(64) == 8 + 2
+
+    def test_multiple_bursts(self):
+        spec = BusSpec(bytes_per_cycle=32, request_overhead_cycles=8,
+                       burst_bytes=128)
+        cycles = spec.transfer_cycles(256)
+        assert cycles == 2 * 8 + 8
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            BusSpec(bytes_per_cycle=0)
+
+    def test_traffic_accounting(self):
+        traffic = BusTraffic(pixels=100, probe_pixels=10)
+        assert traffic.input_bytes == 110 * 8
+        assert traffic.output_bytes == 100 * 6
+
+    def test_bus_never_dominates(self):
+        """The dataflow claim: bus traffic is negligible next to compute.
+
+        A 56x56 image moves ~44 KB over the bus — thousands of cycles —
+        while rendering takes hundreds of thousands.
+        """
+        cycles = bus_cycles(BusTraffic(pixels=56 * 56, probe_pixels=144))
+        assert cycles < 10000
+
+
+class TestAcceleratorIntegration:
+    def test_sim_reports_buffer_and_bus(self, lego_dataset, baseline_result):
+        from repro.arch.accelerator import ASDRAccelerator
+        from repro.arch.config import ArchConfig
+        from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
+
+        acc = ASDRAccelerator(
+            ArchConfig.server(),
+            TEST_GRID,
+            TEST_MODEL_CONFIG.density_mlp_config,
+            TEST_MODEL_CONFIG.color_mlp_config,
+        )
+        report = acc.simulate_render(lego_dataset.cameras[0], baseline_result)
+        assert report.bus_cycles > 0
+        assert report.buffer_stall_cycles == 0  # Table 2 sizing holds
+        assert report.bus_cycles < report.total_cycles

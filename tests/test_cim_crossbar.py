@@ -1,0 +1,87 @@
+"""Tests for device parameters and the CIM crossbar MVM model."""
+
+import pytest
+
+from repro.cim.crossbar import CIMCrossbarModel, CrossbarConfig
+from repro.cim.reram import RERAM, SRAM, DeviceParams
+from repro.errors import ConfigurationError
+
+
+class TestDeviceParams:
+    def test_reram_denser_than_sram(self):
+        assert RERAM.density_mm2_per_mb < SRAM.density_mm2_per_mb
+
+    def test_reram_multibit_cells(self):
+        assert RERAM.cell_bits >= 2
+        assert SRAM.cell_bits == 1
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceParams("x", 0, 1, 1, 1, 1, 1, 1.0)
+
+
+class TestCrossbarConfig:
+    def test_paper_defaults(self):
+        cfg = CrossbarConfig()
+        assert cfg.rows == 64 and cfg.cols == 64
+        assert cfg.adc_bits == 5
+
+    def test_cells_per_weight(self):
+        cfg = CrossbarConfig(weight_bits=8, device=RERAM)  # 2-bit cells
+        assert cfg.cells_per_weight == 4
+
+    def test_cells_per_weight_sram(self):
+        cfg = CrossbarConfig(weight_bits=8, device=SRAM)  # 1-bit cells
+        assert cfg.cells_per_weight == 8
+
+    def test_weights_per_array(self):
+        cfg = CrossbarConfig()
+        assert cfg.weights_per_array == 64 * (64 // 4)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(rows=0)
+
+
+class TestMVMCost:
+    def test_small_matrix_single_tile(self):
+        model = CIMCrossbarModel(CrossbarConfig())
+        assert model.tiles_for_matrix(64, 16) == 1
+
+    def test_tile_count_scales(self):
+        model = CIMCrossbarModel(CrossbarConfig())
+        assert model.tiles_for_matrix(128, 16) == 2
+        assert model.tiles_for_matrix(128, 32) == 4
+
+    def test_cycles_are_bit_serial(self):
+        model = CIMCrossbarModel(CrossbarConfig(input_bits=8))
+        cost = model.mvm_cost(64, 16, parallel_arrays=4)
+        assert cost.cycles == 8  # one wave x 8 input bits
+
+    def test_serialisation_without_parallelism(self):
+        model = CIMCrossbarModel(CrossbarConfig(input_bits=8))
+        serial = model.mvm_cost(256, 64, parallel_arrays=1)
+        parallel = model.mvm_cost(256, 64, parallel_arrays=16)
+        assert serial.cycles > parallel.cycles
+        assert serial.arrays_used == parallel.arrays_used
+
+    def test_energy_scales_with_tiles(self):
+        model = CIMCrossbarModel(CrossbarConfig())
+        small = model.mvm_cost(64, 16)
+        large = model.mvm_cost(128, 32)
+        assert large.energy_pj == pytest.approx(small.energy_pj * 4)
+
+    def test_invalid_parallelism(self):
+        model = CIMCrossbarModel(CrossbarConfig())
+        with pytest.raises(ConfigurationError):
+            model.mvm_cost(64, 16, parallel_arrays=0)
+
+    def test_write_energy_positive(self):
+        model = CIMCrossbarModel(CrossbarConfig())
+        assert model.write_energy_pj(64, 16) > 0
+
+    def test_sram_mvm_costs_more_energy(self):
+        """SRAM CIM burns more per-op energy than ReRAM (Fig. 27 ordering)."""
+        reram = CIMCrossbarModel(CrossbarConfig(device=RERAM)).mvm_cost(64, 16)
+        sram = CIMCrossbarModel(CrossbarConfig(device=SRAM)).mvm_cost(64, 16)
+        assert sram.energy_pj > reram.energy_pj

@@ -1,0 +1,80 @@
+"""Tests for ASDR algorithm configuration objects."""
+
+import pytest
+
+from repro.core.config import (
+    ASDRConfig,
+    AdaptiveSamplingConfig,
+    ApproximationConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAdaptiveSamplingConfig:
+    def test_defaults_valid(self):
+        cfg = AdaptiveSamplingConfig()
+        assert cfg.probe_stride == 5
+        assert cfg.threshold == pytest.approx(1.0 / 2048.0)
+
+    def test_candidate_counts_ascending_ends_full(self):
+        cfg = AdaptiveSamplingConfig()
+        counts = cfg.candidate_counts(192)
+        assert counts[-1] == 192
+        assert counts == sorted(counts)
+
+    def test_candidate_counts_respect_min(self):
+        cfg = AdaptiveSamplingConfig(min_samples=6)
+        assert min(cfg.candidate_counts(16)) >= 6
+
+    def test_candidate_counts_deduplicated(self):
+        cfg = AdaptiveSamplingConfig(candidate_fractions=(0.25, 0.26))
+        counts = cfg.candidate_counts(8)  # both fractions round to 2 -> min 4
+        assert len(counts) == len(set(counts))
+
+    def test_paper_example_twelve_points(self):
+        """1/16 of 192 = 12, the paper's background-pixel budget."""
+        cfg = AdaptiveSamplingConfig()
+        assert 12 in cfg.candidate_counts(192)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"probe_stride": 0},
+            {"threshold": -0.1},
+            {"candidate_fractions": ()},
+            {"candidate_fractions": (0.5, 0.25)},
+            {"candidate_fractions": (0.5, 1.5)},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSamplingConfig(**kwargs)
+
+
+class TestApproximationConfig:
+    def test_group_one_disabled(self):
+        assert not ApproximationConfig(1).enabled
+
+    def test_group_two_enabled(self):
+        assert ApproximationConfig(2).enabled
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApproximationConfig(0)
+
+
+class TestASDRConfig:
+    def test_defaults(self):
+        cfg = ASDRConfig()
+        assert cfg.adaptive is not None
+        assert cfg.approximation is not None
+        assert cfg.early_termination is None
+
+    def test_all_disabled_is_baseline(self):
+        cfg = ASDRConfig(adaptive=None, approximation=None)
+        assert cfg.adaptive is None
+        assert cfg.approximation is None
+
+    def test_invalid_early_termination(self):
+        with pytest.raises(ConfigurationError):
+            ASDRConfig(early_termination=1.5)

@@ -1,0 +1,101 @@
+"""Tests for the Eq. (3) rendering-difficulty metric and budget selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.difficulty import rendering_difficulty, select_sample_budgets
+from repro.nerf.volume import composite
+
+
+class TestRenderingDifficulty:
+    def test_identical_renders_zero(self, rng):
+        rgb = rng.random((10, 3))
+        np.testing.assert_array_equal(
+            rendering_difficulty(rgb, rgb.copy()), np.zeros(10)
+        )
+
+    def test_max_channel_deviation(self):
+        full = np.array([[0.5, 0.5, 0.5]])
+        cand = np.array([[0.6, 0.45, 0.5]])
+        assert rendering_difficulty(full, cand)[0] == pytest.approx(0.1)
+
+    def test_symmetric(self, rng):
+        a, b = rng.random((5, 3)), rng.random((5, 3))
+        np.testing.assert_allclose(
+            rendering_difficulty(a, b), rendering_difficulty(b, a)
+        )
+
+
+class TestBudgetSelection:
+    def _make_rays(self, rng, num_rays=32, n=24):
+        sigmas = rng.random((num_rays, n)) * 20
+        colors = rng.random((num_rays, n, 3))
+        deltas = np.full((num_rays, n), 0.05)
+        return sigmas, colors, deltas
+
+    def test_empty_rays_get_smallest_budget(self, rng):
+        n = 24
+        sigmas = np.zeros((8, n))
+        colors = rng.random((8, n, 3))
+        deltas = np.full((8, n), 0.05)
+        budgets, _ = select_sample_budgets(
+            sigmas, colors, deltas, [4, 8, n], threshold=1e-6
+        )
+        np.testing.assert_array_equal(budgets, np.full(8, 4))
+
+    def test_infinite_threshold_gives_smallest(self, rng):
+        sigmas, colors, deltas = self._make_rays(rng)
+        budgets, _ = select_sample_budgets(
+            sigmas, colors, deltas, [4, 12, 24], threshold=10.0
+        )
+        np.testing.assert_array_equal(budgets, np.full(32, 4))
+
+    def test_zero_threshold_on_hard_rays_gives_full(self, rng):
+        sigmas, colors, deltas = self._make_rays(rng)
+        budgets, _ = select_sample_budgets(
+            sigmas, colors, deltas, [4, 12, 24], threshold=0.0
+        )
+        # Random dense rays differ at any subsampling -> full budget.
+        assert np.all(budgets == 24)
+
+    def test_budgets_monotone_in_threshold(self, rng):
+        sigmas, colors, deltas = self._make_rays(rng)
+        loose, _ = select_sample_budgets(
+            sigmas, colors, deltas, [4, 12, 24], threshold=0.1
+        )
+        strict, _ = select_sample_budgets(
+            sigmas, colors, deltas, [4, 12, 24], threshold=0.001
+        )
+        assert np.all(loose <= strict)
+
+    def test_full_rgb_matches_composite(self, rng):
+        sigmas, colors, deltas = self._make_rays(rng)
+        _, full_rgb = select_sample_budgets(
+            sigmas, colors, deltas, [4, 24], threshold=0.01
+        )
+        expected, _ = composite(sigmas, colors, deltas, 1.0)
+        np.testing.assert_allclose(full_rgb, expected)
+
+    def test_wrong_last_candidate_rejected(self, rng):
+        sigmas, colors, deltas = self._make_rays(rng)
+        with pytest.raises(ValueError):
+            select_sample_budgets(sigmas, colors, deltas, [4, 12], threshold=0.1)
+
+    def test_selected_budget_meets_threshold(self, rng):
+        """Invariant: the chosen candidate's difficulty is within delta."""
+        from repro.nerf.volume import composite_subsample
+
+        sigmas, colors, deltas = self._make_rays(rng, num_rays=16)
+        threshold = 0.05
+        budgets, full_rgb = select_sample_budgets(
+            sigmas, colors, deltas, [4, 8, 16, 24], threshold=threshold
+        )
+        for r in range(16):
+            if budgets[r] == 24:
+                continue
+            sub = composite_subsample(
+                sigmas[r : r + 1], colors[r : r + 1], deltas[r : r + 1],
+                int(budgets[r]),
+            )
+            rd = rendering_difficulty(full_rgb[r : r + 1], sub)[0]
+            assert rd <= threshold + 1e-12

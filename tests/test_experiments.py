@@ -1,0 +1,118 @@
+"""Tests for the experiment harness and workbench (fast paths only)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.harness import EXPERIMENTS, format_table, run_experiment
+from repro.experiments.workbench import Workbench, WorkbenchConfig
+
+
+@pytest.fixture(scope="module")
+def wb(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("models")
+    return Workbench(
+        WorkbenchConfig(
+            width=24,
+            height=24,
+            num_samples=16,
+            train_steps=60,
+            train_batch=512,
+            cache_dir=str(cache),
+        )
+    )
+
+
+class TestHarness:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig4", "fig5", "fig7", "fig8", "fig9", "fig13", "fig15",
+            "fig16", "fig17a", "fig17b", "fig18a", "fig18b", "fig19a",
+            "fig19b", "fig20", "fig21a", "fig21b", "fig22", "fig23",
+            "fig24", "fig25", "fig26a", "fig26b", "fig27a", "fig27b",
+            "table2", "table3", "table4",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            run_experiment("fig99", print_output=False)
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestWorkbench:
+    def test_dataset_memoised(self, wb):
+        assert wb.dataset("mic") is wb.dataset("mic")
+
+    def test_model_disk_cached(self, wb):
+        model_a = wb.model("mic")
+        wb._models.clear()
+        model_b = wb.model("mic")
+        pts = np.random.default_rng(0).random((10, 3))
+        np.testing.assert_allclose(
+            model_a.query_density(pts)[0], model_b.query_density(pts)[0]
+        )
+
+    def test_baseline_render_memoised(self, wb):
+        assert wb.baseline_render("mic") is wb.baseline_render("mic")
+
+    def test_asdr_render_keyed_by_config(self, wb):
+        from repro.core.config import ASDRConfig
+
+        a = wb.asdr_render("mic")
+        b = wb.asdr_render("mic", asdr_config=ASDRConfig(approximation=None))
+        assert a is not b
+
+    def test_group_size_helper(self, wb):
+        from repro.core.config import ASDRConfig
+
+        assert wb.group_size() == 2
+        assert wb.group_size(ASDRConfig(approximation=None)) == 1
+
+
+class TestFastExperiments:
+    def test_fig5_breakdown(self, wb):
+        rows = run_experiment("fig5", wb, print_output=False)
+        shares = {r["phase"]: r["pct_of_total"] for r in rows}
+        assert shares["color"] > 50.0
+        assert shares["embedding"] < 20.0
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_fig13_utilization(self, wb):
+        rows = run_experiment("fig13", wb, print_output=False)
+        avg = rows[-1]
+        assert avg["level"] == "avg"
+        assert avg["hybrid_pct"] > avg["original_pct"]
+
+    def test_table2_totals(self, wb):
+        rows = run_experiment("table2", wb, print_output=False)
+        total = rows[-1]
+        assert total["server_area_mm2"] == pytest.approx(15.09, rel=0.03)
+        assert total["edge_power_mw"] == pytest.approx(1440, rel=0.03)
+
+    def test_fig7_adaptive_savings(self, wb):
+        rows = run_experiment("fig7", wb, print_output=False)
+        fixed, adaptive = rows[0], rows[1]
+        assert adaptive["avg_points_per_pixel"] < fixed["avg_points_per_pixel"]
+        assert adaptive["psnr"] > fixed["psnr"] - 1.0
+
+    def test_fig9_ordering(self, wb):
+        rows = run_experiment("fig9", wb, print_output=False)
+        original, naive, ours = rows
+        # Our approximation must beat naive reduction at similar cost.
+        assert ours["psnr"] >= naive["psnr"] - 0.2
+        assert ours["flops_pct"] < 80.0
+
+    def test_fig8_similarity(self, wb):
+        rows = run_experiment("fig8", wb, print_output=False)
+        for row in rows:
+            assert row["frac_above_0.99"] > 0.5

@@ -1,0 +1,130 @@
+"""Tests for the 3DGS substrate and adaptive Gaussian sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SceneError
+from repro.gaussian.adaptive import AdaptiveGaussianConfig, AdaptiveGaussianRenderer
+from repro.gaussian.render import GaussianRenderer
+from repro.gaussian.splats import GaussianCloud, fit_gaussians
+from repro.metrics.image import psnr
+from repro.scenes.analytic import make_scene
+from repro.scenes.cameras import orbit_cameras
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return fit_gaussians(make_scene("mic"), count=400, radius=0.03, seed=1)
+
+
+@pytest.fixture(scope="module")
+def camera():
+    return orbit_cameras(1, 32, 32, radius=1.4)[0]
+
+
+class TestCloud:
+    def test_fit_count(self, cloud):
+        assert 100 < len(cloud) <= 400
+
+    def test_positions_in_cube(self, cloud):
+        assert cloud.positions.min() >= 0.0
+        assert cloud.positions.max() <= 1.0
+
+    def test_positions_on_surface(self, cloud):
+        scene = make_scene("mic")
+        density = scene.density(cloud.positions)
+        assert np.mean(density > scene.sigma_max * 0.4) > 0.9
+
+    def test_colors_valid(self, cloud):
+        assert cloud.colors.min() >= 0 and cloud.colors.max() <= 1
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(SceneError):
+            GaussianCloud(
+                positions=np.zeros((3, 3)),
+                radii=np.zeros(2),
+                colors=np.zeros((3, 3)),
+                opacities=np.zeros(3),
+            )
+
+    def test_deterministic(self):
+        a = fit_gaussians(make_scene("chair"), count=100, seed=4)
+        b = fit_gaussians(make_scene("chair"), count=100, seed=4)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+
+class TestRenderer:
+    def test_image_shape_range(self, cloud, camera):
+        result = GaussianRenderer(cloud).render_image(camera)
+        assert result.image.shape == (32, 32, 3)
+        assert result.image.min() >= 0
+        assert result.image.max() <= 1 + 1e-9
+
+    def test_object_visible(self, cloud, camera):
+        result = GaussianRenderer(cloud).render_image(camera)
+        assert result.blends_total > 0
+        assert result.image.std() > 0.01
+
+    def test_blend_counts_consistent(self, cloud, camera):
+        result = GaussianRenderer(cloud).render_image(camera)
+        assert result.blend_counts.sum() == result.blends_total
+
+    def test_budget_caps_blends(self, cloud, camera):
+        renderer = GaussianRenderer(cloud)
+        full = renderer.render_image(camera)
+        caps = np.full(32 * 32, 2, dtype=np.int64)
+        capped = renderer.render_image(camera, caps)
+        assert capped.blend_counts.max() <= 2
+        assert capped.blends_total < full.blends_total
+
+    def test_projection_depths(self, cloud, camera):
+        renderer = GaussianRenderer(cloud)
+        _, depth, _, visible = renderer.project(camera)
+        assert np.all(depth[visible] > 0)
+
+    def test_similar_to_volume_reference(self, camera):
+        """The splatted image should resemble the scene's volume render."""
+        from repro.scenes.dataset import render_analytic
+
+        scene = make_scene("mic")
+        cloud = fit_gaussians(scene, count=800, radius=0.025, seed=2)
+        splat = GaussianRenderer(cloud).render_image(camera)
+        reference = render_analytic(scene, camera, num_samples=96)
+        assert psnr(splat.image, reference) > 12.0
+
+
+class TestAdaptive:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveGaussianConfig(probe_stride=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveGaussianConfig(candidate_fractions=(1.5,))
+
+    def test_savings_with_quality(self, cloud, camera):
+        """The Section 8.2 extension: fewer blends, near-identical image."""
+        renderer = GaussianRenderer(cloud)
+        full = renderer.render_image(camera)
+        adaptive = AdaptiveGaussianRenderer(
+            renderer, AdaptiveGaussianConfig(probe_stride=4)
+        )
+        result, stats = adaptive.render_image(camera)
+        assert stats["adaptive_blends"] <= stats["full_blends"]
+        assert psnr(result.image, full.image) > 25.0
+
+    def test_budgets_cover_image(self, cloud, camera):
+        adaptive = AdaptiveGaussianRenderer(GaussianRenderer(cloud))
+        budgets, _ = adaptive.plan_budgets(camera)
+        assert budgets.shape == (32 * 32,)
+        assert budgets.min() >= 1
+
+    def test_loose_threshold_saves_more(self, cloud, camera):
+        renderer = GaussianRenderer(cloud)
+        strict = AdaptiveGaussianRenderer(
+            renderer, AdaptiveGaussianConfig(threshold=1e-6)
+        )
+        loose = AdaptiveGaussianRenderer(
+            renderer, AdaptiveGaussianConfig(threshold=0.2)
+        )
+        _, s_strict = strict.render_image(camera)
+        _, s_loose = loose.render_image(camera)
+        assert s_loose["adaptive_blends"] <= s_strict["adaptive_blends"]

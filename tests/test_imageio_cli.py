@@ -1,0 +1,74 @@
+"""Tests for image I/O and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ReproError
+from repro.utils.imageio import read_ppm, write_pgm, write_ppm
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path, rng):
+        img = rng.random((7, 5, 3))
+        path = tmp_path / "img.ppm"
+        write_ppm(img, path)
+        back = read_ppm(path)
+        assert back.shape == (7, 5, 3)
+        np.testing.assert_allclose(back, img, atol=1.0 / 255.0)
+
+    def test_values_clipped(self, tmp_path):
+        img = np.full((2, 2, 3), 2.0)
+        path = tmp_path / "img.ppm"
+        write_ppm(img, path)
+        back = read_ppm(path)
+        np.testing.assert_allclose(back, np.ones((2, 2, 3)))
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_ppm(np.zeros((4, 4)), tmp_path / "x.ppm")
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "junk.ppm"
+        path.write_bytes(b"NOTPPM")
+        with pytest.raises(ReproError):
+            read_ppm(path)
+
+    def test_pgm_grayscale(self, tmp_path, rng):
+        img = rng.random((6, 4))
+        path = tmp_path / "img.pgm"
+        write_pgm(img, path)
+        assert path.read_bytes().startswith(b"P5\n4 6\n255\n")
+
+    def test_pgm_wrong_shape_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_pgm(np.zeros((4, 4, 3)), tmp_path / "x.pgm")
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["scenes"])
+        assert args.command == "scenes"
+
+    def test_scenes_lists_all(self, capsys):
+        assert main(["scenes"]) == 0
+        out = capsys.readouterr().out
+        assert "lego" in out and "palace" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_render_unknown_scene(self, capsys):
+        assert main(["render", "nope", "--out", "/tmp/x.ppm"]) == 2
+
+    def test_render_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["render", "lego"])
+        assert args.out == "render.ppm"
+
+    def test_report_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["report"])
+        assert args.out == "EXPERIMENTS.md"

@@ -1,0 +1,121 @@
+"""End-to-end integration tests exercising the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import ASDRAccelerator
+from repro.arch.config import ArchConfig
+from repro.baselines.gpu import GPUModel, RTX3070
+from repro.baselines.neurex import NEUREX_SERVER, NeurexModel
+from repro.baselines.platform import Workload
+from repro.core.config import ASDRConfig
+from repro.core.pipeline import ASDRRenderer
+from repro.metrics.image import psnr, ssim
+from repro.nerf.renderer import BaselineRenderer
+from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
+
+
+class TestFullStack:
+    """The paper's end-to-end claims on the small test workload."""
+
+    def test_quality_chain(self, trained_model, lego_dataset,
+                           baseline_result, asdr_result):
+        """GT -> baseline -> ASDR quality ordering holds."""
+        reference = lego_dataset.reference_image(0, num_samples=128)
+        base_psnr = psnr(baseline_result.image, reference)
+        asdr_psnr = psnr(asdr_result.image, reference)
+        assert base_psnr > 18.0
+        # ASDR within 0.5 dB of the baseline (paper: 0.07 average).
+        assert abs(base_psnr - asdr_psnr) < 0.5
+
+    def test_ssim_preserved(self, lego_dataset, baseline_result, asdr_result):
+        reference = lego_dataset.reference_image(0, num_samples=128)
+        delta = abs(
+            ssim(baseline_result.image, reference)
+            - ssim(asdr_result.image, reference)
+        )
+        assert delta < 0.05
+
+    def test_work_reduction_chain(self, baseline_result, asdr_result):
+        """ASDR reduces density points AND color evaluations."""
+        assert asdr_result.density_points < baseline_result.points_total
+        assert asdr_result.color_points < asdr_result.density_points
+
+    def test_platform_ordering(self, trained_model, lego_dataset,
+                               baseline_result, asdr_result):
+        """GPU > NeuRex > ASDR in latency (Figure 17's ordering)."""
+        workload = Workload.from_render_result(baseline_result, trained_model)
+        t_gpu = GPUModel(RTX3070).run(workload).time_seconds
+        t_neurex = NeurexModel(NEUREX_SERVER).run(workload).time_seconds
+        accelerator = ASDRAccelerator(
+            ArchConfig.server(),
+            TEST_GRID,
+            TEST_MODEL_CONFIG.density_mlp_config,
+            TEST_MODEL_CONFIG.color_mlp_config,
+        )
+        t_asdr = accelerator.simulate_render(
+            lego_dataset.cameras[0], asdr_result, group_size=2
+        ).time_seconds
+        assert t_asdr < t_neurex < t_gpu
+
+    def test_ablation_ordering(self, lego_dataset, baseline_result, asdr_result):
+        """Figure 20: strawman < SW-only, HW-only < full ASDR."""
+        camera = lego_dataset.cameras[0]
+
+        def acc(cfg):
+            return ASDRAccelerator(
+                cfg, TEST_GRID,
+                TEST_MODEL_CONFIG.density_mlp_config,
+                TEST_MODEL_CONFIG.color_mlp_config,
+            )
+
+        t_strawman = acc(ArchConfig.strawman()).simulate_render(
+            camera, baseline_result
+        ).time_seconds
+        t_sw = acc(ArchConfig.strawman()).simulate_render(
+            camera, asdr_result, group_size=2
+        ).time_seconds
+        t_hw = acc(ArchConfig.server()).simulate_render(
+            camera, baseline_result
+        ).time_seconds
+        t_full = acc(ArchConfig.server()).simulate_render(
+            camera, asdr_result, group_size=2
+        ).time_seconds
+        assert t_sw < t_strawman
+        assert t_hw < t_strawman
+        assert t_full < t_sw
+        assert t_full < t_hw
+
+    def test_multiple_views_consistent(self, trained_model, lego_dataset):
+        """Every orbit view renders with sane statistics."""
+        renderer = ASDRRenderer(trained_model, num_samples=16)
+        for view in range(2):
+            result = renderer.render_image(lego_dataset.cameras[view])
+            assert result.image.min() >= 0
+            assert result.image.max() <= 1 + 1e-9
+            assert result.density_points > 0
+
+    def test_deterministic_end_to_end(self, trained_model, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        a = ASDRRenderer(trained_model, num_samples=16).render_image(camera)
+        b = ASDRRenderer(trained_model, num_samples=16).render_image(camera)
+        np.testing.assert_array_equal(a.image, b.image)
+        np.testing.assert_array_equal(a.plan.budgets, b.plan.budgets)
+
+    def test_et_plus_as_compose(self, trained_model, lego_dataset):
+        """Figure 23: combining ET with AS reduces work below either alone."""
+        camera = lego_dataset.cameras[0]
+
+        def points(config):
+            return ASDRRenderer(
+                trained_model, config=config, num_samples=24
+            ).render_image(camera).density_points
+
+        p_none = points(ASDRConfig(adaptive=None, approximation=None))
+        p_et = points(ASDRConfig(adaptive=None, approximation=None,
+                                 early_termination=0.99))
+        p_as = points(ASDRConfig(approximation=None))
+        p_both = points(ASDRConfig(approximation=None, early_termination=0.99))
+        assert p_et < p_none
+        assert p_as < p_none
+        assert p_both <= min(p_et, p_as) * 1.05

@@ -1,0 +1,65 @@
+"""Tests for storage-utilisation analysis (Figure 13)."""
+
+import numpy as np
+import pytest
+
+from repro.cim.mapping import (
+    average_utilization,
+    hybrid_utilization,
+    storage_utilization,
+)
+from repro.nerf.hashgrid import HashGridConfig
+
+GRID = HashGridConfig(
+    num_levels=8, table_size=2**13, base_resolution=8, max_resolution=128
+)
+
+
+class TestStorageUtilization:
+    def test_low_res_levels_waste_storage(self):
+        util = storage_utilization(GRID)
+        # Level 0: 9^3 = 729 of 8192 entries used (minus hash collisions).
+        assert util[0] == pytest.approx(729 / 8192, rel=0.06)
+
+    def test_high_res_levels_nearly_full(self):
+        util = storage_utilization(GRID)
+        assert util[-1] > 0.9
+
+    def test_monotone_in_resolution(self):
+        util = storage_utilization(GRID)
+        assert all(b >= a - 1e-9 for a, b in zip(util, util[1:]))
+
+    def test_values_in_unit_range(self):
+        for u in storage_utilization(GRID):
+            assert 0 <= u <= 1
+
+
+class TestHybridUtilization:
+    def test_improves_low_res_levels(self):
+        orig = storage_utilization(GRID)
+        hybrid = hybrid_utilization(GRID)
+        assert hybrid[0] > orig[0] * 5
+
+    def test_high_res_levels_unchanged(self):
+        orig = storage_utilization(GRID)
+        hybrid = hybrid_utilization(GRID)
+        assert hybrid[-1] == pytest.approx(orig[-1])
+
+    def test_average_improvement_matches_paper_shape(self):
+        """Paper Figure 13: 62.2% -> 85.95%; we require a clear jump."""
+        orig = average_utilization(storage_utilization(GRID))
+        hybrid = average_utilization(hybrid_utilization(GRID))
+        assert hybrid > orig + 0.15
+        assert hybrid > 0.75
+
+    def test_values_in_unit_range(self):
+        for u in hybrid_utilization(GRID):
+            assert 0 <= u <= 1
+
+
+class TestAverage:
+    def test_average_empty(self):
+        assert average_utilization([]) == 0.0
+
+    def test_average_simple(self):
+        assert average_utilization([0.0, 1.0]) == pytest.approx(0.5)

@@ -1,0 +1,80 @@
+"""Tests for memory-crossbar read conflict modelling."""
+
+import numpy as np
+import pytest
+
+from repro.cim.memxbar import MemXbarBank
+from repro.errors import ConfigurationError
+
+
+class TestBankGeometry:
+    def test_num_xbars(self):
+        assert MemXbarBank(1000, rows=64).num_xbars == 16
+
+    def test_xbar_of(self):
+        bank = MemXbarBank(1000, rows=64)
+        np.testing.assert_array_equal(
+            bank.xbar_of(np.array([0, 63, 64, 127])), [0, 0, 1, 1]
+        )
+
+    def test_invalid_entries(self):
+        with pytest.raises(ConfigurationError):
+            MemXbarBank(0)
+
+
+class TestReadCycles:
+    def test_parallel_group_one_cycle(self):
+        """8 addresses on 8 different crossbars read in one cycle."""
+        bank = MemXbarBank(64 * 8, rows=64)
+        group = np.arange(8)[None, :] * 64
+        stats = bank.read_cycles(group)
+        assert stats.cycles == 1
+        assert stats.conflicts == 0
+        assert stats.accesses == 8
+
+    def test_full_conflict_serialises(self):
+        """8 addresses on one crossbar take 8 cycles (Figure 3c)."""
+        bank = MemXbarBank(64 * 8, rows=64)
+        group = np.arange(8)[None, :]  # rows 0-7 of crossbar 0
+        stats = bank.read_cycles(group)
+        assert stats.cycles == 8
+        assert stats.conflicts == 7
+
+    def test_partial_conflict(self):
+        bank = MemXbarBank(64 * 8, rows=64)
+        group = np.array([[0, 1, 64, 128, 192, 256, 320, 384]])
+        stats = bank.read_cycles(group)
+        assert stats.cycles == 2  # crossbar 0 serves two reads
+
+    def test_cache_hits_skip_reads(self):
+        bank = MemXbarBank(64 * 8, rows=64)
+        group = np.array([[0, -1, -1, -1, -1, -1, -1, -1]])
+        stats = bank.read_cycles(group)
+        assert stats.accesses == 1
+        assert stats.cycles == 1
+
+    def test_all_hits_zero_cycles(self):
+        bank = MemXbarBank(64 * 8)
+        stats = bank.read_cycles(np.full((4, 8), -1))
+        assert stats.cycles == 0
+        assert stats.accesses == 0
+        assert stats.energy_pj == 0.0
+
+    def test_multiple_groups_accumulate(self):
+        bank = MemXbarBank(64 * 8, rows=64)
+        groups = np.stack([np.arange(8) * 64, np.arange(8)])
+        stats = bank.read_cycles(groups)
+        assert stats.cycles == 1 + 8
+
+    def test_energy_proportional_to_accesses(self):
+        bank = MemXbarBank(64 * 8)
+        one = bank.read_cycles(np.array([[5]]))
+        four = bank.read_cycles(np.array([[5, 69, 133, 197]]))
+        assert four.energy_pj == pytest.approx(one.energy_pj * 4)
+
+    def test_groups_with_duplicates(self, rng):
+        """Duplicate addresses in one group still serialise on the crossbar."""
+        bank = MemXbarBank(64 * 4, rows=64)
+        group = np.array([[7, 7, 7, 7]])
+        stats = bank.read_cycles(group)
+        assert stats.cycles == 4

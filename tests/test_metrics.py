@@ -1,0 +1,99 @@
+"""Tests for image quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.image import lpips_proxy, mse, psnr, ssim
+
+
+@pytest.fixture()
+def image(rng):
+    return rng.random((32, 32, 3))
+
+
+class TestMSE:
+    def test_identity_zero(self, image):
+        assert mse(image, image) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((4, 4, 3))
+        b = np.full((4, 4, 3), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+
+    def test_symmetric(self, rng, image):
+        other = rng.random(image.shape)
+        assert mse(image, other) == pytest.approx(mse(other, image))
+
+
+class TestPSNR:
+    def test_identity_infinite(self, image):
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4, 3))
+        b = np.full((4, 4, 3), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_monotone_in_noise(self, rng, image):
+        small = np.clip(image + rng.normal(0, 0.01, image.shape), 0, 1)
+        large = np.clip(image + rng.normal(0, 0.1, image.shape), 0, 1)
+        assert psnr(image, small) > psnr(image, large)
+
+    def test_grayscale_supported(self, rng):
+        a = rng.random((16, 16))
+        b = rng.random((16, 16))
+        assert np.isfinite(psnr(a, b))
+
+
+class TestSSIM:
+    def test_identity_one(self, image):
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_bounded(self, rng, image):
+        noisy = np.clip(image + rng.normal(0, 0.2, image.shape), 0, 1)
+        value = ssim(image, noisy)
+        assert -1.0 <= value <= 1.0
+
+    def test_monotone_in_noise(self, rng, image):
+        small = np.clip(image + rng.normal(0, 0.02, image.shape), 0, 1)
+        large = np.clip(image + rng.normal(0, 0.3, image.shape), 0, 1)
+        assert ssim(image, small) > ssim(image, large)
+
+    def test_constant_shift_penalised_less_than_structure_loss(self, rng, image):
+        shifted = np.clip(image + 0.05, 0, 1)
+        scrambled = rng.permutation(image.reshape(-1, 3)).reshape(image.shape)
+        assert ssim(image, shifted) > ssim(image, scrambled)
+
+
+class TestLPIPSProxy:
+    def test_identity_zero(self, image):
+        assert lpips_proxy(image, image) == pytest.approx(0.0)
+
+    def test_nonnegative(self, rng, image):
+        other = rng.random(image.shape)
+        assert lpips_proxy(image, other) >= 0
+
+    def test_monotone_in_noise(self, rng, image):
+        small = np.clip(image + rng.normal(0, 0.02, image.shape), 0, 1)
+        large = np.clip(image + rng.normal(0, 0.3, image.shape), 0, 1)
+        assert lpips_proxy(image, small) < lpips_proxy(image, large)
+
+    def test_symmetric(self, rng, image):
+        other = rng.random(image.shape)
+        assert lpips_proxy(image, other) == pytest.approx(
+            lpips_proxy(other, image)
+        )
+
+    def test_sensitive_to_edge_changes(self, rng):
+        """Structural edits cost more than brightness shifts (perceptual)."""
+        base = np.zeros((32, 32, 3))
+        base[:, 16:, :] = 1.0  # one strong edge
+        brightness = np.clip(base + 0.05, 0, 1)
+        moved = np.zeros_like(base)
+        moved[:, 8:, :] = 1.0  # edge relocated
+        assert lpips_proxy(base, moved) > lpips_proxy(base, brightness)
+
+    def test_small_images(self, rng):
+        a, b = rng.random((6, 6, 3)), rng.random((6, 6, 3))
+        assert np.isfinite(lpips_proxy(a, b))

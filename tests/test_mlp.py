@@ -1,0 +1,141 @@
+"""Tests for the MLP substrate (forward, backward, FLOP accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nerf.mlp import MLP, MLPConfig
+
+
+class TestMLPConfig:
+    def test_layer_dims(self):
+        cfg = MLPConfig(input_dim=8, hidden_dim=16, num_hidden=2, output_dim=3)
+        assert cfg.layer_dims == [(8, 16), (16, 16), (16, 3)]
+
+    def test_zero_hidden_is_linear(self):
+        cfg = MLPConfig(input_dim=4, hidden_dim=16, num_hidden=0, output_dim=2)
+        assert cfg.layer_dims == [(4, 2)]
+
+    @pytest.mark.parametrize("field", ["input_dim", "hidden_dim", "output_dim"])
+    def test_invalid_dims_rejected(self, field):
+        kwargs = dict(input_dim=4, hidden_dim=8, num_hidden=1, output_dim=2)
+        kwargs[field] = 0
+        with pytest.raises(ConfigurationError):
+            MLPConfig(**kwargs)
+
+    def test_negative_hidden_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MLPConfig(input_dim=4, hidden_dim=8, num_hidden=-1, output_dim=2)
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        mlp = MLP(MLPConfig(6, 16, 2, 3))
+        out, cache = mlp.forward(rng.normal(size=(10, 6)))
+        assert out.shape == (10, 3)
+        assert cache is None
+
+    def test_cache_contents(self, rng):
+        mlp = MLP(MLPConfig(6, 16, 2, 3))
+        _, cache = mlp.forward(rng.normal(size=(4, 6)), keep_activations=True)
+        assert len(cache) == 3  # input + 2 hidden activations
+        assert cache[0].shape == (4, 6)
+        assert cache[1].shape == (4, 16)
+
+    def test_deterministic_with_seed(self, rng):
+        x = rng.normal(size=(5, 6))
+        a = MLP(MLPConfig(6, 8, 1, 2), seed=3)(x)
+        b = MLP(MLPConfig(6, 8, 1, 2), seed=3)(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_final_layer_linear(self, rng):
+        """Doubling the last weight matrix must double the output."""
+        mlp = MLP(MLPConfig(4, 8, 1, 2), seed=0)
+        x = rng.normal(size=(6, 4))
+        y1 = mlp(x)
+        mlp.weights[-1] *= 2.0
+        mlp.biases[-1] *= 2.0
+        np.testing.assert_allclose(mlp(x), 2.0 * y1)
+
+
+class TestBackward:
+    def test_gradient_matches_numeric(self, rng):
+        """Backward pass gradients agree with finite differences."""
+        mlp = MLP(MLPConfig(3, 5, 1, 2), seed=7)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            out, _ = mlp.forward(x)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        out, cache = mlp.forward(x, keep_activations=True)
+        _, grad_ws, grad_bs = mlp.backward(cache, out - target)
+
+        eps = 1e-6
+        for li in range(len(mlp.weights)):
+            w = mlp.weights[li]
+            i, j = 1 % w.shape[0], 0
+            w[i, j] += eps
+            up = loss()
+            w[i, j] -= 2 * eps
+            down = loss()
+            w[i, j] += eps
+            numeric = (up - down) / (2 * eps)
+            assert grad_ws[li][i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    def test_input_gradient_matches_numeric(self, rng):
+        mlp = MLP(MLPConfig(3, 5, 1, 2), seed=7)
+        x = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 2))
+        out, cache = mlp.forward(x, keep_activations=True)
+        grad_in, _, _ = mlp.backward(cache, out - target)
+
+        eps = 1e-6
+
+        def loss(xv):
+            out, _ = mlp.forward(xv)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        xp = x.copy()
+        xp[0, 1] += eps
+        xm = x.copy()
+        xm[0, 1] -= eps
+        numeric = (loss(xp) - loss(xm)) / (2 * eps)
+        assert grad_in[0, 1] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    def test_training_reduces_loss(self, rng):
+        mlp = MLP(MLPConfig(4, 16, 1, 1), seed=1)
+        x = rng.normal(size=(64, 4))
+        y = np.sin(x.sum(axis=1, keepdims=True))
+        first = None
+        for _ in range(200):
+            out, cache = mlp.forward(x, keep_activations=True)
+            err = out - y
+            loss = float(np.mean(err**2))
+            if first is None:
+                first = loss
+            _, gw, gb = mlp.backward(cache, 2 * err / len(x))
+            for wi, g in zip(mlp.weights, gw):
+                wi -= 0.05 * g
+            for bi, g in zip(mlp.biases, gb):
+                bi -= 0.05 * g
+        assert loss < first * 0.5
+
+
+class TestAccounting:
+    def test_parameter_count(self):
+        mlp = MLP(MLPConfig(4, 8, 1, 2))
+        expected = 4 * 8 + 8 + 8 * 2 + 2
+        assert mlp.parameter_count() == expected
+
+    def test_flops_per_point(self):
+        mlp = MLP(MLPConfig(4, 8, 1, 2))
+        assert mlp.flops_per_point() == 2 * (4 * 8 + 8 * 2)
+
+    def test_parameters_list_alternates(self):
+        mlp = MLP(MLPConfig(4, 8, 2, 2))
+        params = mlp.parameters()
+        assert len(params) == 6
+        assert params[0].shape == (4, 8)
+        assert params[1].shape == (8,)

@@ -1,0 +1,100 @@
+"""Tests for the Instant-NGP model and spherical harmonics."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.hashgrid import HashGridConfig
+from repro.nerf.model import InstantNGPConfig, InstantNGPModel
+from repro.nerf.spherical import SH_DIM, sh_encode
+from tests.conftest import TEST_MODEL_CONFIG
+
+
+class TestSphericalHarmonics:
+    def test_shape(self, rng):
+        dirs = rng.normal(size=(7, 3))
+        dirs /= np.linalg.norm(dirs, axis=-1, keepdims=True)
+        assert sh_encode(dirs).shape == (7, SH_DIM)
+
+    def test_constant_band(self, rng):
+        dirs = rng.normal(size=(5, 3))
+        dirs /= np.linalg.norm(dirs, axis=-1, keepdims=True)
+        out = sh_encode(dirs)
+        np.testing.assert_allclose(out[:, 0], 0.28209479177387814)
+
+    def test_orthogonality(self, rng):
+        """SH basis functions are orthonormal under the sphere measure."""
+        n = 40000
+        dirs = rng.normal(size=(n, 3))
+        dirs /= np.linalg.norm(dirs, axis=-1, keepdims=True)
+        basis = sh_encode(dirs)
+        gram = basis.T @ basis * (4 * np.pi / n)
+        np.testing.assert_allclose(gram, np.eye(SH_DIM), atol=0.15)
+
+    def test_direction_sensitivity(self):
+        a = sh_encode(np.array([[0.0, 0.0, 1.0]]))
+        b = sh_encode(np.array([[1.0, 0.0, 0.0]]))
+        assert not np.allclose(a, b)
+
+
+class TestInstantNGPModel:
+    def test_query_density_shapes(self, rng):
+        model = InstantNGPModel(TEST_MODEL_CONFIG, seed=0)
+        sigma, geo = model.query_density(rng.random((12, 3)))
+        assert sigma.shape == (12,)
+        assert geo.shape == (12, TEST_MODEL_CONFIG.geo_feature_dim)
+
+    def test_density_nonnegative(self, rng):
+        model = InstantNGPModel(TEST_MODEL_CONFIG, seed=0)
+        sigma, _ = model.query_density(rng.random((50, 3)))
+        assert np.all(sigma >= 0)
+
+    def test_query_color_in_unit_range(self, rng):
+        model = InstantNGPModel(TEST_MODEL_CONFIG, seed=0)
+        _, geo = model.query_density(rng.random((10, 3)))
+        dirs = rng.normal(size=(10, 3))
+        dirs /= np.linalg.norm(dirs, axis=-1, keepdims=True)
+        rgb = model.query_color(geo, dirs)
+        assert rgb.shape == (10, 3)
+        assert np.all((rgb >= 0) & (rgb <= 1))
+
+    def test_query_combines(self, rng):
+        model = InstantNGPModel(TEST_MODEL_CONFIG, seed=0)
+        pts = rng.random((6, 3))
+        dirs = rng.normal(size=(6, 3))
+        dirs /= np.linalg.norm(dirs, axis=-1, keepdims=True)
+        sigma, rgb = model.query(pts, dirs)
+        sigma2, geo = model.query_density(pts)
+        np.testing.assert_allclose(sigma, sigma2)
+        np.testing.assert_allclose(rgb, model.query_color(geo, dirs))
+
+    def test_flop_split_matches_paper_shape(self):
+        """Default config: density ~8% / color ~92% of MLP FLOPs (Sec. 3)."""
+        model = InstantNGPModel(InstantNGPConfig())
+        density = model.flops_density_per_point()
+        color = model.flops_color_per_point()
+        share = density / (density + color)
+        assert 0.04 < share < 0.15
+
+    def test_embedding_flops_small_share(self):
+        model = InstantNGPModel(InstantNGPConfig())
+        emb = model.flops_embedding_per_point()
+        total = emb + model.flops_density_per_point() + model.flops_color_per_point()
+        assert emb / total < 0.1
+
+    def test_bytes_embedding(self):
+        cfg = InstantNGPConfig(
+            grid=HashGridConfig(num_levels=4, feature_dim=2, table_size=2**10,
+                                base_resolution=4, max_resolution=32)
+        )
+        model = InstantNGPModel(cfg)
+        assert model.bytes_embedding_per_point() == 4 * 8 * 2 * 2
+
+    def test_parameter_count_positive(self):
+        model = InstantNGPModel(TEST_MODEL_CONFIG)
+        assert model.parameter_count() > TEST_MODEL_CONFIG.grid.table_size
+
+    def test_deterministic_by_seed(self, rng):
+        pts = rng.random((5, 3))
+        a = InstantNGPModel(TEST_MODEL_CONFIG, seed=2).query_density(pts)[0]
+        b = InstantNGPModel(TEST_MODEL_CONFIG, seed=2).query_density(pts)[0]
+        np.testing.assert_array_equal(a, b)

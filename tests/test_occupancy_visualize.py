@@ -1,0 +1,99 @@
+"""Tests for the occupancy grid and ASCII visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nerf.occupancy import (
+    OccupancyGrid,
+    build_occupancy_grid,
+    skip_statistics,
+)
+from repro.utils.visualize import ascii_bars, ascii_heatmap, budget_map_ascii
+
+
+class TestOccupancyGrid:
+    def test_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            OccupancyGrid(resolution=4, occupied=np.zeros((4, 4)))
+
+    def test_query_matches_grid(self):
+        occupied = np.zeros((4, 4, 4), dtype=bool)
+        occupied[2, 1, 3] = True
+        grid = OccupancyGrid(4, occupied)
+        inside = np.array([[0.6, 0.3, 0.9]])   # voxel (2,1,3)
+        outside = np.array([[0.1, 0.1, 0.1]])
+        assert grid.query(inside)[0]
+        assert not grid.query(outside)[0]
+
+    def test_occupancy_rate(self):
+        occupied = np.zeros((4, 4, 4), dtype=bool)
+        occupied[0, 0, 0] = True
+        assert OccupancyGrid(4, occupied).occupancy_rate == pytest.approx(1 / 64)
+
+    def test_filter_samples_zeroes_empty(self, rng):
+        occupied = np.zeros((4, 4, 4), dtype=bool)
+        grid = OccupancyGrid(4, occupied)
+        points = rng.random((3, 5, 3))
+        sigmas = rng.random((3, 5))
+        filtered = grid.filter_samples(points, sigmas)
+        np.testing.assert_array_equal(filtered, np.zeros((3, 5)))
+
+    def test_invalid_resolution(self, trained_model):
+        with pytest.raises(ConfigurationError):
+            build_occupancy_grid(trained_model, resolution=1)
+
+
+class TestBuildFromModel:
+    def test_grid_tracks_scene(self, trained_model, lego_dataset, rng):
+        grid = build_occupancy_grid(trained_model, resolution=24)
+        # Occupied where the analytic scene is dense, empty in corners.
+        assert 0.01 < grid.occupancy_rate < 0.9
+        dense_pts = rng.random((3000, 3))
+        truth = lego_dataset.scene.density(dense_pts) > 5.0
+        pred = grid.query(dense_pts)
+        # Conservative: almost everything truly dense is marked occupied.
+        assert pred[truth].mean() > 0.9
+
+    def test_dilation_grows_occupancy(self, trained_model):
+        tight = build_occupancy_grid(trained_model, resolution=16, dilation=0)
+        loose = build_occupancy_grid(trained_model, resolution=16, dilation=2)
+        assert loose.occupancy_rate >= tight.occupancy_rate
+
+    def test_skip_statistics(self, trained_model, rng):
+        grid = build_occupancy_grid(trained_model, resolution=16)
+        stats = skip_statistics(grid, rng.random((500, 3)))
+        assert stats["total_samples"] == 500
+        assert 0.0 <= stats["skip_rate"] <= 1.0
+        assert stats["skipped_samples"] == 500 - round(
+            500 * (1 - stats["skip_rate"])
+        )
+
+
+class TestAsciiVisuals:
+    def test_heatmap_dimensions(self):
+        out = ascii_heatmap(np.arange(12.0).reshape(3, 4))
+        assert len(out.splitlines()) == 3
+
+    def test_heatmap_monotone_ramp(self):
+        out = ascii_heatmap(np.array([[0.0, 1.0]]))
+        assert out[0] == " " and out[-1] == "@"
+
+    def test_heatmap_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.arange(5.0))
+
+    def test_heatmap_downsamples_wide_input(self):
+        out = ascii_heatmap(np.zeros((100, 200)), width=50)
+        assert max(len(l) for l in out.splitlines()) <= 50
+
+    def test_bars_layout(self):
+        out = ascii_bars(["enc", "mlp"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("enc")
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_budget_map(self, asdr_result):
+        out = budget_map_ascii(asdr_result.plan, 24, 24)
+        assert len(out.splitlines()) >= 8

@@ -1,0 +1,82 @@
+"""Paper-scale configuration tests (marked slow).
+
+These exercise the code paths at the paper's actual dimensions — 16-level
+2^19-entry grids, 192-sample rays, 800x800 cameras — without rendering
+full frames (that is minutes of NumPy time); deselect with
+``-m "not slow"``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cim.address import HybridAddressGenerator
+from repro.cim.mapping import (
+    average_utilization,
+    hybrid_utilization,
+    storage_utilization,
+)
+from repro.core.config import AdaptiveSamplingConfig
+from repro.nerf.hashgrid import HashGridConfig, HashGridEncoder
+from repro.nerf.model import InstantNGPConfig, InstantNGPModel
+from repro.scenes.cameras import orbit_cameras
+
+PAPER_GRID = HashGridConfig(
+    num_levels=16, table_size=2**19, base_resolution=16, max_resolution=512
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestPaperScaleGrid:
+    def test_sixteen_levels_resolutions(self):
+        res = PAPER_GRID.level_resolutions
+        assert len(res) == 16
+        assert res[0] == 16 and res[-1] == 512
+
+    def test_table_memory_matches_paper(self):
+        """16 tables x 2^19 entries x 2 features ~ 60 MB at fp16+overhead."""
+        encoder = HashGridEncoder(PAPER_GRID)
+        entries = encoder.parameter_count()
+        megabytes = entries * 2 / 2**20  # 2 bytes per feature
+        assert 30 <= megabytes <= 64
+
+    def test_encoding_at_scale(self):
+        encoder = HashGridEncoder(PAPER_GRID)
+        rng = np.random.default_rng(0)
+        out = encoder.encode(rng.random((512, 3)))
+        assert out.shape == (512, 32)
+        assert np.all(np.isfinite(out))
+
+    def test_utilization_matches_figure13(self):
+        """Paper: 62.20% -> 85.95% average on this exact configuration."""
+        orig = average_utilization(storage_utilization(PAPER_GRID))
+        hybrid = average_utilization(hybrid_utilization(PAPER_GRID))
+        assert orig == pytest.approx(0.622, abs=0.08)
+        assert hybrid == pytest.approx(0.8595, abs=0.08)
+
+    def test_hybrid_generator_levels(self):
+        gen = HybridAddressGenerator(PAPER_GRID, mode="hybrid")
+        dense_levels = [m for m in gen.levels if m.dense]
+        # The low-resolution levels (up to ~64^3 < 2^19) de-hash.
+        assert 5 <= len(dense_levels) <= 9
+        assert all(m.copies >= 1 for m in dense_levels)
+
+
+class TestPaperScaleSampling:
+    def test_192_sample_candidates(self):
+        cfg = AdaptiveSamplingConfig()
+        counts = cfg.candidate_counts(192)
+        assert counts[-1] == 192
+        assert counts[0] == 12  # the paper's background budget
+
+    def test_800x800_camera_rays(self):
+        camera = orbit_cameras(1, 800, 800)[0]
+        sub = camera.rays_for_pixels(np.array([0, 640000 - 1]))
+        assert sub[0].shape == (2, 3)
+
+    def test_full_width_model_flop_split(self):
+        """The paper-scale model keeps the ~8/92 density/color split."""
+        model = InstantNGPModel(InstantNGPConfig(grid=PAPER_GRID))
+        d = model.flops_density_per_point()
+        c = model.flops_color_per_point()
+        assert 0.04 < d / (d + c) < 0.15

@@ -1,0 +1,137 @@
+"""Tests for the two-phase ASDR renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    ASDRConfig,
+    AdaptiveSamplingConfig,
+    ApproximationConfig,
+)
+from repro.core.pipeline import ASDRRenderer
+from repro.metrics.image import psnr
+
+
+class TestPlanning:
+    def test_plan_shape(self, trained_model, lego_dataset):
+        renderer = ASDRRenderer(trained_model, num_samples=24)
+        plan, probe_rgb, counts, probe_points = renderer.plan_sampling(
+            lego_dataset.cameras[0]
+        )
+        assert plan.budgets.shape == (24 * 24,)
+        assert len(plan.probe_indices) == len(probe_rgb)
+        assert probe_points > 0
+
+    def test_budgets_within_range(self, asdr_result):
+        budgets = asdr_result.plan.budgets
+        assert budgets.min() >= 1
+        assert budgets.max() <= 24
+
+    def test_adaptive_disabled_uniform_budgets(self, trained_model, lego_dataset):
+        renderer = ASDRRenderer(
+            trained_model,
+            config=ASDRConfig(adaptive=None),
+            num_samples=24,
+        )
+        plan, _, _, _ = renderer.plan_sampling(lego_dataset.cameras[0])
+        np.testing.assert_array_equal(plan.budgets, np.full(24 * 24, 24))
+        assert len(plan.probe_indices) == 0
+
+    def test_adaptive_sampling_saves_points(self, asdr_result):
+        assert asdr_result.plan.average_budget < 24
+        assert asdr_result.plan.savings > 0.1
+
+    def test_num_candidates_recorded(self, asdr_result):
+        assert asdr_result.plan.num_candidates >= 2
+
+
+class TestRenderImage:
+    def test_image_shape(self, asdr_result):
+        assert asdr_result.image.shape == (24, 24, 3)
+
+    def test_near_lossless_vs_baseline(self, asdr_result, baseline_result):
+        """The paper's headline: ~0.1 dB quality loss (we check >=30 dB
+        agreement, i.e. visually indistinguishable)."""
+        assert psnr(asdr_result.image, baseline_result.image) > 30.0
+
+    def test_fewer_color_than_density_points(self, asdr_result):
+        assert asdr_result.color_points < asdr_result.density_points
+
+    def test_interpolated_points_positive(self, asdr_result):
+        assert asdr_result.interpolated_points > 0
+
+    def test_total_flops_below_baseline(self, asdr_result, baseline_result):
+        assert asdr_result.total_flops < baseline_result.total_flops
+
+    def test_summary_keys(self, asdr_result):
+        summary = asdr_result.summary()
+        for key in ("rays", "density_points", "color_points", "total_flops"):
+            assert key in summary
+
+    def test_probe_pixels_use_full_render(self, asdr_result):
+        probe_counts = asdr_result.sample_counts[asdr_result.plan.probe_indices]
+        np.testing.assert_array_equal(probe_counts, np.full(len(probe_counts), 24))
+
+
+class TestConfigVariants:
+    @pytest.fixture(scope="class")
+    def camera(self, lego_dataset):
+        return lego_dataset.cameras[0]
+
+    def test_zero_threshold_near_exact(self, trained_model, camera, baseline_result):
+        config = ASDRConfig(
+            adaptive=AdaptiveSamplingConfig(threshold=0.0), approximation=None
+        )
+        result = ASDRRenderer(trained_model, config=config, num_samples=24).render_image(camera)
+        assert psnr(result.image, baseline_result.image) > 45.0
+
+    def test_higher_threshold_fewer_points(self, trained_model, camera):
+        strict = ASDRRenderer(
+            trained_model,
+            config=ASDRConfig(adaptive=AdaptiveSamplingConfig(threshold=1e-4)),
+            num_samples=24,
+        ).render_image(camera)
+        loose = ASDRRenderer(
+            trained_model,
+            config=ASDRConfig(adaptive=AdaptiveSamplingConfig(threshold=0.05)),
+            num_samples=24,
+        ).render_image(camera)
+        assert loose.density_points <= strict.density_points
+
+    def test_larger_group_fewer_color_evals(self, trained_model, camera):
+        results = {}
+        for n in (2, 4):
+            config = ASDRConfig(adaptive=None, approximation=ApproximationConfig(n))
+            results[n] = ASDRRenderer(
+                trained_model, config=config, num_samples=24
+            ).render_image(camera)
+        assert results[4].color_points < results[2].color_points
+        assert results[4].density_points == results[2].density_points
+
+    def test_early_termination_reduces_samples(self, trained_model, camera):
+        no_et = ASDRRenderer(
+            trained_model,
+            config=ASDRConfig(adaptive=None, approximation=None),
+            num_samples=24,
+        ).render_image(camera)
+        with_et = ASDRRenderer(
+            trained_model,
+            config=ASDRConfig(adaptive=None, approximation=None,
+                              early_termination=0.99),
+            num_samples=24,
+        ).render_image(camera)
+        assert with_et.density_points < no_et.density_points
+
+    def test_all_disabled_matches_baseline_renderer(
+        self, trained_model, camera, baseline_result
+    ):
+        config = ASDRConfig(adaptive=None, approximation=None)
+        result = ASDRRenderer(
+            trained_model, config=config, num_samples=24
+        ).render_image(camera)
+        np.testing.assert_allclose(result.image, baseline_result.image, atol=1e-9)
+
+    def test_works_with_tensorf(self, trained_tensorf, camera):
+        result = ASDRRenderer(trained_tensorf, num_samples=24).render_image(camera)
+        assert result.image.shape == (24, 24, 3)
+        assert result.color_points < result.density_points

@@ -1,0 +1,168 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check the invariants the reproduction's conclusions rest on, over
+randomly generated inputs rather than fixtures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cim.address import bit_reorder_address, dense_slot_size
+from repro.cim.cache import exact_lru_hits, window_hits
+from repro.cim.memxbar import MemXbarBank
+from repro.core.approximation import anchor_indices, interpolate_group_colors
+from repro.core.sampling_plan import interpolate_budgets, probe_pixel_indices
+from repro.metrics.image import psnr, ssim
+from repro.nerf.hashgrid import hash_coords
+from repro.nerf.volume import (
+    composite,
+    composite_subsample,
+    early_termination_counts,
+    transmittance,
+)
+
+finite = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestVolumeProperties:
+    @given(st.integers(1, 32), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_composite_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sigmas = rng.random((4, n)) * 50
+        colors = rng.random((4, n, 3))
+        deltas = rng.random((4, n)) * 0.2
+        rgb, opacity = composite(sigmas, colors, deltas, background=1.0)
+        assert np.all(rgb >= -1e-9)
+        assert np.all(rgb <= 1.0 + 1e-9)
+        assert np.all((opacity >= 0) & (opacity <= 1 + 1e-9))
+
+    @given(st.integers(1, 32), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_transmittance_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        alphas = rng.random((3, n))
+        trans = transmittance(alphas)
+        assert np.all((trans >= 0) & (trans <= 1 + 1e-12))
+
+    @given(st.integers(2, 64), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_subsample_error_vanishes_at_full_count(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sigmas = rng.random((2, n)) * 20
+        colors = rng.random((2, n, 3))
+        deltas = np.full((2, n), 0.05)
+        full, _ = composite(sigmas, colors, deltas)
+        sub = composite_subsample(sigmas, colors, deltas, n)
+        np.testing.assert_allclose(sub, full, atol=1e-9)
+
+    @given(st.integers(1, 32), st.floats(0.5, 0.999), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_early_termination_monotone(self, n, threshold, seed):
+        rng = np.random.default_rng(seed)
+        sigmas = rng.random((4, n)) * 30
+        deltas = np.full((4, n), 0.1)
+        counts = early_termination_counts(sigmas, deltas, threshold)
+        tighter = early_termination_counts(sigmas, deltas, min(0.9999, threshold + 0.0005))
+        assert np.all(counts <= tighter)
+
+
+class TestApproximationProperties:
+    @given(st.integers(2, 48), st.integers(1, 8), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_interpolation_convexity(self, n, g, seed):
+        rng = np.random.default_rng(seed)
+        anchors = anchor_indices(n, g)
+        anchor_colors = rng.random((3, len(anchors), 3))
+        t = np.sort(rng.random((3, n)), axis=-1)
+        out = interpolate_group_colors(anchor_colors, anchors, t)
+        assert out.min() >= anchor_colors.min() - 1e-12
+        assert out.max() <= anchor_colors.max() + 1e-12
+
+    @given(st.integers(1, 64), st.integers(1, 8))
+    @settings(max_examples=40)
+    def test_anchor_savings_bounded(self, n, g):
+        anchors = anchor_indices(n, g)
+        assert 1 <= len(anchors) <= n
+
+
+class TestAddressProperties:
+    @given(st.integers(2, 32), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_reorder_injective_on_random_coords(self, res, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.integers(0, res + 1, size=(64, 3))
+        unique_coords = np.unique(coords, axis=0)
+        addrs = bit_reorder_address(unique_coords, res)
+        assert len(np.unique(addrs)) == len(unique_coords)
+        assert addrs.max() < dense_slot_size(res)
+
+    @given(st.integers(8, 2**16), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_hash_uniform_range(self, table, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.integers(0, 10000, size=(256, 3))
+        idx = hash_coords(coords, table)
+        assert idx.min() >= 0
+        assert idx.max() < table
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=60),
+           st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_window_subset_of_lru(self, stream, cap):
+        stream = np.array(stream)
+        w = window_hits(stream, cap)
+        l = exact_lru_hits(stream, cap)
+        assert np.all(~w | l)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_first_occurrences_always_miss(self, stream):
+        stream = np.array(stream)
+        hits = window_hits(stream, 10**6)
+        first_pos = {}
+        for i, v in enumerate(stream.tolist()):
+            if v not in first_pos:
+                first_pos[v] = i
+                assert not hits[i]
+
+
+class TestConflictProperties:
+    @given(st.integers(1, 8), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_bounded_by_group_size(self, k, seed):
+        rng = np.random.default_rng(seed)
+        bank = MemXbarBank(64 * 16)
+        group = rng.integers(0, 64 * 16, size=(5, k))
+        stats = bank.read_cycles(group)
+        assert 5 <= stats.cycles <= 5 * k
+
+
+class TestPlanProperties:
+    @given(st.integers(6, 40), st.integers(6, 40), st.integers(2, 8),
+           st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_interpolated_budgets_within_probe_range(self, h, w, stride, seed):
+        rng = np.random.default_rng(seed)
+        _, rows, cols = probe_pixel_indices(h, w, stride)
+        probe = rng.integers(4, 48, size=len(rows) * len(cols)).astype(float)
+        out = interpolate_budgets(probe, rows, cols, h, w)
+        assert out.min() >= np.floor(probe.min())
+        assert out.max() <= np.ceil(probe.max())
+
+
+class TestMetricProperties:
+    @given(st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_psnr_ssim_agree_on_ranking(self, seed):
+        """Both metrics must rank a lightly-corrupted image above a
+        heavily-corrupted one."""
+        rng = np.random.default_rng(seed)
+        img = rng.random((24, 24, 3))
+        light = np.clip(img + rng.normal(0, 0.02, img.shape), 0, 1)
+        heavy = np.clip(img + rng.normal(0, 0.25, img.shape), 0, 1)
+        assert psnr(img, light) > psnr(img, heavy)
+        assert ssim(img, light) > ssim(img, heavy)

@@ -1,0 +1,95 @@
+"""Tests for ray/AABB intersection and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.rays import ray_aabb_intersect, sample_along_rays
+
+
+class TestIntersect:
+    def test_ray_through_center_hits(self):
+        o = np.array([[-1.0, 0.5, 0.5]])
+        d = np.array([[1.0, 0.0, 0.0]])
+        t_near, t_far, hit = ray_aabb_intersect(o, d)
+        assert hit[0]
+        assert t_near[0] == pytest.approx(1.0)
+        assert t_far[0] == pytest.approx(2.0)
+
+    def test_ray_missing_cube(self):
+        o = np.array([[-1.0, 5.0, 0.5]])
+        d = np.array([[1.0, 0.0, 0.0]])
+        _, _, hit = ray_aabb_intersect(o, d)
+        assert not hit[0]
+
+    def test_origin_inside_cube(self):
+        o = np.array([[0.5, 0.5, 0.5]])
+        d = np.array([[0.0, 0.0, 1.0]])
+        t_near, t_far, hit = ray_aabb_intersect(o, d)
+        assert hit[0]
+        assert t_near[0] == pytest.approx(0.0)
+        assert t_far[0] == pytest.approx(0.5)
+
+    def test_diagonal_ray(self):
+        o = np.array([[-1.0, -1.0, -1.0]])
+        d = np.array([[1.0, 1.0, 1.0]]) / np.sqrt(3)
+        t_near, t_far, hit = ray_aabb_intersect(o, d)
+        assert hit[0]
+        assert t_far[0] > t_near[0] > 0
+
+    def test_axis_parallel_ray_outside(self):
+        o = np.array([[2.0, 0.5, 0.5]])
+        d = np.array([[0.0, 1.0, 0.0]])
+        _, _, hit = ray_aabb_intersect(o, d)
+        assert not hit[0]
+
+
+class TestSampling:
+    def test_shapes(self, rng):
+        o = np.tile([[-1.0, 0.5, 0.5]], (5, 1))
+        d = np.tile([[1.0, 0.0, 0.0]], (5, 1))
+        points, deltas, hit = sample_along_rays(o, d, 16)
+        assert points.shape == (5, 16, 3)
+        assert deltas.shape == (5, 16)
+        assert hit.shape == (5,)
+
+    def test_points_inside_cube(self):
+        o = np.array([[-2.0, 0.3, 0.7]])
+        d = np.array([[1.0, 0.1, -0.05]])
+        d = d / np.linalg.norm(d)
+        points, _, hit = sample_along_rays(o, d, 32)
+        assert hit[0]
+        assert points.min() >= 0.0
+        assert points.max() < 1.0
+
+    def test_deltas_cover_span(self):
+        o = np.array([[-1.0, 0.5, 0.5]])
+        d = np.array([[1.0, 0.0, 0.0]])
+        _, deltas, _ = sample_along_rays(o, d, 10)
+        assert deltas.sum() == pytest.approx(1.0)  # chord length through cube
+
+    def test_missed_ray_zero_deltas(self):
+        o = np.array([[5.0, 5.0, 5.0]])
+        d = np.array([[1.0, 0.0, 0.0]])
+        _, deltas, hit = sample_along_rays(o, d, 8)
+        assert not hit[0]
+        np.testing.assert_array_equal(deltas, np.zeros((1, 8)))
+
+    def test_points_monotone_along_ray(self):
+        o = np.array([[-1.0, 0.5, 0.5]])
+        d = np.array([[1.0, 0.0, 0.0]])
+        points, _, _ = sample_along_rays(o, d, 16)
+        assert np.all(np.diff(points[0, :, 0]) > 0)
+
+    def test_jitter_stays_in_cube(self, rng):
+        o = np.tile([[-1.0, 0.5, 0.5]], (20, 1))
+        d = np.tile([[1.0, 0.0, 0.0]], (20, 1))
+        points, _, _ = sample_along_rays(o, d, 16, jitter_rng=rng)
+        assert points.min() >= 0.0
+        assert points.max() < 1.0
+
+    def test_jitter_changes_positions(self, rng):
+        o = np.array([[-1.0, 0.5, 0.5]])
+        d = np.array([[1.0, 0.0, 0.0]])
+        a, _, _ = sample_along_rays(o, d, 16)
+        b, _, _ = sample_along_rays(o, d, 16, jitter_rng=rng)
+        assert not np.allclose(a, b)

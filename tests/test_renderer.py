@@ -1,0 +1,98 @@
+"""Tests for the baseline renderer and its operation accounting."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.image import psnr
+from repro.nerf.renderer import BaselineRenderer
+from repro.nerf.volume import composite
+
+
+class TestRenderRays:
+    def test_shapes(self, trained_model, lego_dataset):
+        renderer = BaselineRenderer(trained_model, num_samples=16)
+        origins, dirs = lego_dataset.cameras[0].pixel_rays()
+        points, sigmas, colors, deltas, hit = renderer.render_rays(
+            origins[:10], dirs[:10]
+        )
+        assert points.shape == (10, 16, 3)
+        assert sigmas.shape == (10, 16)
+        assert colors.shape == (10, 16, 3)
+        assert deltas.shape == (10, 16)
+        assert hit.shape == (10,)
+
+    def test_missed_rays_zero_sigma(self, trained_model):
+        renderer = BaselineRenderer(trained_model, num_samples=8)
+        origins = np.array([[10.0, 10.0, 10.0]])
+        dirs = np.array([[1.0, 0.0, 0.0]])
+        _, sigmas, _, _, hit = renderer.render_rays(origins, dirs)
+        assert not hit[0]
+        np.testing.assert_array_equal(sigmas, np.zeros((1, 8)))
+
+
+class TestRenderImage:
+    def test_image_shape_range(self, baseline_result):
+        assert baseline_result.image.shape == (24, 24, 3)
+        assert baseline_result.image.min() >= 0
+        assert baseline_result.image.max() <= 1 + 1e-9
+
+    def test_quality_against_reference(self, baseline_result, lego_dataset):
+        reference = lego_dataset.reference_image(0, num_samples=128)
+        assert psnr(baseline_result.image, reference) > 18.0
+
+    def test_num_rays(self, baseline_result):
+        assert baseline_result.num_rays == 24 * 24
+
+    def test_points_counted(self, baseline_result):
+        # Only rays hitting the cube march samples.
+        assert 0 < baseline_result.points_total <= 24 * 24 * 24
+        assert baseline_result.color_points == baseline_result.points_total
+
+    def test_flops_nonzero_per_phase(self, baseline_result):
+        for phase in ("embedding", "density", "color", "volume"):
+            assert baseline_result.phase_counts[phase].flops > 0
+
+    def test_flops_fraction_sums_to_one(self, baseline_result):
+        total = sum(
+            baseline_result.flops_fraction(p)
+            for p in ("embedding", "density", "color", "volume")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_color_dominates_flops(self, baseline_result):
+        """The paper's Challenge 2: color MLP carries most FLOPs."""
+        assert baseline_result.flops_fraction("color") > 0.5
+
+    def test_batching_invariance(self, trained_model, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        a = BaselineRenderer(trained_model, num_samples=12, batch_rays=64)
+        b = BaselineRenderer(trained_model, num_samples=12, batch_rays=4096)
+        np.testing.assert_allclose(
+            a.render_image(camera).image, b.render_image(camera).image
+        )
+
+
+class TestEarlyTermination:
+    def test_reduces_points(self, trained_model, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        full = BaselineRenderer(trained_model, num_samples=24)
+        et = BaselineRenderer(trained_model, num_samples=24, early_termination=0.99)
+        r_full = full.render_image(camera)
+        r_et = et.render_image(camera)
+        assert r_et.points_total < r_full.points_total
+
+    def test_quality_preserved(self, trained_model, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        full = BaselineRenderer(trained_model, num_samples=24).render_image(camera)
+        et = BaselineRenderer(
+            trained_model, num_samples=24, early_termination=0.999
+        ).render_image(camera)
+        assert psnr(et.image, full.image) > 30.0
+
+    def test_sample_counts_bounded(self, trained_model, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        result = BaselineRenderer(
+            trained_model, num_samples=24, early_termination=0.99
+        ).render_image(camera)
+        assert result.sample_counts.max() <= 24
+        assert result.sample_counts.min() >= 0

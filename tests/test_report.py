@@ -1,0 +1,54 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.experiments.harness import EXPERIMENTS
+from repro.experiments.report import PAPER_REFERENCE, generate_report
+from repro.experiments.workbench import Workbench, WorkbenchConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_wb(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("report-models")
+    return Workbench(
+        WorkbenchConfig(
+            width=20,
+            height=20,
+            num_samples=12,
+            train_steps=40,
+            train_batch=256,
+            cache_dir=str(cache),
+        )
+    )
+
+
+class TestPaperReference:
+    def test_every_paper_artifact_has_reference(self):
+        """All fig*/table* experiments carry quoted paper values."""
+        for exp_id in EXPERIMENTS:
+            if exp_id.startswith("ext_"):
+                continue
+            assert exp_id in PAPER_REFERENCE, exp_id
+
+    def test_references_nonempty(self):
+        for exp_id, text in PAPER_REFERENCE.items():
+            assert len(text) > 20, exp_id
+
+
+class TestGenerateReport:
+    def test_subset_report(self, tiny_wb, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        text = generate_report(
+            str(path), tiny_wb, experiment_ids=["fig5", "fig13", "table2"]
+        )
+        assert path.exists()
+        assert "## fig5" in text
+        assert "## fig13" in text
+        assert "## table2" in text
+        assert "**Paper:**" in text
+        assert "**Measured:**" in text
+
+    def test_report_contains_scale_note(self, tiny_wb, tmp_path):
+        path = tmp_path / "r.md"
+        text = generate_report(str(path), tiny_wb, experiment_ids=["table2"])
+        assert "20x20" in text

@@ -1,0 +1,102 @@
+"""Tests for probe grids and budget interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sampling_plan import (
+    SamplingPlan,
+    interpolate_budgets,
+    probe_pixel_indices,
+)
+from repro.errors import ConfigurationError
+
+
+class TestProbeGrid:
+    def test_includes_corners(self):
+        idx, rows, cols = probe_pixel_indices(20, 20, 5)
+        assert 0 in idx
+        assert (20 * 20 - 1) in idx
+
+    def test_stride_one_covers_everything(self):
+        idx, rows, cols = probe_pixel_indices(6, 7, 1)
+        assert len(idx) == 42
+
+    def test_probe_count_roughly_inverse_square(self):
+        idx, _, _ = probe_pixel_indices(50, 50, 5)
+        assert len(idx) == pytest.approx(50 * 50 / 25, rel=0.3)
+
+    def test_invalid_stride(self):
+        with pytest.raises(ConfigurationError):
+            probe_pixel_indices(10, 10, 0)
+
+    def test_rows_cols_sorted_unique(self):
+        _, rows, cols = probe_pixel_indices(23, 17, 4)
+        assert np.all(np.diff(rows) > 0)
+        assert np.all(np.diff(cols) > 0)
+        assert rows[-1] == 22
+        assert cols[-1] == 16
+
+
+class TestInterpolation:
+    def test_constant_field_preserved(self):
+        _, rows, cols = probe_pixel_indices(16, 16, 4)
+        probe = np.full(len(rows) * len(cols), 24.0)
+        out = interpolate_budgets(probe, rows, cols, 16, 16)
+        np.testing.assert_array_equal(out, np.full(256, 24))
+
+    def test_probe_values_recovered(self):
+        _, rows, cols = probe_pixel_indices(12, 12, 3)
+        rng = np.random.default_rng(0)
+        probe = rng.integers(4, 48, size=len(rows) * len(cols)).astype(float)
+        out = interpolate_budgets(probe, rows, cols, 12, 12).reshape(12, 12)
+        grid = probe.reshape(len(rows), len(cols))
+        for i, r in enumerate(rows):
+            for j, c in enumerate(cols):
+                assert out[r, c] == int(np.ceil(grid[i, j] - 1e-9))
+
+    def test_interpolation_bounded_by_neighbours(self):
+        _, rows, cols = probe_pixel_indices(10, 10, 9)
+        probe = np.array([10.0, 20.0, 30.0, 40.0])  # 2x2 probe grid
+        out = interpolate_budgets(probe, rows, cols, 10, 10)
+        assert out.min() >= 10
+        assert out.max() <= 40
+
+    def test_paper_weight_example(self):
+        """Figure 6a: a pixel 1/3 of the way between probes mixes 2/3 + 1/3."""
+        rows = np.array([0, 3])
+        cols = np.array([0, 3])
+        probe = np.array([30.0, 30.0, 0.0, 0.0])  # top row 30, bottom row 0
+        out = interpolate_budgets(probe, rows, cols, 4, 4).reshape(4, 4)
+        assert out[1, 0] == int(np.ceil(2 / 3 * 30))
+
+    @given(st.integers(2, 6), st.integers(2, 6))
+    @settings(max_examples=20)
+    def test_output_covers_all_pixels(self, h_factor, w_factor):
+        height, width = 4 * h_factor, 4 * w_factor
+        _, rows, cols = probe_pixel_indices(height, width, 4)
+        probe = np.arange(len(rows) * len(cols), dtype=float)
+        out = interpolate_budgets(probe, rows, cols, height, width)
+        assert out.shape == (height * width,)
+        assert np.all(out >= 0)
+
+
+class TestSamplingPlan:
+    def test_average_budget(self):
+        plan = SamplingPlan(
+            budgets=np.array([10, 20, 30, 40]),
+            probe_indices=np.array([0]),
+            probe_budgets=np.array([10]),
+            full_budget=40,
+        )
+        assert plan.average_budget == 25.0
+        assert plan.savings == pytest.approx(1 - 25 / 40)
+
+    def test_budget_image_shape(self):
+        plan = SamplingPlan(
+            budgets=np.arange(12),
+            probe_indices=np.array([]),
+            probe_budgets=np.array([]),
+            full_budget=12,
+        )
+        assert plan.budget_image(3, 4).shape == (3, 4)

@@ -1,0 +1,147 @@
+"""Tests for analytic scenes, cameras and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SceneError
+from repro.scenes.analytic import AnalyticScene, make_scene, scene_names
+from repro.scenes.cameras import Camera, look_at_pose, orbit_cameras
+from repro.scenes.dataset import load_dataset, render_analytic
+
+
+class TestSceneRegistry:
+    def test_ten_scenes(self):
+        assert len(scene_names()) == 10
+
+    def test_paper_scene_names_present(self):
+        expected = {"palace", "fountain", "family", "fox", "mic",
+                    "lego", "hotdog", "ficus", "chair", "ship"}
+        assert set(scene_names()) == expected
+
+    def test_unknown_scene_raises(self):
+        with pytest.raises(SceneError):
+            make_scene("does-not-exist")
+
+    @pytest.mark.parametrize("name", scene_names())
+    def test_every_scene_builds(self, name):
+        scene = make_scene(name)
+        assert scene.name == name
+
+
+class TestSceneFields:
+    @pytest.mark.parametrize("name", ["lego", "mic", "palace"])
+    def test_density_nonnegative_bounded(self, name, rng):
+        scene = make_scene(name)
+        pts = rng.random((500, 3))
+        sigma = scene.density(pts)
+        assert np.all(sigma >= 0)
+        assert np.all(sigma <= scene.sigma_max + 1e-9)
+
+    @pytest.mark.parametrize("name", ["lego", "ship", "fox"])
+    def test_colors_in_unit_range(self, name, rng):
+        scene = make_scene(name)
+        pts = rng.random((200, 3))
+        dirs = rng.normal(size=(200, 3))
+        dirs /= np.linalg.norm(dirs, axis=-1, keepdims=True)
+        colors = scene.color(pts, dirs)
+        assert colors.shape == (200, 3)
+        assert np.all(colors >= 0) and np.all(colors <= 1)
+
+    def test_scene_has_empty_space(self, rng):
+        """Adaptive sampling relies on background: some region must be empty."""
+        scene = make_scene("mic")
+        corner = rng.random((200, 3)) * 0.05  # near the cube corner
+        assert np.mean(scene.density(corner)) < 1.0
+
+    def test_scene_has_occupied_space(self):
+        scene = make_scene("mic")
+        center = np.array([[0.5, 0.67, 0.5]])  # mic head
+        assert scene.density(center)[0] > scene.sigma_max * 0.5
+
+    def test_density_deterministic(self, rng):
+        scene = make_scene("ficus")
+        pts = rng.random((50, 3))
+        np.testing.assert_array_equal(scene.density(pts), scene.density(pts))
+
+    def test_view_dependence(self):
+        """Specular shading must make color depend on direction."""
+        scene = make_scene("mic")
+        pts = np.tile([[0.5, 0.785, 0.5]], (2, 1))  # on the mic head surface
+        dirs = np.array([[0, 0, -1.0], [0.7, -0.7, 0.0]])
+        c = scene.color(pts, dirs)
+        assert not np.allclose(c[0], c[1])
+
+
+class TestCamera:
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Camera(0, 10, 10.0, np.eye(4))
+
+    def test_invalid_focal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Camera(10, 10, -1.0, np.eye(4))
+
+    def test_invalid_pose_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Camera(10, 10, 10.0, np.eye(3))
+
+    def test_pixel_rays_shape_and_norm(self):
+        cam = Camera(8, 6, 10.0, look_at_pose((2, 2, 2), (0.5, 0.5, 0.5)))
+        origins, dirs = cam.pixel_rays()
+        assert origins.shape == (48, 3)
+        np.testing.assert_allclose(np.linalg.norm(dirs, axis=-1), 1.0)
+
+    def test_rays_for_pixels_matches_full(self):
+        cam = Camera(8, 6, 10.0, look_at_pose((2, 2, 2), (0.5, 0.5, 0.5)))
+        origins, dirs = cam.pixel_rays()
+        sub_o, sub_d = cam.rays_for_pixels(np.array([0, 7, 25, 47]))
+        np.testing.assert_allclose(sub_d, dirs[[0, 7, 25, 47]])
+        np.testing.assert_allclose(sub_o, origins[[0, 7, 25, 47]])
+
+    def test_look_at_points_toward_target(self):
+        pose = look_at_pose((2, 0.5, 0.5), (0.5, 0.5, 0.5))
+        backward = pose[:3, 2]
+        to_target = np.array([0.5, 0.5, 0.5]) - pose[:3, 3]
+        cos = to_target @ (-backward) / np.linalg.norm(to_target)
+        assert cos == pytest.approx(1.0)
+
+    def test_orbit_count_and_radius(self):
+        cams = orbit_cameras(6, 16, 16, radius=1.5)
+        assert len(cams) == 6
+        center = np.array([0.5, 0.5, 0.5])
+        for cam in cams:
+            horizontal = cam.position - center
+            assert np.hypot(horizontal[0], horizontal[2]) == pytest.approx(1.5)
+
+    def test_orbit_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            orbit_cameras(0, 16, 16)
+
+
+class TestDataset:
+    def test_load_dataset(self):
+        ds = load_dataset("chair", width=16, height=12, num_views=3)
+        assert ds.name == "chair"
+        assert len(ds.cameras) == 3
+        assert ds.cameras[0].width == 16
+
+    def test_reference_image_shape_range(self, lego_dataset):
+        ref = lego_dataset.reference_image(0, num_samples=64)
+        assert ref.shape == (24, 24, 3)
+        assert np.all(ref >= 0) and np.all(ref <= 1)
+
+    def test_reference_cached(self, lego_dataset):
+        a = lego_dataset.reference_image(0, num_samples=64)
+        b = lego_dataset.reference_image(0, num_samples=64)
+        assert a is b
+
+    def test_reference_has_content(self, lego_dataset):
+        """The render must show the object (not a uniform background)."""
+        ref = lego_dataset.reference_image(0, num_samples=64)
+        assert ref.std() > 0.02
+
+    def test_render_analytic_views_differ(self):
+        ds = load_dataset("lego", width=16, height=16, num_views=4)
+        a = render_analytic(ds.scene, ds.cameras[0], num_samples=48)
+        b = render_analytic(ds.scene, ds.cameras[2], num_samples=48)
+        assert not np.allclose(a, b)

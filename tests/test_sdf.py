@@ -1,0 +1,133 @@
+"""Tests for SDF primitives and CSG combinators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scenes import sdf as S
+
+point = st.lists(st.floats(-2, 2), min_size=3, max_size=3).map(
+    lambda v: np.array([v])
+)
+
+
+class TestSphere:
+    def test_center_inside(self):
+        assert S.Sphere(radius=1.0).distance(np.zeros((1, 3)))[0] == -1.0
+
+    def test_surface_zero(self):
+        d = S.Sphere(radius=1.0).distance(np.array([[1.0, 0, 0]]))
+        assert d[0] == pytest.approx(0.0)
+
+    def test_outside_positive(self):
+        d = S.Sphere(radius=0.5).distance(np.array([[2.0, 0, 0]]))
+        assert d[0] == pytest.approx(1.5)
+
+    @given(point)
+    def test_exact_distance(self, p):
+        sphere = S.Sphere(center=(0.1, -0.2, 0.3), radius=0.7)
+        expected = np.linalg.norm(p - np.array([0.1, -0.2, 0.3])) - 0.7
+        assert sphere.distance(p)[0] == pytest.approx(expected, abs=1e-9)
+
+
+class TestBox:
+    def test_inside_negative(self):
+        assert S.Box(half_size=(1, 1, 1)).distance(np.zeros((1, 3)))[0] < 0
+
+    def test_face_distance(self):
+        d = S.Box(half_size=(0.5, 0.5, 0.5)).distance(np.array([[1.5, 0, 0]]))
+        assert d[0] == pytest.approx(1.0)
+
+    def test_corner_distance(self):
+        d = S.Box(half_size=(1, 1, 1)).distance(np.array([[2.0, 2.0, 2.0]]))
+        assert d[0] == pytest.approx(np.sqrt(3.0))
+
+    def test_rounded_box_shrinks_distance(self):
+        p = np.array([[1.5, 0.0, 0.0]])
+        plain = S.Box(half_size=(0.5, 0.5, 0.5)).distance(p)[0]
+        rounded = S.RoundedBox(half_size=(0.5, 0.5, 0.5), rounding=0.1).distance(p)[0]
+        assert rounded == pytest.approx(plain - 0.1)
+
+
+class TestCylinderTorusPlane:
+    def test_cylinder_axis_inside(self):
+        c = S.Cylinder(radius=0.5, half_height=1.0)
+        assert c.distance(np.zeros((1, 3)))[0] < 0
+
+    def test_cylinder_radial_distance(self):
+        c = S.Cylinder(radius=0.5, half_height=1.0)
+        assert c.distance(np.array([[1.5, 0, 0]]))[0] == pytest.approx(1.0)
+
+    def test_torus_ring_inside(self):
+        t = S.Torus(major=1.0, minor=0.2)
+        assert t.distance(np.array([[1.0, 0, 0]]))[0] == pytest.approx(-0.2)
+
+    def test_plane_signed_sides(self):
+        p = S.Plane(normal=(0, 1, 0), offset=0.0)
+        assert p.distance(np.array([[0, 1.0, 0]]))[0] > 0
+        assert p.distance(np.array([[0, -1.0, 0]]))[0] < 0
+
+
+class TestCSG:
+    @given(point)
+    def test_union_is_min(self, p):
+        a = S.Sphere(center=(0.5, 0, 0), radius=0.4)
+        b = S.Box(center=(-0.5, 0, 0), half_size=(0.3, 0.3, 0.3))
+        u = S.Union([a, b])
+        assert u.distance(p)[0] == pytest.approx(
+            min(a.distance(p)[0], b.distance(p)[0])
+        )
+
+    @given(point)
+    def test_intersection_is_max(self, p):
+        a = S.Sphere(radius=0.8)
+        b = S.Box(half_size=(0.5, 0.5, 0.5))
+        i = S.Intersection([a, b])
+        assert i.distance(p)[0] == pytest.approx(
+            max(a.distance(p)[0], b.distance(p)[0])
+        )
+
+    @given(point)
+    def test_difference_definition(self, p):
+        base = S.Sphere(radius=0.8)
+        cut = S.Sphere(center=(0.4, 0, 0), radius=0.3)
+        d = S.Difference(base, cut)
+        assert d.distance(p)[0] == pytest.approx(
+            max(base.distance(p)[0], -cut.distance(p)[0])
+        )
+
+    def test_operator_sugar(self):
+        a, b = S.Sphere(radius=0.5), S.Box(half_size=(0.2, 0.2, 0.2))
+        assert isinstance(a | b, S.Union)
+        assert isinstance(a & b, S.Intersection)
+        assert isinstance(a - b, S.Difference)
+
+
+class TestTransforms:
+    def test_translate_moves_surface(self):
+        moved = S.Translate(S.Sphere(radius=0.5), offset=(1.0, 0, 0))
+        assert moved.distance(np.array([[1.0, 0, 0]]))[0] == pytest.approx(-0.5)
+
+    def test_scale_scales_distance(self):
+        scaled = S.Scale(S.Sphere(radius=1.0), factor=2.0)
+        assert scaled.distance(np.array([[4.0, 0, 0]]))[0] == pytest.approx(2.0)
+
+    def test_repeat_tiles(self):
+        rep = S.Repeat(S.Sphere(radius=0.2), period=1.0)
+        d0 = rep.distance(np.array([[0.0, 0, 0]]))[0]
+        d1 = rep.distance(np.array([[1.0, 0, 0]]))[0]
+        assert d0 == pytest.approx(d1)
+
+
+class TestNormals:
+    def test_sphere_normals_radial(self):
+        sphere = S.Sphere(radius=1.0)
+        pts = np.array([[1.0, 0, 0], [0, 1.0, 0], [0, 0, 1.0]])
+        normals = S.estimate_normals(sphere, pts)
+        np.testing.assert_allclose(normals, pts, atol=1e-3)
+
+    def test_normals_unit_length(self, rng):
+        box = S.Box(half_size=(0.5, 0.4, 0.3))
+        pts = rng.normal(size=(20, 3))
+        normals = S.estimate_normals(box, pts)
+        np.testing.assert_allclose(np.linalg.norm(normals, axis=-1), 1.0, atol=1e-6)

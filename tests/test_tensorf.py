@@ -1,0 +1,91 @@
+"""Tests for the TensoRF substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nerf.tensorf import TensoRFConfig, TensoRFModel
+from tests.conftest import TEST_TENSORF_CONFIG
+
+
+class TestConfig:
+    def test_encoding_dim(self):
+        cfg = TensoRFConfig(resolution=16, num_components=6)
+        assert cfg.encoding_dim == 18
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ConfigurationError):
+            TensoRFConfig(resolution=2)
+
+    def test_invalid_components(self):
+        with pytest.raises(ConfigurationError):
+            TensoRFConfig(num_components=0)
+
+
+class TestEncoding:
+    def test_encode_shape(self, rng):
+        model = TensoRFModel(TEST_TENSORF_CONFIG, seed=0)
+        out = model.encode(rng.random((9, 3)))
+        assert out.shape == (9, TEST_TENSORF_CONFIG.encoding_dim)
+
+    def test_encode_continuous(self):
+        model = TensoRFModel(TEST_TENSORF_CONFIG, seed=0)
+        eps = 1e-7
+        p = np.array([[0.5 - eps, 0.3, 0.6], [0.5 + eps, 0.3, 0.6]])
+        out = model.encode(p)
+        np.testing.assert_allclose(out[0], out[1], atol=1e-4)
+
+    def test_encode_deterministic(self, rng):
+        pts = rng.random((4, 3))
+        a = TensoRFModel(TEST_TENSORF_CONFIG, seed=5).encode(pts)
+        b = TensoRFModel(TEST_TENSORF_CONFIG, seed=5).encode(pts)
+        np.testing.assert_array_equal(a, b)
+
+    def test_encode_backward_moves_toward_target(self, rng):
+        model = TensoRFModel(TEST_TENSORF_CONFIG, seed=1)
+        pts = rng.random((32, 3))
+        target = rng.normal(size=(32, TEST_TENSORF_CONFIG.encoding_dim))
+        before = np.mean((model.encode(pts) - target) ** 2)
+        for _ in range(60):
+            grad = 2 * (model.encode(pts) - target) / len(pts)
+            model.encode_backward(pts, grad, learning_rate=0.01)
+        after = np.mean((model.encode(pts) - target) ** 2)
+        assert after < before * 0.7
+
+
+class TestQueries:
+    def test_query_density_shapes(self, rng):
+        model = TensoRFModel(TEST_TENSORF_CONFIG, seed=0)
+        sigma, geo = model.query_density(rng.random((11, 3)))
+        assert sigma.shape == (11,)
+        assert geo.shape == (11, TEST_TENSORF_CONFIG.geo_feature_dim)
+        assert np.all(sigma >= 0)
+
+    def test_query_color_range(self, rng):
+        model = TensoRFModel(TEST_TENSORF_CONFIG, seed=0)
+        _, geo = model.query_density(rng.random((5, 3)))
+        dirs = rng.normal(size=(5, 3))
+        dirs /= np.linalg.norm(dirs, axis=-1, keepdims=True)
+        rgb = model.query_color(geo, dirs)
+        assert np.all((rgb >= 0) & (rgb <= 1))
+
+    def test_flops_accessors_positive(self):
+        model = TensoRFModel(TEST_TENSORF_CONFIG)
+        assert model.flops_embedding_per_point() > 0
+        assert model.flops_density_per_point() > 0
+        assert model.flops_color_per_point() > 0
+        assert model.bytes_embedding_per_point() > 0
+
+    def test_parameter_count(self):
+        model = TensoRFModel(TensoRFConfig(resolution=8, num_components=2))
+        grids = 3 * (2 * 8 * 8) + 3 * (2 * 8)
+        assert model.parameter_count() > grids
+
+
+class TestDistilledQuality(object):
+    def test_trained_model_fits_density(self, trained_tensorf, lego_dataset, rng):
+        pts = rng.random((1500, 3))
+        pred, _ = trained_tensorf.query_density(pts)
+        true = lego_dataset.scene.density(pts)
+        corr = np.corrcoef(pred, true)[0, 1]
+        assert corr > 0.7

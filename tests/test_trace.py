@@ -1,0 +1,111 @@
+"""Tests for trace generation and locality profiling."""
+
+import numpy as np
+import pytest
+
+from repro.arch.trace import (
+    encoding_corner_stream,
+    hash_address_trace,
+    repetition_profile,
+    voxel_ids,
+)
+from repro.nerf.hashgrid import HashGridConfig, HashGridEncoder
+
+GRID = HashGridConfig(
+    num_levels=4, table_size=2**11, base_resolution=4, max_resolution=32
+)
+
+
+class TestCornerStream:
+    def test_batches_cover_all_points(self, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        budgets = np.full(24 * 24, 8, dtype=np.int64)
+        batches = list(encoding_corner_stream(camera, budgets, GRID, 64))
+        total = sum(b.num_points for b in batches)
+        # Only rays hitting the cube generate points.
+        assert 0 < total <= 24 * 24 * 8
+
+    def test_batch_contents(self, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        budgets = np.full(24 * 24, 8, dtype=np.int64)
+        batch = next(encoding_corner_stream(camera, budgets, GRID, 32))
+        assert set(batch.corners) == set(range(GRID.num_levels))
+        assert batch.corners[0].shape == (batch.num_points, 8, 3)
+        assert batch.point_ray.shape == (batch.num_points,)
+
+    def test_zero_budgets_no_batches(self, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        budgets = np.zeros(24 * 24, dtype=np.int64)
+        assert list(encoding_corner_stream(camera, budgets, GRID)) == []
+
+    def test_mixed_budgets_grouped(self, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        budgets = np.full(24 * 24, 4, dtype=np.int64)
+        budgets[: 24 * 12] = 8
+        batches = list(encoding_corner_stream(camera, budgets, GRID, 4096))
+        assert len(batches) >= 2
+
+
+class TestVoxelIds:
+    def test_distinct_voxels_distinct_ids(self, rng):
+        encoder = HashGridEncoder(GRID)
+        pts = rng.random((100, 3))
+        corners, _ = encoder.voxel_vertices(pts, 3)
+        ids = voxel_ids(corners, int(GRID.level_resolutions[3]))
+        # Points in the same voxel share ids; different voxels differ.
+        recomputed = voxel_ids(corners, int(GRID.level_resolutions[3]))
+        np.testing.assert_array_equal(ids, recomputed)
+
+    def test_same_voxel_same_id(self):
+        encoder = HashGridEncoder(GRID)
+        pts = np.array([[0.51, 0.51, 0.51], [0.52, 0.52, 0.52]])
+        corners, _ = encoder.voxel_vertices(pts, 0)  # res 4: same voxel
+        ids = voxel_ids(corners, 4)
+        assert ids[0] == ids[1]
+
+
+class TestRepetitionProfile:
+    def test_inter_ray_locality_decreases_with_resolution(self, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        inter, intra = repetition_profile(camera, GRID, 16, max_ray_pairs=32)
+        assert len(inter) == GRID.num_levels
+        # Coarse levels repeat more than fine levels (Figure 15a).
+        assert inter[0] >= inter[-1]
+
+    def test_inter_ray_high_at_coarse_level(self, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        inter, _ = repetition_profile(camera, GRID, 16, max_ray_pairs=32)
+        assert inter[0] > 0.5
+
+    def test_intra_ray_concentration(self, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        _, intra = repetition_profile(camera, GRID, 16, max_ray_pairs=32)
+        # At the coarsest level many of a ray's samples share one voxel.
+        assert intra[0] >= intra[-1]
+        assert intra[0] >= 2
+
+
+class TestHashAddressTrace:
+    def test_trace_length(self, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        trace = hash_address_trace(camera, GRID, 16, num_points=200)
+        assert len(trace) == 200
+
+    def test_addresses_in_table_range(self, lego_dataset):
+        camera = lego_dataset.cameras[0]
+        trace = hash_address_trace(camera, GRID, 16, num_points=300)
+        assert trace.min() >= 0
+        assert trace.max() < GRID.table_size
+
+    def test_poor_locality(self, lego_dataset):
+        """Figure 4's point: hashed accesses scatter across the table.
+
+        Instant-NGP's pi_1 = 1 keeps x-steps local, but any y/z movement
+        hashes far away — a sizeable fraction of consecutive accesses must
+        leave the 64-entry crossbar row range entirely.
+        """
+        camera = lego_dataset.cameras[0]
+        trace = hash_address_trace(camera, GRID, 16, num_points=500)
+        jumps = np.abs(np.diff(trace))
+        assert (jumps > 64).mean() > 0.1
+        assert jumps.mean() > 32

@@ -1,0 +1,101 @@
+"""Tests for repro.utils (math helpers and RNG derivation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.math import (
+    normalize_rows,
+    relu,
+    relu_grad,
+    sigmoid,
+    sigmoid_grad,
+    softplus,
+    trunc_exp,
+)
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+class TestRelu:
+    def test_positive_passthrough(self):
+        x = np.array([0.5, 2.0])
+        assert np.array_equal(relu(x), x)
+
+    def test_negative_clamped(self):
+        assert np.array_equal(relu(np.array([-1.0, -0.1])), np.zeros(2))
+
+    def test_grad_matches_definition(self):
+        x = np.array([-2.0, -0.0, 0.5])
+        assert np.array_equal(relu_grad(x), np.array([0.0, 0.0, 1.0]))
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), np.ones_like(x))
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_grad_matches_numeric(self):
+        x = np.array([0.3])
+        y = sigmoid(x)
+        eps = 1e-6
+        numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(sigmoid_grad(y), numeric, rtol=1e-5)
+
+
+class TestSoftplusTruncExp:
+    def test_softplus_positive(self):
+        assert np.all(softplus(np.linspace(-20, 20, 41)) > 0)
+
+    def test_softplus_asymptote(self):
+        assert softplus(np.array([30.0]))[0] == pytest.approx(30.0, rel=1e-6)
+
+    def test_trunc_exp_clips(self):
+        out = trunc_exp(np.array([100.0, -100.0]))
+        assert out[0] == pytest.approx(np.exp(15.0))
+        assert out[1] == pytest.approx(np.exp(-15.0))
+
+
+class TestNormalizeRows:
+    def test_unit_norm(self, rng):
+        x = rng.normal(size=(10, 3))
+        out = normalize_rows(x)
+        np.testing.assert_allclose(np.linalg.norm(out, axis=-1), np.ones(10))
+
+    def test_zero_vector_safe(self):
+        out = normalize_rows(np.zeros((1, 3)))
+        assert np.all(np.isfinite(out))
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=3, max_size=3))
+    def test_direction_preserved(self, vec):
+        x = np.array([vec])
+        if np.linalg.norm(x) < 1e-6:
+            return
+        out = normalize_rows(x)
+        cos = (out @ x.T).item() / np.linalg.norm(x)
+        assert cos == pytest.approx(1.0, abs=1e-6)
+
+
+class TestRng:
+    def test_seeded_rng_deterministic(self):
+        a = seeded_rng(42).random(5)
+        b = seeded_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+
+    def test_derive_seed_label_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+
+    def test_derive_seed_base_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_derive_seed_in_numpy_range(self):
+        for base in range(10):
+            assert 0 <= derive_seed(base, "module", 3) < 2**63

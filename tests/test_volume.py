@@ -1,0 +1,172 @@
+"""Tests for volume rendering (Eq. 1) and its helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nerf.volume import (
+    alphas_from_sigmas,
+    composite,
+    composite_prefix,
+    composite_subsample,
+    early_termination_counts,
+    subsample_indices,
+    transmittance,
+)
+
+
+def _ray(sigmas, colors=None, delta=0.1):
+    sigmas = np.asarray(sigmas, dtype=float)[None, :]
+    n = sigmas.shape[1]
+    if colors is None:
+        colors = np.ones((1, n, 3)) * 0.5
+    deltas = np.full((1, n), delta)
+    return sigmas, np.asarray(colors, dtype=float), deltas
+
+
+class TestAlphasTransmittance:
+    def test_zero_density_zero_alpha(self):
+        alphas = alphas_from_sigmas(np.zeros((1, 4)), np.full((1, 4), 0.1))
+        np.testing.assert_array_equal(alphas, np.zeros((1, 4)))
+
+    def test_alpha_monotone_in_sigma(self):
+        deltas = np.full((1, 3), 0.1)
+        a1 = alphas_from_sigmas(np.array([[1.0, 2.0, 4.0]]), deltas)
+        assert np.all(np.diff(a1[0]) > 0)
+
+    def test_transmittance_starts_at_one(self):
+        alphas = np.array([[0.5, 0.5, 0.5]])
+        trans = transmittance(alphas)
+        assert trans[0, 0] == pytest.approx(1.0)
+
+    def test_transmittance_monotone_decreasing(self, rng):
+        alphas = rng.random((5, 10)) * 0.9
+        trans = transmittance(alphas)
+        assert np.all(np.diff(trans, axis=-1) <= 1e-12)
+
+
+class TestComposite:
+    def test_empty_ray_is_background(self):
+        sigmas, colors, deltas = _ray([0, 0, 0, 0])
+        rgb, opacity = composite(sigmas, colors, deltas, background=1.0)
+        np.testing.assert_allclose(rgb, np.ones((1, 3)))
+        assert opacity[0] == pytest.approx(0.0)
+
+    def test_opaque_ray_is_first_color(self):
+        colors = np.zeros((1, 4, 3))
+        colors[0, 0] = [0.2, 0.4, 0.6]
+        sigmas, _, deltas = _ray([1e5, 0, 0, 0])
+        rgb, opacity = composite(sigmas, colors, deltas)
+        np.testing.assert_allclose(rgb[0], [0.2, 0.4, 0.6], atol=1e-6)
+        assert opacity[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_output_bounded_by_colors_and_background(self, rng):
+        sigmas = rng.random((8, 16)) * 20
+        colors = rng.random((8, 16, 3))
+        deltas = np.full((8, 16), 0.05)
+        rgb, _ = composite(sigmas, colors, deltas, background=1.0)
+        assert np.all(rgb >= 0) and np.all(rgb <= 1 + 1e-9)
+
+    def test_weights_normalised(self, rng):
+        """Opacity + residual transmittance == 1 by construction."""
+        sigmas = rng.random((4, 12)) * 30
+        colors = rng.random((4, 12, 3))
+        deltas = np.full((4, 12), 0.03)
+        _, opacity = composite(sigmas, colors, deltas)
+        assert np.all(opacity <= 1 + 1e-9)
+
+    @given(st.floats(0.0, 50.0), st.floats(0.01, 0.5))
+    @settings(max_examples=25)
+    def test_homogeneous_medium_analytic(self, sigma, delta):
+        """Constant density/color reduces to the analytic Beer-Lambert mix."""
+        n = 32
+        sigmas = np.full((1, n), sigma)
+        colors = np.full((1, n, 3), 0.3)
+        deltas = np.full((1, n), delta)
+        rgb, opacity = composite(sigmas, colors, deltas, background=1.0)
+        expected_opacity = 1.0 - np.exp(-sigma * delta * n)
+        assert opacity[0] == pytest.approx(expected_opacity, abs=1e-6)
+        expected_rgb = 0.3 * expected_opacity + (1 - expected_opacity)
+        np.testing.assert_allclose(rgb[0], expected_rgb, atol=1e-6)
+
+
+class TestPrefixAndSubsample:
+    def test_prefix_full_equals_composite(self, rng):
+        sigmas = rng.random((3, 8)) * 10
+        colors = rng.random((3, 8, 3))
+        deltas = np.full((3, 8), 0.1)
+        full, _ = composite(sigmas, colors, deltas)
+        prefix = composite_prefix(sigmas, colors, deltas, np.full(3, 8))
+        np.testing.assert_allclose(prefix, full)
+
+    def test_prefix_zero_is_background(self, rng):
+        sigmas = rng.random((2, 6)) * 10
+        colors = rng.random((2, 6, 3))
+        deltas = np.full((2, 6), 0.1)
+        rgb = composite_prefix(sigmas, colors, deltas, np.zeros(2, dtype=int),
+                               background=0.7)
+        np.testing.assert_allclose(rgb, np.full((2, 3), 0.7))
+
+    def test_subsample_indices_endpoints(self):
+        idx = subsample_indices(48, 5)
+        assert idx[0] == 0
+        assert idx[-1] == 47
+        assert len(idx) == 5
+
+    def test_subsample_indices_full(self):
+        idx = subsample_indices(8, 8)
+        np.testing.assert_array_equal(idx, np.arange(8))
+
+    def test_subsample_indices_clamps(self):
+        assert len(subsample_indices(4, 100)) == 4
+        assert len(subsample_indices(16, 1)) == 1
+
+    def test_subsample_preserves_optical_depth(self):
+        """Homogeneous medium: subsampled render matches the full one."""
+        n = 64
+        sigmas = np.full((1, n), 5.0)
+        colors = np.full((1, n, 3), 0.4)
+        deltas = np.full((1, n), 0.02)
+        full, _ = composite(sigmas, colors, deltas)
+        sub = composite_subsample(sigmas, colors, deltas, 8)
+        np.testing.assert_allclose(sub, full, atol=1e-3)
+
+    def test_subsample_of_empty_ray_is_background(self):
+        sigmas, colors, deltas = _ray([0] * 16)
+        rgb = composite_subsample(sigmas, colors, deltas, 4, background=1.0)
+        np.testing.assert_allclose(rgb, np.ones((1, 3)))
+
+
+class TestEarlyTermination:
+    def test_transparent_ray_uses_all(self):
+        sigmas, _, deltas = _ray([0.01] * 8)
+        counts = early_termination_counts(sigmas, deltas)
+        assert counts[0] == 8
+
+    def test_opaque_wall_stops_early(self):
+        sigmas, _, deltas = _ray([0, 0, 1e5, 1, 1, 1, 1, 1])
+        counts = early_termination_counts(sigmas, deltas, 0.99)
+        assert counts[0] == 3
+
+    def test_counts_in_valid_range(self, rng):
+        sigmas = rng.random((10, 16)) * 50
+        deltas = np.full((10, 16), 0.1)
+        counts = early_termination_counts(sigmas, deltas)
+        assert np.all(counts >= 1) and np.all(counts <= 16)
+
+    def test_lower_threshold_stops_earlier(self, rng):
+        sigmas = rng.random((10, 32)) * 10
+        deltas = np.full((10, 32), 0.1)
+        strict = early_termination_counts(sigmas, deltas, 0.999)
+        loose = early_termination_counts(sigmas, deltas, 0.5)
+        assert np.all(loose <= strict)
+
+    def test_truncation_error_bounded(self, rng):
+        """Compositing only the ET prefix changes the color by <= 1-thr."""
+        sigmas = rng.random((20, 32)) * 30
+        colors = rng.random((20, 32, 3))
+        deltas = np.full((20, 32), 0.05)
+        full, _ = composite(sigmas, colors, deltas)
+        counts = early_termination_counts(sigmas, deltas, 0.99)
+        truncated = composite_prefix(sigmas, colors, deltas, counts)
+        assert np.max(np.abs(full - truncated)) <= 0.011 + 0.05
