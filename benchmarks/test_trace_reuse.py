@@ -1,0 +1,63 @@
+"""Timing: FrameTrace reuse vs the seed's render→simulate double computation.
+
+The seed pipeline rendered a frame, then ``simulate_render`` re-derived
+every ray, sample point and voxel corner from ``(camera, budgets)`` before
+charging the engines — the fig17/fig18/fig19 experiment trio paid that
+re-derivation once per experiment.  With the shared execution layer the
+simulator replays the renderer's FrameTrace instead; this benchmark pins
+the win down on the fig17 experiment path (one scene, server design).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.arch.accelerator import ASDRAccelerator
+from repro.arch.config import ArchConfig
+from repro.experiments.workbench import EXPERIMENT_GRID, EXPERIMENT_MODEL
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_trace_reuse_faster_than_recompute(wb):
+    scene = "palace"
+    camera = wb.dataset(scene).cameras[0]
+    result = wb.asdr_render(scene)
+    legacy_result = replace(result, trace=None)  # force the seed path
+    accelerator = ASDRAccelerator(
+        ArchConfig.server(),
+        EXPERIMENT_GRID,
+        EXPERIMENT_MODEL.density_mlp_config,
+        EXPERIMENT_MODEL.color_mlp_config,
+    )
+    group = wb.group_size()
+
+    def traced():
+        return accelerator.simulate_render(camera, result, group_size=group)
+
+    def recomputed():
+        return accelerator.simulate_render(camera, legacy_result, group_size=group)
+
+    # Warm both paths (numpy, model caches, trace corner memo).
+    traced(), recomputed()
+    t_trace = _best_of(traced)
+    t_legacy = _best_of(recomputed)
+    print(
+        f"\nsimulate_render on {scene}: trace replay {t_trace * 1e3:.0f} ms "
+        f"vs re-derivation {t_legacy * 1e3:.0f} ms "
+        f"({t_legacy / t_trace:.2f}x)"
+    )
+    assert t_trace < t_legacy, (
+        f"trace replay ({t_trace:.3f}s) should beat ray/corner re-derivation "
+        f"({t_legacy:.3f}s)"
+    )
+    # Both paths must price the same workload.
+    assert traced().mlp.density_points == recomputed().mlp.density_points

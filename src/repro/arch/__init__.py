@@ -1,9 +1,10 @@
 """Cycle-level simulator of the ASDR accelerator (Section 5).
 
-The simulator is trace-driven: it replays the address/point streams the
-algorithm layer produces through the three engines (encoding, MLP, volume
-rendering) and reports cycles, energy and utilisation.  Server and edge
-configurations follow Table 2.
+The simulator is trace-driven: it replays the
+:class:`~repro.exec.frame_trace.FrameTrace` the renderer emitted — the
+exact per-wavefront ray/sample streams, post-early-termination — through
+the three engines (encoding, MLP, volume rendering) and reports cycles,
+energy and utilisation.  Server and edge configurations follow Table 2.
 """
 
 from repro.arch.buffers import BufferModel, BufferSpec, default_buffers
@@ -14,7 +15,12 @@ from repro.arch.encoding_engine import EncodingEngine, EncodingReport
 from repro.arch.mlp_engine import MLPEngine, MLPReport
 from repro.arch.render_engine import RenderEngine, RenderEngineReport
 from repro.arch.accelerator import ASDRAccelerator, SimReport
-from repro.arch.trace import encoding_corner_stream, repetition_profile
+from repro.arch.trace import (
+    EncodingBatch,
+    encoding_corner_stream,
+    hash_address_trace,
+    repetition_profile,
+)
 
 __all__ = [
     "BufferModel",
@@ -34,6 +40,8 @@ __all__ = [
     "RenderEngineReport",
     "ASDRAccelerator",
     "SimReport",
+    "EncodingBatch",
     "encoding_corner_stream",
+    "hash_address_trace",
     "repetition_profile",
 ]

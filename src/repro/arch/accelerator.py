@@ -6,13 +6,22 @@ wavefront *k-1* and the rendering engine composites *k-2*; a wavefront's
 contribution to total latency is therefore the maximum of its three engine
 costs.  Phase I (probe rendering + adaptive sampling) and Phase II (full
 image) are simulated back to back.
+
+The simulator is *trace-faithful*: :meth:`ASDRAccelerator.simulate_trace`
+replays the :class:`~repro.exec.frame_trace.FrameTrace` the renderer
+emitted — the exact sample points each ray marched (post early
+termination) and the exact per-ray anchor counts — so simulated cycles
+reflect what the algorithm actually executed, and no rays, sample points
+or voxel corners are re-derived from ``(camera, budgets)`` on that path.
+:meth:`simulate_pass` remains for consumers that only have a budget map;
+it synthesises a trace through the same shared scheduler.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -23,9 +32,10 @@ from repro.arch.encoding_engine import EncodingEngine, EncodingReport
 from repro.arch.energy import AreaPowerModel
 from repro.arch.mlp_engine import MLPEngine, MLPReport
 from repro.arch.render_engine import RenderEngine, RenderEngineReport
-from repro.arch.trace import EncodingBatch, _points_for_rays
+from repro.arch.trace import EncodingBatch
 from repro.core.approximation import anchor_indices
 from repro.errors import SimulationError
+from repro.exec.frame_trace import PHASE_PROBE, FrameTrace
 from repro.nerf.hashgrid import HashGridConfig, HashGridEncoder
 from repro.nerf.mlp import MLPConfig
 from repro.scenes.cameras import Camera
@@ -122,6 +132,131 @@ class ASDRAccelerator:
         self.power_model = AreaPowerModel(scale)
 
     # ------------------------------------------------------------------
+    def simulate_trace(
+        self,
+        trace: FrameTrace,
+        group_size: Optional[int] = None,
+        color_fraction: Optional[float] = None,
+        difficulty_evals: Optional[int] = None,
+        rendered_pixels: Optional[int] = None,
+    ) -> SimReport:
+        """Replay a :class:`FrameTrace` through the pipeline.
+
+        This is the single execution path behind :meth:`simulate_pass` and
+        :meth:`simulate_render`: the trace's wavefronts are re-chunked to
+        this design's ``wavefront_rays`` and each chunk is charged exactly
+        the density/color/interpolated points the renderer recorded —
+        early-terminated samples are never billed.
+
+        Args:
+            trace: The frame's execution trace.
+            group_size: Color-decoupling group size to price.  ``None``
+                uses the per-ray anchor counts recorded in the trace; an
+                explicit value re-derives anchor counts from the recorded
+                ``used`` counts (no geometry is recomputed), matching the
+                renderer's ``budget > group_size`` gating.  Ignored for
+                baseline traces (the fixed-budget pipeline has no
+                decoupling hardware path).
+            color_fraction: Legacy override — charge
+                ``ceil(points * fraction)`` color points per wavefront
+                instead of per-ray counts (used by :meth:`simulate_pass`).
+            difficulty_evals: Override for the Phase I adaptive-sampling
+                unit work; defaults to the trace's recorded count.
+            rendered_pixels: Override for the RGB bus traffic; defaults to
+                the trace's rays with at least one marched sample.
+        """
+        if not isinstance(trace, FrameTrace):
+            raise SimulationError(
+                f"simulate_trace expects a FrameTrace, got {type(trace).__name__}"
+            )
+        encoding_engine = EncodingEngine(self.config, self.grid)
+        scale = "edge" if "edge" in self.config.name else "server"
+        buffers = BufferModel(default_buffers(scale))
+        report = SimReport(name=self.config.name, clock_hz=self.config.clock_hz)
+
+        resolutions = [int(r) for r in self.grid.level_resolutions]
+        color_used = self._effective_color_used(trace, group_size)
+
+        for sl in trace.split(self.config.wavefront_rays):
+            num_points = sl.num_points
+            if num_points == 0:
+                continue
+            corners = {
+                level: sl.corners(resolutions[level])
+                for level in range(self.grid.num_levels)
+            }
+            batch = EncodingBatch(
+                corners=corners,
+                point_ray=sl.point_ray(),
+                num_points=num_points,
+                memo=trace.memo_hook((sl.index, sl.points.start, sl.points.stop)),
+            )
+            enc = encoding_engine.process_batch(batch)
+            if color_fraction is not None:
+                color_points = math.ceil(num_points * color_fraction)
+            else:
+                color_points = int(color_used[sl.index][sl.rays].sum())
+            mlp = self.mlp_engine.process(num_points, color_points)
+            ren = self.render_engine.process(
+                composited_points=num_points,
+                interpolated_points=num_points - color_points,
+            )
+            stall = buffers.observe_wavefront(
+                in_flight_points=min(num_points, self.config.wavefront_rays),
+                levels=self.grid.num_levels,
+                ray_working_points=num_points,
+            )
+            report.encoding.merge(enc)
+            report.mlp.merge(mlp)
+            report.render.merge(ren)
+            report.buffer_stall_cycles += stall
+            report.total_cycles += max(enc.cycles, mlp.cycles, ren.cycles) + stall
+
+        evals = trace.difficulty_evals if difficulty_evals is None else difficulty_evals
+        if evals:
+            # The adaptive sampling unit compares candidate renders at the
+            # tail of Phase I (it cannot overlap the batches that produce
+            # its inputs' final samples).
+            ren = self.render_engine.process(0, 0, evals)
+            report.render.merge(ren)
+            report.total_cycles += ren.cycles
+
+        rendered = trace.rendered_pixels if rendered_pixels is None else rendered_pixels
+        report.bus_cycles = bus_cycles(BusTraffic(pixels=rendered))
+
+        self._charge_energy(report)
+        return report
+
+    def _effective_color_used(
+        self, trace: FrameTrace, group_size: Optional[int]
+    ) -> List[np.ndarray]:
+        """Per-wavefront color-MLP point counts for a given group size.
+
+        Probe wavefronts always run the full color MLP (Phase I has no
+        decoupling); main wavefronts use the recorded anchor counts unless
+        an explicit ``group_size`` asks to re-price the trace, in which
+        case anchor counts are re-derived from the recorded ``used``
+        counts — still no ray/corner recomputation.
+        """
+        reprice = (
+            trace.kind == "asdr"
+            and group_size is not None
+            and group_size != trace.group_size
+        )
+        out: List[np.ndarray] = []
+        for wf in trace.wavefronts:
+            if wf.phase == PHASE_PROBE or not reprice:
+                out.append(np.minimum(wf.color_used, wf.used))
+            elif group_size > 1 and wf.budget > group_size:
+                anchors = anchor_indices(wf.budget, group_size)
+                out.append(
+                    np.searchsorted(anchors, wf.used, side="left").astype(np.int64)
+                )
+            else:
+                out.append(wf.used)
+        return out
+
+    # ------------------------------------------------------------------
     def simulate_pass(
         self,
         camera: Camera,
@@ -129,7 +264,7 @@ class ASDRAccelerator:
         color_fraction: float = 1.0,
         difficulty_evals: int = 0,
     ) -> SimReport:
-        """Simulate one rendering pass.
+        """Simulate one rendering pass from a per-ray budget map.
 
         Args:
             camera: View being rendered.
@@ -145,82 +280,37 @@ class ASDRAccelerator:
             raise SimulationError("budgets length must equal the pixel count")
         if not 0.0 <= color_fraction <= 1.0:
             raise SimulationError("color_fraction must lie in [0, 1]")
-
-        encoding_engine = EncodingEngine(self.config, self.grid)
-        scale = "edge" if "edge" in self.config.name else "server"
-        buffers = BufferModel(default_buffers(scale))
-        report = SimReport(name=self.config.name, clock_hz=self.config.clock_hz)
-
-        for budget in np.unique(budgets):
-            if budget <= 0:
-                continue
-            ray_ids = np.nonzero(budgets == budget)[0]
-            for start in range(0, len(ray_ids), self.config.wavefront_rays):
-                ids = ray_ids[start : start + self.config.wavefront_rays]
-                points, hit = _points_for_rays(camera, ids, int(budget))
-                if not hit.any():
-                    continue
-                flat = points[hit].reshape(-1, 3)
-                corners = {
-                    level: self._encoder.voxel_vertices(flat, level)[0]
-                    for level in range(self.grid.num_levels)
-                }
-                batch = EncodingBatch(
-                    corners=corners,
-                    point_ray=np.repeat(ids[hit], int(budget)),
-                    num_points=flat.shape[0],
-                )
-                enc = encoding_engine.process_batch(batch)
-                color_points = math.ceil(batch.num_points * color_fraction)
-                mlp = self.mlp_engine.process(batch.num_points, color_points)
-                ren = self.render_engine.process(
-                    composited_points=batch.num_points,
-                    interpolated_points=batch.num_points - color_points,
-                )
-                stall = buffers.observe_wavefront(
-                    in_flight_points=min(
-                        batch.num_points, self.config.wavefront_rays
-                    ),
-                    levels=self.grid.num_levels,
-                    ray_working_points=batch.num_points,
-                )
-                report.encoding.merge(enc)
-                report.mlp.merge(mlp)
-                report.render.merge(ren)
-                report.buffer_stall_cycles += stall
-                report.total_cycles += (
-                    max(enc.cycles, mlp.cycles, ren.cycles) + stall
-                )
-
-        if difficulty_evals:
-            # The adaptive sampling unit compares candidate renders at the
-            # tail of Phase I (it cannot overlap the batches that produce
-            # its inputs' final samples).
-            ren = self.render_engine.process(0, 0, difficulty_evals)
-            report.render.merge(ren)
-            report.total_cycles += ren.cycles
-
-        rendered = int((budgets > 0).sum())
-        report.bus_cycles = bus_cycles(BusTraffic(pixels=rendered))
-
-        self._charge_energy(report)
-        return report
+        trace = FrameTrace.from_budgets(camera, budgets)
+        return self.simulate_trace(
+            trace,
+            color_fraction=color_fraction,
+            difficulty_evals=difficulty_evals,
+            rendered_pixels=int((budgets > 0).sum()),
+        )
 
     # ------------------------------------------------------------------
     def simulate_render(
         self,
-        camera: Camera,
+        camera: Optional[Camera],
         result,
         group_size: int = 1,
     ) -> SimReport:
         """Simulate a completed render (baseline or ASDR).
 
-        Accepts either a :class:`~repro.nerf.renderer.RenderResult` (fixed
-        budget baseline: every point runs both MLPs) or an
-        :class:`~repro.core.stats.ASDRRenderResult` (two-phase: probes at
-        full budget in Phase I, interpolated budgets with color decoupling
-        in Phase II).
+        Accepts a :class:`~repro.exec.frame_trace.FrameTrace` directly, or
+        a :class:`~repro.nerf.renderer.RenderResult` /
+        :class:`~repro.core.stats.ASDRRenderResult` — results produced by
+        the current renderers carry their trace, which is replayed without
+        re-sampling any rays or corners (``camera`` is then unused).  For
+        legacy results without a trace, Phase I/II budgets are re-derived
+        from ``(camera, plan, sample_counts)`` as before.
         """
+        if isinstance(result, FrameTrace):
+            return self.simulate_trace(result, group_size=group_size)
+        trace = getattr(result, "trace", None)
+        if trace is not None:
+            return self.simulate_trace(trace, group_size=group_size)
+
         plan = getattr(result, "plan", None)
         if plan is None:  # baseline RenderResult
             return self.simulate_pass(camera, result.sample_counts, 1.0)

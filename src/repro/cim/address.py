@@ -155,6 +155,13 @@ class HybridAddressGenerator:
             ]
         return bit_reorder_address(corners, mapping.resolution, copy_ids)
 
+    def striped(self, level: int) -> bool:
+        """Whether the level's physical addresses depend on request ids
+        (replicated dense levels round-robin across copies; every other
+        mapping is request-independent)."""
+        mapping = self.levels[level]
+        return self.mode == "hybrid" and mapping.dense and mapping.copies > 1
+
     def level_storage_entries(self, level: int) -> int:
         """Physical entries backing the level (for bank sizing)."""
         return max(self.levels[level].address_space, self.grid.table_size)

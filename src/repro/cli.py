@@ -3,7 +3,8 @@
 Commands:
 
 * ``experiment <id> [...]`` — run registered paper experiments and print
-  their tables (``all`` runs everything).
+  their tables (``all`` runs everything; ``--list`` prints the registered
+  experiment ids and titles without running anything).
 * ``render <scene> --out img.ppm`` — distill (or load a cached model for)
   a scene and write baseline + ASDR renders side by side.
 * ``report [--out EXPERIMENTS.md]`` — regenerate the paper-vs-measured
@@ -19,7 +20,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.experiments.harness import EXPERIMENTS, run_experiment
+from repro.experiments.harness import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
 from repro.experiments.report import generate_report
 from repro.experiments.workbench import Workbench
 from repro.metrics.image import psnr
@@ -34,6 +39,15 @@ def _cmd_scenes(_args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    if args.list:
+        width = max(len(exp_id) for exp_id, _ in list_experiments())
+        for exp_id, title in list_experiments():
+            print(f"{exp_id.ljust(width)}  {title}")
+        return 0
+    if not args.ids:
+        print("no experiment ids given (use --list to see available ids)",
+              file=sys.stderr)
+        return 2
     wb = Workbench()
     ids = sorted(EXPERIMENTS) if "all" in args.ids else args.ids
     for exp_id in ids:
@@ -78,8 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_exp = sub.add_parser("experiment", help="run paper experiments")
-    p_exp.add_argument("ids", nargs="+",
+    p_exp.add_argument("ids", nargs="*",
                        help="experiment ids (e.g. fig17a) or 'all'")
+    p_exp.add_argument("--list", action="store_true",
+                       help="print registered experiment ids and exit")
     p_exp.set_defaults(fn=_cmd_experiment)
 
     p_render = sub.add_parser("render", help="render a scene to a PPM image")

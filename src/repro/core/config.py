@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+
+
+def _canonical(value):
+    """Canonical, hashable form of a config value.
+
+    Dataclasses become name-sorted ``(field, value)`` tuples and sequences
+    become tuples, so two configurations holding the same values always
+    produce the same key — unlike ``repr``, which is sensitive to field
+    order, sequence type (list vs tuple) and subclass names.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, _canonical(getattr(value, f.name)))
+            for f in sorted(fields(value), key=lambda f: f.name)
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, float):
+        return float(value)
+    return value
 
 
 @dataclass
@@ -103,3 +123,7 @@ class ASDRConfig:
     def __post_init__(self) -> None:
         if self.early_termination is not None and not 0 < self.early_termination <= 1:
             raise ConfigurationError("early_termination must lie in (0, 1]")
+
+    def cache_key(self) -> Tuple:
+        """Stable canonical key for memoising renders/traces per config."""
+        return _canonical(self)

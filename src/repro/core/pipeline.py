@@ -11,13 +11,21 @@ assigned budget; the color MLP runs only on group anchors and the
 approximation unit interpolates the rest (Section 4.3); optional early
 termination truncates rays whose accumulated opacity saturates.
 
+Both phases dispatch rays through the shared wavefront scheduler
+(:mod:`repro.exec.scheduler`) and record what they execute into a
+:class:`~repro.exec.frame_trace.FrameTrace` — per wavefront: ray ids,
+sample points, hit masks, post-early-termination used counts and the
+anchor/interpolation structure.  The trace rides on the returned
+:class:`~repro.core.stats.ASDRRenderResult` so the accelerator simulator
+and the profilers replay this render instead of re-deriving it.
+
 The renderer works with any model exposing the Instant-NGP query interface
 (InstantNGP or TensoRF), mirroring Section 6.8.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +38,13 @@ from repro.core.sampling_plan import (
     probe_pixel_indices,
 )
 from repro.core.stats import ASDRRenderResult
+from repro.exec.frame_trace import (
+    PHASE_MAIN,
+    PHASE_PROBE,
+    FrameTrace,
+    TraceWavefront,
+)
+from repro.exec.scheduler import iter_budget_wavefronts, iter_wavefronts
 from repro.nerf.rays import sample_along_rays
 from repro.nerf.renderer import PhaseCounts
 from repro.nerf.volume import composite, composite_prefix, early_termination_counts
@@ -76,6 +91,13 @@ class ASDRRenderer:
             ``probe_rgb`` holds the probes' full-budget colors (reused for
             their pixels so Phase II never re-renders them).
         """
+        plan, probe_rgb, counts, probe_points, _ = self._phase1(camera)
+        return plan, probe_rgb, counts, probe_points
+
+    def _phase1(
+        self, camera: Camera
+    ) -> Tuple[SamplingPlan, np.ndarray, Dict[str, PhaseCounts], int, List[TraceWavefront]]:
+        """Phase I plus the probe wavefronts it executed (for the trace)."""
         counts = _new_phase_counts()
         n_pixels = camera.height * camera.width
         adaptive = self.config.adaptive
@@ -87,7 +109,7 @@ class ASDRRenderer:
                 probe_budgets=np.empty(0, dtype=np.int64),
                 full_budget=self.num_samples,
             )
-            return plan, np.empty((0, 3)), counts, 0
+            return plan, np.empty((0, 3)), counts, 0, []
 
         probe_idx, rows, cols = probe_pixel_indices(
             camera.height, camera.width, adaptive.probe_stride
@@ -98,9 +120,10 @@ class ASDRRenderer:
         probe_budgets = np.empty(len(probe_idx), dtype=np.int64)
         probe_rgb = np.empty((len(probe_idx), 3))
         probe_points = 0
-        for start in range(0, len(probe_idx), self.batch_rays):
-            sl = slice(start, min(start + self.batch_rays, len(probe_idx)))
-            sigmas, colors, deltas, hit = self._predict(
+        wavefronts: List[TraceWavefront] = []
+        for ids in iter_wavefronts(np.arange(len(probe_idx)), self.batch_rays):
+            sl = slice(int(ids[0]), int(ids[-1]) + 1)
+            sigmas, colors, deltas, hit, points = self._predict(
                 origins[sl], directions[sl], self.num_samples, counts
             )
             probe_points += int(hit.sum()) * self.num_samples
@@ -114,6 +137,18 @@ class ASDRRenderer:
             # Adaptive-sampling unit work: one subtract/compare per
             # candidate per channel (Eq. 3 hardware of Section 5.4).
             counts["volume"].add(len(budgets_b) * len(candidates) * 6)
+            used = np.where(hit, self.num_samples, 0).astype(np.int64)
+            wavefronts.append(
+                TraceWavefront.from_samples(
+                    phase=PHASE_PROBE,
+                    budget=self.num_samples,
+                    ray_ids=probe_idx[sl],
+                    hit=hit,
+                    points=points,
+                    used=used,
+                    color_used=used,
+                )
+            )
 
         budgets = interpolate_budgets(
             probe_budgets, rows, cols, camera.height, camera.width
@@ -126,14 +161,14 @@ class ASDRRenderer:
             full_budget=self.num_samples,
             num_candidates=len(candidates),
         )
-        return plan, probe_rgb, counts, probe_points
+        return plan, probe_rgb, counts, probe_points, wavefronts
 
     # ------------------------------------------------------------------
     # Phase II
     # ------------------------------------------------------------------
     def render_image(self, camera: Camera) -> ASDRRenderResult:
         """Render a full image through both ASDR phases."""
-        plan, probe_rgb, counts, probe_points = self.plan_sampling(camera)
+        plan, probe_rgb, counts, probe_points, wavefronts = self._phase1(camera)
         n_pixels = camera.height * camera.width
         image = np.zeros((n_pixels, 3))
         sample_counts = np.zeros(n_pixels, dtype=np.int64)
@@ -150,18 +185,38 @@ class ASDRRenderer:
         interpolated_points = 0
 
         remaining = np.nonzero(~rendered)[0]
-        budgets = plan.budgets[remaining]
-        for budget in np.unique(budgets):
-            ray_ids = remaining[budgets == budget]
-            for start in range(0, len(ray_ids), self.batch_rays):
-                ids = ray_ids[start : start + self.batch_rays]
-                rgb, used, evals = self._render_group(camera, ids, int(budget), counts)
-                image[ids] = rgb
-                sample_counts[ids] = used
-                density_points += evals[0]
-                color_points += evals[1]
-                interpolated_points += evals[2]
+        for budget, ids in iter_budget_wavefronts(
+            plan.budgets[remaining], self.batch_rays, ray_ids=remaining
+        ):
+            rgb, used, color_used, points, hit, evals = self._render_group(
+                camera, ids, budget, counts
+            )
+            image[ids] = rgb
+            sample_counts[ids] = used
+            density_points += evals[0]
+            color_points += evals[1]
+            interpolated_points += evals[2]
+            wavefronts.append(
+                TraceWavefront.from_samples(
+                    phase=PHASE_MAIN,
+                    budget=budget,
+                    ray_ids=ids,
+                    hit=hit,
+                    points=points,
+                    used=used,
+                    color_used=color_used,
+                )
+            )
 
+        approx = self.config.approximation
+        trace = FrameTrace(
+            num_pixels=n_pixels,
+            full_budget=self.num_samples,
+            kind="asdr",
+            group_size=approx.group_size if approx is not None and approx.enabled else 1,
+            difficulty_evals=len(plan.probe_indices) * plan.num_candidates,
+            wavefronts=wavefronts,
+        )
         return ASDRRenderResult(
             image=image.reshape(camera.height, camera.width, 3),
             plan=plan,
@@ -172,6 +227,7 @@ class ASDRRenderer:
             probe_points=probe_points,
             phase_counts=counts,
             sample_counts=sample_counts,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -183,7 +239,7 @@ class ASDRRenderer:
         directions: np.ndarray,
         num_samples: int,
         counts: Dict[str, PhaseCounts],
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Full (density + color) prediction used by Phase I probes."""
         points, deltas, hit = sample_along_rays(origins, directions, num_samples)
         flat = points.reshape(-1, 3)
@@ -196,7 +252,7 @@ class ASDRRenderer:
         n_points = int(hit.sum()) * num_samples
         self._charge(counts, n_points, n_points)
         counts["volume"].add(n_points * 10)
-        return sigmas, colors, deltas, hit
+        return sigmas, colors, deltas, hit, points
 
     def _render_group(
         self,
@@ -204,11 +260,12 @@ class ASDRRenderer:
         ray_ids: np.ndarray,
         budget: int,
         counts: Dict[str, PhaseCounts],
-    ) -> Tuple[np.ndarray, np.ndarray, Tuple[int, int, int]]:
-        """Render one batch of rays sharing a sample budget.
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, Tuple[int, int, int]]:
+        """Render one wavefront of rays sharing a sample budget.
 
         Returns:
-            ``(rgb, used_counts, (density_evals, color_evals, interpolated))``
+            ``(rgb, used, color_used, points, hit,
+            (density_evals, color_evals, interpolated))``.
         """
         origins, directions = camera.rays_for_pixels(ray_ids)
         points, deltas, hit = sample_along_rays(origins, directions, budget)
@@ -239,8 +296,8 @@ class ASDRRenderer:
             anchor_rgb = anchor_rgb.reshape(r, len(anchors), 3)
             colors = interpolate_group_colors(anchor_rgb, anchors, t_vals)
             # Anchors at or beyond a ray's termination point never run.
-            anchors_used = np.searchsorted(anchors, used, side="left")
-            color_evals = int(anchors_used.sum())
+            color_used = np.searchsorted(anchors, used, side="left").astype(np.int64)
+            color_evals = int(color_used.sum())
             interpolated = int(used.sum()) - color_evals
             # Approximation unit: one lerp (4 FLOPs x 3 channels) per
             # interpolated point.
@@ -250,6 +307,7 @@ class ASDRRenderer:
             colors = self.model.query_color(
                 geo.reshape(-1, geo.shape[-1]), dirs_rep
             ).reshape(r, budget, 3)
+            color_used = used.copy()
             color_evals = int(used.sum())
             interpolated = 0
 
@@ -257,7 +315,7 @@ class ASDRRenderer:
         self._charge(counts, density_evals, color_evals)
         counts["volume"].add(density_evals * 10)
         rgb, _ = composite(sigmas, colors, deltas, self.background)
-        return rgb, used, (density_evals, color_evals, interpolated)
+        return rgb, used, color_used, points, hit, (density_evals, color_evals, interpolated)
 
     def _charge(
         self, counts: Dict[str, PhaseCounts], density_points: int, color_points: int

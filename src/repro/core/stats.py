@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.sampling_plan import SamplingPlan
+from repro.exec.frame_trace import FrameTrace
 from repro.nerf.renderer import PhaseCounts
 
 
@@ -28,6 +29,9 @@ class ASDRRenderResult:
         phase_counts: FLOPs/bytes per pipeline phase.
         sample_counts: ``(H*W,)`` per-ray points actually marched in
             Phase II (after early termination, if enabled).
+        trace: The :class:`~repro.exec.frame_trace.FrameTrace` this render
+            executed — the simulator and profilers replay it instead of
+            re-deriving rays/samples from ``(camera, budgets)``.
     """
 
     image: np.ndarray
@@ -39,6 +43,7 @@ class ASDRRenderResult:
     probe_points: int
     phase_counts: Dict[str, PhaseCounts]
     sample_counts: np.ndarray
+    trace: Optional[FrameTrace] = None
 
     @property
     def total_flops(self) -> int:

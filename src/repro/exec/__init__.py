@@ -1,0 +1,38 @@
+"""Shared execution layer: the FrameTrace IR and wavefront scheduling.
+
+One frame is rendered exactly once; everything downstream — the cycle-level
+accelerator simulator, the encoding-engine corner streams, and the locality
+profilers — replays the :class:`~repro.exec.frame_trace.FrameTrace` the
+renderer emitted instead of re-deriving rays, sample points and voxel
+corners from ``(camera, budgets)``.  The dataflow is::
+
+    renderer (core.pipeline / nerf.renderer)
+        └─ emits FrameTrace (per-wavefront ray ids, sample points, hit
+           masks, post-early-termination used counts, anchor structure)
+            ├─ arch.accelerator.ASDRAccelerator.simulate_trace
+            ├─ arch.trace.encoding_corner_stream / hash_address_trace
+            └─ arch.trace.repetition_profile
+
+:mod:`repro.exec.scheduler` holds the budget-group wavefront scheduler the
+renderer, the trace generator and the simulator all share.
+"""
+
+from repro.exec.frame_trace import (
+    PHASE_MAIN,
+    PHASE_PROBE,
+    FrameTrace,
+    TraceWavefront,
+    WavefrontSlice,
+)
+from repro.exec.scheduler import budget_groups, iter_budget_wavefronts, iter_wavefronts
+
+__all__ = [
+    "PHASE_MAIN",
+    "PHASE_PROBE",
+    "FrameTrace",
+    "TraceWavefront",
+    "WavefrontSlice",
+    "budget_groups",
+    "iter_budget_wavefronts",
+    "iter_wavefronts",
+]

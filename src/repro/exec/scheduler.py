@@ -1,0 +1,57 @@
+"""Budget-group wavefront scheduling shared by renderer, trace and simulator.
+
+The ASDR execution model processes rays in *wavefronts*: rays sharing a
+sample budget are grouped (ascending budget order, as the adaptive renderer
+executes them) and dispatched in fixed-size batches.  Before this module,
+``core/pipeline.py``, ``arch/trace.py`` and ``arch/accelerator.py`` each
+carried their own copy of the ``unique-budget -> chunk`` double loop; they
+now all iterate the generators below.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def budget_groups(
+    budgets: np.ndarray, ray_ids: Optional[np.ndarray] = None
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Group rays by sample budget.
+
+    Args:
+        budgets: ``(R,)`` per-ray sample budgets.
+        ray_ids: Optional ``(R,)`` ray ids aligned with ``budgets``; defaults
+            to ``arange(R)`` (i.e. ``budgets`` covers the whole image).
+
+    Yields:
+        ``(budget, ray_ids)`` with ascending budgets; non-positive budgets
+        are skipped (rays with nothing to render).
+    """
+    budgets = np.asarray(budgets)
+    if ray_ids is None:
+        ray_ids = np.arange(len(budgets), dtype=np.int64)
+    for budget in np.unique(budgets):
+        if budget <= 0:
+            continue
+        yield int(budget), ray_ids[budgets == budget]
+
+
+def iter_wavefronts(
+    ray_ids: np.ndarray, wavefront_rays: int
+) -> Iterator[np.ndarray]:
+    """Split one budget group into wavefronts of at most ``wavefront_rays``."""
+    for start in range(0, len(ray_ids), wavefront_rays):
+        yield ray_ids[start : start + wavefront_rays]
+
+
+def iter_budget_wavefronts(
+    budgets: np.ndarray,
+    wavefront_rays: int,
+    ray_ids: Optional[np.ndarray] = None,
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(budget, wavefront_ray_ids)`` in execution order."""
+    for budget, ids in budget_groups(budgets, ray_ids):
+        for chunk in iter_wavefronts(ids, wavefront_rays):
+            yield budget, chunk

@@ -54,14 +54,12 @@ def format_table(rows: Rows, floatfmt: str = "{:.3f}") -> str:
     return "\n".join(lines)
 
 
-def run_experiment(
-    exp_id: str,
-    workbench: Optional[Workbench] = None,
-    print_output: bool = True,
-) -> Rows:
-    """Run one registered experiment and (optionally) print its table."""
-    # Importing the experiment modules populates the registry lazily,
-    # avoiding a circular import at package-import time.
+def load_experiments() -> Dict[str, Tuple[str, Callable[[Workbench], Rows]]]:
+    """The fully-populated experiment registry.
+
+    Importing the experiment modules populates the registry lazily,
+    avoiding a circular import at package-import time.
+    """
     from repro.experiments import (  # noqa: F401
         extensions,
         gpu_sw,
@@ -73,6 +71,23 @@ def run_experiment(
         tensorf_exp,
     )
 
+    return EXPERIMENTS
+
+
+def list_experiments() -> List[Tuple[str, str]]:
+    """``(experiment id, title)`` pairs of every registered experiment,
+    sorted by id — nothing is rendered or simulated."""
+    registry = load_experiments()
+    return [(exp_id, registry[exp_id][0]) for exp_id in sorted(registry)]
+
+
+def run_experiment(
+    exp_id: str,
+    workbench: Optional[Workbench] = None,
+    print_output: bool = True,
+) -> Rows:
+    """Run one registered experiment and (optionally) print its table."""
+    load_experiments()
     if exp_id not in EXPERIMENTS:
         raise ReproError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"

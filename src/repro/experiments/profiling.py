@@ -34,7 +34,14 @@ def fig4_access_trace(wb: Workbench) -> List[Dict[str, object]]:
     the fraction of jumps leaving a 64-entry crossbar row range.
     """
     camera = wb.dataset("lego").cameras[0]
-    trace = hash_address_trace(camera, EXPERIMENT_GRID, wb.config.num_samples)
+    # The baseline render's FrameTrace supplies the sample stream, so the
+    # profiler shares geometry with the render instead of re-tracing rays.
+    trace = hash_address_trace(
+        camera,
+        EXPERIMENT_GRID,
+        wb.config.num_samples,
+        trace=wb.frame_trace("lego", baseline=True),
+    )
     jumps = np.abs(np.diff(trace.astype(np.int64)))
     return [
         {
@@ -127,7 +134,11 @@ def fig15_repetition(wb: Workbench) -> List[Dict[str, object]]:
     """Reproduce Figure 15's locality profile."""
     camera = wb.dataset("lego").cameras[0]
     inter, intra = repetition_profile(
-        camera, EXPERIMENT_GRID, wb.config.num_samples, max_ray_pairs=128
+        camera,
+        EXPERIMENT_GRID,
+        wb.config.num_samples,
+        max_ray_pairs=128,
+        trace=wb.frame_trace("lego", baseline=True),
     )
     return [
         {

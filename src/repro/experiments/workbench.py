@@ -175,7 +175,7 @@ class Workbench:
     ) -> ASDRRenderResult:
         """ASDR two-phase render, memoised per configuration."""
         asdr_config = asdr_config or ASDRConfig()
-        key = ("asdr", scene, view, tensorf, repr(asdr_config))
+        key = ("asdr", scene, view, tensorf, asdr_config.cache_key())
         if key not in self._renders:
             model = self.tensorf_model(scene) if tensorf else self.model(scene)
             renderer = ASDRRenderer(
@@ -183,6 +183,28 @@ class Workbench:
             )
             self._renders[key] = renderer.render_image(self.dataset(scene).cameras[view])
         return self._renders[key]
+
+    def frame_trace(
+        self,
+        scene: str,
+        view: int = 0,
+        asdr_config: Optional[ASDRConfig] = None,
+        tensorf: bool = False,
+        baseline: bool = False,
+    ):
+        """The memoised render's :class:`~repro.exec.frame_trace.FrameTrace`.
+
+        Render memoisation (keyed by the same canonical config key) makes
+        the trace shared state: a render→simulate experiment pair, or the
+        fig17/fig18/fig19 trio simulating one frame three times, replays
+        one trace instead of re-deriving rays, samples and voxel corners.
+        """
+        result = (
+            self.baseline_render(scene, view, tensorf)
+            if baseline
+            else self.asdr_render(scene, view, asdr_config, tensorf)
+        )
+        return result.trace
 
     def group_size(self, asdr_config: Optional[ASDRConfig] = None) -> int:
         asdr_config = asdr_config or ASDRConfig()

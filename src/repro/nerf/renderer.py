@@ -9,13 +9,16 @@ the Figure 5 breakdown and the roofline baselines.  The ASDR renderer in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nerf.rays import sample_along_rays
 from repro.nerf.volume import composite, early_termination_counts
 from repro.scenes.cameras import Camera
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.exec.frame_trace import FrameTrace
 
 
 @dataclass
@@ -43,6 +46,8 @@ class RenderResult:
         phase_counts: FLOPs/bytes per phase: embedding / density / color /
             volume.
         sample_counts: ``(H*W,)`` per-ray sample budgets actually used.
+        trace: The :class:`~repro.exec.frame_trace.FrameTrace` this render
+            executed (replayed by the simulator and the profilers).
     """
 
     image: np.ndarray
@@ -51,6 +56,7 @@ class RenderResult:
     color_points: int
     phase_counts: Dict[str, PhaseCounts]
     sample_counts: np.ndarray
+    trace: Optional["FrameTrace"] = None
 
     @property
     def total_flops(self) -> int:
@@ -114,6 +120,8 @@ class BaselineRenderer:
 
     def render_image(self, camera: Camera) -> RenderResult:
         """Render a full image through the fixed-budget pipeline."""
+        from repro.exec.frame_trace import PHASE_MAIN, FrameTrace, TraceWavefront
+
         origins, directions = camera.pixel_rays()
         n_rays = origins.shape[0]
         image = np.zeros((n_rays, 3))
@@ -121,6 +129,7 @@ class BaselineRenderer:
         sample_counts = np.zeros(n_rays, dtype=np.int64)
         points_total = 0
         color_points = 0
+        wavefronts: List[TraceWavefront] = []
 
         for start in range(0, n_rays, self.batch_rays):
             sl = slice(start, min(start + self.batch_rays, n_rays))
@@ -143,6 +152,17 @@ class BaselineRenderer:
             points_total += batch_points
             color_points += batch_points
             self._charge(counts, batch_points, batch_points)
+            wavefronts.append(
+                TraceWavefront.from_samples(
+                    phase=PHASE_MAIN,
+                    budget=self.num_samples,
+                    ray_ids=np.arange(sl.start, sl.stop, dtype=np.int64),
+                    hit=hit,
+                    points=points,
+                    used=used,
+                    color_used=used,
+                )
+            )
 
         h, w = camera.height, camera.width
         return RenderResult(
@@ -152,6 +172,12 @@ class BaselineRenderer:
             color_points=color_points,
             phase_counts=counts,
             sample_counts=sample_counts,
+            trace=FrameTrace(
+                num_pixels=n_rays,
+                full_budget=self.num_samples,
+                kind="baseline",
+                wavefronts=wavefronts,
+            ),
         )
 
     # ------------------------------------------------------------------
