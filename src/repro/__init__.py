@@ -39,6 +39,7 @@ from repro.nerf import (
     distill_scene,
 )
 from repro.scenes import SceneDataset, load_dataset, make_scene, scene_names
+from repro.scenes.cameras import CameraPath, camera_path
 
 __version__ = "1.0.0"
 
@@ -56,6 +57,8 @@ __all__ = [
     "TensoRFModel",
     "TrainingConfig",
     "distill_scene",
+    "CameraPath",
+    "camera_path",
     "SceneDataset",
     "load_dataset",
     "make_scene",

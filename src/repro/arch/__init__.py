@@ -14,7 +14,11 @@ from repro.arch.energy import AreaPowerModel, COMPONENT_TABLE
 from repro.arch.encoding_engine import EncodingEngine, EncodingReport
 from repro.arch.mlp_engine import MLPEngine, MLPReport
 from repro.arch.render_engine import RenderEngine, RenderEngineReport
-from repro.arch.accelerator import ASDRAccelerator, SimReport
+from repro.arch.accelerator import (
+    ASDRAccelerator,
+    SequenceSimReport,
+    SimReport,
+)
 from repro.arch.trace import (
     EncodingBatch,
     encoding_corner_stream,
@@ -39,6 +43,7 @@ __all__ = [
     "RenderEngine",
     "RenderEngineReport",
     "ASDRAccelerator",
+    "SequenceSimReport",
     "SimReport",
     "EncodingBatch",
     "encoding_corner_stream",

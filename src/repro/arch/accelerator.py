@@ -12,16 +12,26 @@ replays the :class:`~repro.exec.frame_trace.FrameTrace` the renderer
 emitted — the exact sample points each ray marched (post early
 termination) and the exact per-ray anchor counts — so simulated cycles
 reflect what the algorithm actually executed, and no rays, sample points
-or voxel corners are re-derived from ``(camera, budgets)`` on that path.
-:meth:`simulate_pass` remains for consumers that only have a budget map;
-it synthesises a trace through the same shared scheduler.
+or voxel corners are re-derived inside the simulator.  The FrameTrace is
+the *only* execution path: trace-less render results are rejected
+(:meth:`simulate_render`), and consumers that only have a budget map go
+through :meth:`simulate_pass`, which synthesises a trace once via the
+shared scheduler.
+
+Video workloads replay a whole
+:class:`~repro.exec.sequence.SequenceTrace` through
+:meth:`ASDRAccelerator.simulate_sequence`: pose-replayed frames are priced
+at framebuffer scan-out cost, and a cross-frame
+:class:`~repro.cim.cache.TemporalVertexCache` lets vertex fetches that hit
+the previous frame's working set bypass the memory crossbars, exactly like
+register-cache hits.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,9 +43,11 @@ from repro.arch.energy import AreaPowerModel
 from repro.arch.mlp_engine import MLPEngine, MLPReport
 from repro.arch.render_engine import RenderEngine, RenderEngineReport
 from repro.arch.trace import EncodingBatch
+from repro.cim.cache import TemporalVertexCache
 from repro.core.approximation import anchor_indices
 from repro.errors import SimulationError
 from repro.exec.frame_trace import PHASE_PROBE, FrameTrace
+from repro.exec.sequence import SequenceTrace
 from repro.nerf.hashgrid import HashGridConfig, HashGridEncoder
 from repro.nerf.mlp import MLPConfig
 from repro.scenes.cameras import Camera
@@ -107,6 +119,75 @@ class SimReport:
             )
 
 
+class _SequenceMemoScope:
+    """Frame-scoped memo adapter: routes a frame's stream memoisation into
+    its :class:`~repro.exec.sequence.SequenceTrace` so derived arrays
+    (address gaps, temporal hit masks) live with the sequence that defines
+    them — the same FrameTrace simulated inside two different sequences
+    never shares temporal state."""
+
+    def __init__(self, sequence: SequenceTrace, frame: int) -> None:
+        self._sequence = sequence
+        self._frame = frame
+
+    def memo_hook(self, prefix: Tuple):
+        return self._sequence.memo_hook((self._frame,) + prefix)
+
+
+@dataclass
+class SequenceSimReport:
+    """Cycle/energy outcome of simulating a rendered sequence.
+
+    Attributes:
+        name: Configuration label.
+        frames: Per-frame :class:`SimReport` in path order (replayed
+            frames carry bus-only reports).
+        replayed: Per-frame pose-replay flags.
+    """
+
+    name: str
+    clock_hz: float
+    frames: List[SimReport] = field(default_factory=list)
+    replayed: List[bool] = field(default_factory=list)
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(f.total_cycles for f in self.frames)
+
+    @property
+    def amortised_cycles(self) -> float:
+        """Mean cycles per delivered frame — the video headline metric."""
+        return self.total_cycles / self.num_frames if self.frames else 0.0
+
+    @property
+    def time_seconds(self) -> float:
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def energy_joules(self) -> float:
+        return sum(f.energy_joules for f in self.frames)
+
+    @property
+    def temporal_hits(self) -> int:
+        return sum(f.encoding.temporal_hits for f in self.frames)
+
+    @property
+    def temporal_hit_rate(self) -> float:
+        lookups = sum(f.encoding.lookups for f in self.frames)
+        return self.temporal_hits / lookups if lookups else 0.0
+
+    def merged(self) -> SimReport:
+        """Aggregate the per-frame reports into one :class:`SimReport`."""
+        total = SimReport(name=self.name, clock_hz=self.clock_hz)
+        for frame in self.frames:
+            total.merge(frame)
+        return total
+
+
 class ASDRAccelerator:
     """Trace-driven simulator of one ASDR design point.
 
@@ -139,14 +220,18 @@ class ASDRAccelerator:
         color_fraction: Optional[float] = None,
         difficulty_evals: Optional[int] = None,
         rendered_pixels: Optional[int] = None,
+        temporal: Optional[TemporalVertexCache] = None,
+        memo_scope=None,
+        wavefront_log: Optional[List[Tuple[Tuple, int]]] = None,
     ) -> SimReport:
         """Replay a :class:`FrameTrace` through the pipeline.
 
-        This is the single execution path behind :meth:`simulate_pass` and
-        :meth:`simulate_render`: the trace's wavefronts are re-chunked to
-        this design's ``wavefront_rays`` and each chunk is charged exactly
-        the density/color/interpolated points the renderer recorded —
-        early-terminated samples are never billed.
+        This is the single execution path behind :meth:`simulate_pass`,
+        :meth:`simulate_render` and :meth:`simulate_sequence`: the trace's
+        wavefronts are re-chunked to this design's ``wavefront_rays`` and
+        each chunk is charged exactly the density/color/interpolated
+        points the renderer recorded — early-terminated samples are never
+        billed.
 
         Args:
             trace: The frame's execution trace.
@@ -164,11 +249,25 @@ class ASDRAccelerator:
                 unit work; defaults to the trace's recorded count.
             rendered_pixels: Override for the RGB bus traffic; defaults to
                 the trace's rays with at least one marched sample.
+            temporal: Cross-frame vertex cache (sequence simulation);
+                vertex fetches hitting the previous frame's working set
+                bypass the memory crossbars.
+            memo_scope: Object providing ``memo_hook(prefix)`` for
+                stream-derived memoisation; defaults to ``trace``.  The
+                sequence simulator passes a frame-scoped hook on its
+                :class:`~repro.exec.sequence.SequenceTrace` so temporal
+                hit masks stay tied to the sequence that defines them.
+            wavefront_log: When given, every cycle charge is appended as
+                ``(key, cycles)`` — one entry per wavefront slice plus the
+                Phase I adaptive-sampling tail — and ``total_cycles`` is
+                exactly their sum (the invariant the property tests pin).
         """
         if not isinstance(trace, FrameTrace):
             raise SimulationError(
                 f"simulate_trace expects a FrameTrace, got {type(trace).__name__}"
             )
+        if memo_scope is None:
+            memo_scope = trace
         encoding_engine = EncodingEngine(self.config, self.grid)
         scale = "edge" if "edge" in self.config.name else "server"
         buffers = BufferModel(default_buffers(scale))
@@ -189,9 +288,11 @@ class ASDRAccelerator:
                 corners=corners,
                 point_ray=sl.point_ray(),
                 num_points=num_points,
-                memo=trace.memo_hook((sl.index, sl.points.start, sl.points.stop)),
+                memo=memo_scope.memo_hook(
+                    (sl.index, sl.points.start, sl.points.stop)
+                ),
             )
-            enc = encoding_engine.process_batch(batch)
+            enc = encoding_engine.process_batch(batch, temporal=temporal)
             if color_fraction is not None:
                 color_points = math.ceil(num_points * color_fraction)
             else:
@@ -210,7 +311,12 @@ class ASDRAccelerator:
             report.mlp.merge(mlp)
             report.render.merge(ren)
             report.buffer_stall_cycles += stall
-            report.total_cycles += max(enc.cycles, mlp.cycles, ren.cycles) + stall
+            charge = max(enc.cycles, mlp.cycles, ren.cycles) + stall
+            if wavefront_log is not None:
+                wavefront_log.append(
+                    (("wavefront", sl.index, sl.rays.start, sl.rays.stop), charge)
+                )
+            report.total_cycles += charge
 
         evals = trace.difficulty_evals if difficulty_evals is None else difficulty_evals
         if evals:
@@ -219,6 +325,8 @@ class ASDRAccelerator:
             # its inputs' final samples).
             ren = self.render_engine.process(0, 0, evals)
             report.render.merge(ren)
+            if wavefront_log is not None:
+                wavefront_log.append((("adaptive_tail",), ren.cycles))
             report.total_cycles += ren.cycles
 
         rendered = trace.rendered_pixels if rendered_pixels is None else rendered_pixels
@@ -301,44 +409,93 @@ class ASDRAccelerator:
         a :class:`~repro.nerf.renderer.RenderResult` /
         :class:`~repro.core.stats.ASDRRenderResult` — results produced by
         the current renderers carry their trace, which is replayed without
-        re-sampling any rays or corners (``camera`` is then unused).  For
-        legacy results without a trace, Phase I/II budgets are re-derived
-        from ``(camera, plan, sample_counts)`` as before.
+        re-sampling any rays or corners.  ``camera`` is unused and kept
+        only for call-site compatibility.
+
+        Raises:
+            SimulationError: For trace-less results.  The legacy
+                ``(camera, budgets)`` re-derivation path is gone; callers
+                holding only a budget map should use :meth:`simulate_pass`
+                (which synthesises a trace once through the shared
+                scheduler) or re-render with a current renderer.
         """
+        del camera  # the trace carries everything the pipeline replays
         if isinstance(result, FrameTrace):
             return self.simulate_trace(result, group_size=group_size)
         trace = getattr(result, "trace", None)
-        if trace is not None:
-            return self.simulate_trace(trace, group_size=group_size)
-
-        plan = getattr(result, "plan", None)
-        if plan is None:  # baseline RenderResult
-            return self.simulate_pass(camera, result.sample_counts, 1.0)
-
-        n_pixels = camera.width * camera.height
-        total = SimReport(name=self.config.name, clock_hz=self.config.clock_hz)
-
-        if len(plan.probe_indices):
-            probe_budgets = np.zeros(n_pixels, dtype=np.int64)
-            probe_budgets[plan.probe_indices] = plan.full_budget
-            phase1 = self.simulate_pass(
-                camera,
-                probe_budgets,
-                color_fraction=1.0,
-                difficulty_evals=len(plan.probe_indices) * plan.num_candidates,
+        if trace is None:
+            raise SimulationError(
+                "simulate_render requires a FrameTrace-carrying result; the "
+                "legacy (camera, budgets) re-derivation path was retired. "
+                "Re-render with a current renderer, or synthesise a trace "
+                "explicitly via FrameTrace.from_budgets / simulate_pass."
             )
-            total.merge(phase1)
+        return self.simulate_trace(trace, group_size=group_size)
 
-        phase2_budgets = result.sample_counts.copy()
-        if len(plan.probe_indices):
-            phase2_budgets[plan.probe_indices] = 0
-        color_fraction = 1.0
-        if group_size > 1:
-            full = max(plan.full_budget, 1)
-            color_fraction = len(anchor_indices(full, group_size)) / full
-        phase2 = self.simulate_pass(camera, phase2_budgets, color_fraction)
-        total.merge(phase2)
-        return total
+    # ------------------------------------------------------------------
+    def simulate_sequence(
+        self,
+        sequence: SequenceTrace,
+        group_size: Optional[int] = None,
+        temporal: bool = True,
+        temporal_capacity: Optional[int] = None,
+    ) -> "SequenceSimReport":
+        """Replay a :class:`~repro.exec.sequence.SequenceTrace`.
+
+        Frames are simulated in path order with two inter-frame levers the
+        per-frame path does not have:
+
+        * frames recorded as pose replays never touch the engines — the
+          framebuffer already holds their pixels, so they are priced at
+          RGB scan-out (bus) cost only;
+        * a :class:`~repro.cim.cache.TemporalVertexCache` carries each
+          frame's vertex working set to the next: fetches that hit it skip
+          the memory crossbars (reduced encoding cycles and crossbar
+          energy, modelled like the register cache).
+
+        Args:
+            sequence: The rendered sequence's trace.
+            group_size: As for :meth:`simulate_trace`, applied per frame.
+            temporal: Disable to price frames fully independently (the
+                comparison baseline the video experiment reports).
+            temporal_capacity: Per-level entry bound of the temporal
+                cache (``None`` = unbounded).
+        """
+        if not isinstance(sequence, SequenceTrace):
+            raise SimulationError(
+                "simulate_sequence expects a SequenceTrace, got "
+                f"{type(sequence).__name__}"
+            )
+        cache = TemporalVertexCache(temporal_capacity) if temporal else None
+        frames: List[SimReport] = []
+        for k, trace in enumerate(sequence.frames):
+            if sequence.replays[k] is not None:
+                frames.append(self._replay_framebuffer(trace))
+                continue
+            report = self.simulate_trace(
+                trace,
+                group_size=group_size,
+                temporal=cache,
+                memo_scope=_SequenceMemoScope(sequence, k),
+            )
+            if cache is not None:
+                cache.commit_frame()
+            frames.append(report)
+        return SequenceSimReport(
+            name=self.config.name,
+            clock_hz=self.config.clock_hz,
+            frames=frames,
+            replayed=[j is not None for j in sequence.replays],
+        )
+
+    def _replay_framebuffer(self, trace: FrameTrace) -> SimReport:
+        """Price a pose-replayed frame: no engine work, only the RGB
+        scan-out of the (already rendered) frame over the system bus."""
+        report = SimReport(name=self.config.name, clock_hz=self.config.clock_hz)
+        report.bus_cycles = bus_cycles(BusTraffic(pixels=trace.rendered_pixels))
+        report.total_cycles = report.bus_cycles
+        self._charge_energy(report)
+        return report
 
     # ------------------------------------------------------------------
     def _charge_energy(self, report: SimReport) -> None:

@@ -35,6 +35,8 @@ class EncodingReport:
             the quantity the register cache relieves).
         lookups: Vertex lookups issued (before cache filtering).
         cache_hits: Lookups served by the register caches.
+        temporal_hits: Lookups served by the cross-frame temporal vertex
+            cache (sequence simulation only; 0 for single frames).
         xbar_accesses: Memory-crossbar row reads.
         conflict_cycles: Cycles lost to same-crossbar serialisation.
         xbar_energy_pj: Dynamic read energy of the memory crossbars.
@@ -44,6 +46,7 @@ class EncodingReport:
     read_cycles: int = 0
     lookups: int = 0
     cache_hits: int = 0
+    temporal_hits: int = 0
     xbar_accesses: int = 0
     conflict_cycles: int = 0
     xbar_energy_pj: float = 0.0
@@ -52,11 +55,16 @@ class EncodingReport:
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def temporal_hit_rate(self) -> float:
+        return self.temporal_hits / self.lookups if self.lookups else 0.0
+
     def merge(self, other: "EncodingReport") -> None:
         self.cycles += other.cycles
         self.read_cycles += other.read_cycles
         self.lookups += other.lookups
         self.cache_hits += other.cache_hits
+        self.temporal_hits += other.temporal_hits
         self.xbar_accesses += other.xbar_accesses
         self.conflict_cycles += other.conflict_cycles
         self.xbar_energy_pj += other.xbar_energy_pj
@@ -92,12 +100,26 @@ class EncodingEngine:
             config.mapping_mode,
         )
 
-    def process_batch(self, batch: EncodingBatch) -> EncodingReport:
-        """Simulate one wavefront; returns its cycle/energy report."""
+    def process_batch(
+        self, batch: EncodingBatch, temporal=None
+    ) -> EncodingReport:
+        """Simulate one wavefront; returns its cycle/energy report.
+
+        Args:
+            batch: The wavefront's corner streams.
+            temporal: Optional
+                :class:`~repro.cim.cache.TemporalVertexCache` holding the
+                previous frame's working set (sequence simulation).  Hits
+                bypass the memory crossbars like register-cache hits; the
+                frame's own addresses are recorded for the next frame.
+        """
         report = EncodingReport()
         p = batch.num_points
         request_ids = self._request_counter + np.arange(p)
         self._request_counter += p
+
+        def memoised(key, compute):
+            return batch.memo(key, compute) if batch.memo is not None else compute()
 
         total_addresses = p * 8 * self.grid.num_levels
         addr_gen_cycles = math.ceil(total_addresses / self.config.address_units)
@@ -105,31 +127,63 @@ class EncodingEngine:
         level_read_cycles: List[int] = []
         for level, corners in batch.corners.items():
             # The register cache tags *logical* entries; replication only
-            # affects which physical crossbar serves a miss.
-            logical = self.generator.addresses(corners, level, None)
+            # affects which physical crossbar serves a miss.  Address
+            # generation is a pure function of the corner stream, so
+            # replayed traces memoise it alongside the gap arrays (in the
+            # narrowest dtype the level's address space permits).
+            compact = (
+                np.int32
+                if self.generator.level_storage_entries(level) < 2**31
+                else np.int64
+            )
+            logical = memoised(
+                ("addr", level) + self._stream_key,
+                lambda: self.generator.addresses(corners, level, None).astype(
+                    compact
+                ),
+            )
             stream = logical.reshape(-1)
             # Access distances are a pure property of the stream; replayed
             # traces memoise them so repeated simulations of one frame
             # (and cache-size sweeps) skip the sort-based recomputation.
             gaps = None
             if batch.memo is not None and self.caches[level].window > 0:
-                gaps_key = ("gaps", level) + self._stream_key
                 # uint16-clipped: replay falls back to a full recomputation
                 # for windows beyond the clip bound (no swept design is).
-                compute = lambda: np.minimum(  # noqa: E731
-                    previous_occurrence_gaps(stream), np.iinfo(np.uint16).max
-                ).astype(np.uint16)
-                gaps = batch.memo(gaps_key, compute)
+                gaps = memoised(
+                    ("gaps", level) + self._stream_key,
+                    lambda: np.minimum(
+                        previous_occurrence_gaps(stream),
+                        np.iinfo(np.uint16).max,
+                    ).astype(np.uint16),
+                )
             hits = self.caches[level].replay(stream, level, gaps=gaps)
             report.lookups += logical.size
             report.cache_hits += int(hits.sum())
+            served = hits
+            if temporal is not None:
+                t_hits = temporal.lookup(
+                    stream, level, memo=batch.memo,
+                    stream_key=self._stream_key,
+                ) & ~hits
+                temporal.record(stream, level)
+                report.temporal_hits += int(t_hits.sum())
+                served = hits | t_hits
             # Physical addresses differ from logical ones only on levels
-            # whose replicated copies stripe by request id.
+            # whose replicated copies stripe by request id.  Request ids
+            # restart per simulation and slices are visited in trace
+            # order, so the striped stream is as replay-stable as the
+            # logical one and memoises under the same scope.
             if self.generator.striped(level):
-                physical = self.generator.addresses(corners, level, request_ids)
+                physical = memoised(
+                    ("addr_striped", level) + self._stream_key,
+                    lambda: self.generator.addresses(
+                        corners, level, request_ids
+                    ).astype(compact),
+                )
             else:
                 physical = logical
-            misses = np.where(hits, -1, physical.reshape(-1)).reshape(p, 8)
+            misses = np.where(served, -1, physical.reshape(-1)).reshape(p, 8)
             stats = self.banks[level].read_cycles(misses)
             report.xbar_accesses += stats.accesses
             report.conflict_cycles += stats.conflicts

@@ -15,7 +15,12 @@ from repro.cim.address import (
     HybridAddressGenerator,
     LevelMapping,
 )
-from repro.cim.cache import RegisterCache, window_hits, exact_lru_hits
+from repro.cim.cache import (
+    RegisterCache,
+    TemporalVertexCache,
+    window_hits,
+    exact_lru_hits,
+)
 from repro.cim.mapping import storage_utilization, hybrid_utilization
 
 __all__ = [

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -82,6 +82,100 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
+
+
+class TemporalVertexCache:
+    """Cross-frame vertex reuse buffer for video sequences.
+
+    The temporal sibling of :class:`RegisterCache`: where the register
+    cache filters repeats *within* a wavefront's recent window, this buffer
+    holds the embedding-table entries the *previous frame* fetched, per
+    resolution level.  Consecutive frames of a camera path march largely
+    overlapping world-space voxels, so a lookup that finds its address in
+    the previous frame's working set is served from the buffer and never
+    touches the memory crossbars — the same bypass pricing the register
+    cache uses.
+
+    The double-buffered protocol matches frame pipelining: lookups during
+    frame ``k`` compare against the *committed* set (frame ``k-1``'s
+    addresses) while frame ``k``'s own addresses accumulate in a pending
+    set; :meth:`commit_frame` swaps them at the frame boundary.
+
+    Args:
+        capacity_per_level: Entries the buffer retains per level between
+            frames (``None`` = unbounded, an idealised buffer).  When the
+            working set overflows, the lowest addresses are kept — a
+            deterministic, if arbitrary, replacement policy.
+    """
+
+    def __init__(self, capacity_per_level: Optional[int] = None) -> None:
+        if capacity_per_level is not None and capacity_per_level <= 0:
+            raise ConfigurationError("capacity_per_level must be positive")
+        self.capacity_per_level = capacity_per_level
+        self._resident: Dict[int, np.ndarray] = {}
+        self._pending: Dict[int, list] = {}
+        self.stats: Dict[int, CacheStats] = {}
+
+    def lookup(
+        self, stream: np.ndarray, level: int, memo=None, stream_key=()
+    ) -> np.ndarray:
+        """Hit mask of ``stream`` against the previous frame's working set.
+
+        Args:
+            stream: Flat logical address stream of one wavefront.
+            memo: Optional ``(key, compute)`` hook (a sequence-trace memo
+                scoped to this frame and wavefront) so warm replays of one
+                sequence skip the membership test.
+            stream_key: Identity of the address mapping that produced
+                ``stream`` (and therefore the resident set) — must be part
+                of the memo key, or two engines with different mappings
+                simulating one sequence would share masks.
+        """
+        stream = np.asarray(stream).reshape(-1)
+        resident = self._resident.get(level)
+        if resident is None or resident.size == 0:
+            hits = np.zeros(len(stream), dtype=bool)
+        else:
+            compute = lambda: np.isin(stream, resident)  # noqa: E731
+            if memo is not None:
+                hits = memo(
+                    ("temporal", level, self.capacity_per_level)
+                    + tuple(stream_key),
+                    compute,
+                )
+            else:
+                hits = compute()
+        st = self.stats.setdefault(level, CacheStats())
+        st.accesses += int(len(hits))
+        st.hits += int(hits.sum())
+        return hits
+
+    def record(self, stream: np.ndarray, level: int) -> None:
+        """Accumulate this frame's addresses for the next frame's lookups."""
+        self._pending.setdefault(level, []).append(
+            np.unique(np.asarray(stream).reshape(-1))
+        )
+
+    def commit_frame(self) -> None:
+        """Frame boundary: the pending working set becomes the lookup set."""
+        resident: Dict[int, np.ndarray] = {}
+        for level, chunks in self._pending.items():
+            merged = np.unique(np.concatenate(chunks)) if chunks else np.empty(0)
+            if (
+                self.capacity_per_level is not None
+                and merged.size > self.capacity_per_level
+            ):
+                merged = merged[: self.capacity_per_level]
+            resident[level] = merged
+        self._resident = resident
+        self._pending = {}
+
+    def total_stats(self) -> CacheStats:
+        total = CacheStats()
+        for st in self.stats.values():
+            total.accesses += st.accesses
+            total.hits += st.hits
+        return total
 
 
 class RegisterCache:

@@ -7,6 +7,9 @@ Commands:
   experiment ids and titles without running anything).
 * ``render <scene> --out img.ppm`` — distill (or load a cached model for)
   a scene and write baseline + ASDR renders side by side.
+* ``video <scene>`` — render a camera-path sequence and report per-frame
+  and amortised cycles/energy with temporal reuse (see
+  ``repro video --help`` for path presets and examples).
 * ``report [--out EXPERIMENTS.md]`` — regenerate the paper-vs-measured
   report.
 * ``scenes`` — list available scenes.
@@ -75,6 +78,47 @@ def _cmd_render(args) -> int:
     return 0
 
 
+def _cmd_video(args) -> int:
+    from repro.experiments.harness import format_table
+    from repro.experiments.video import video_rows
+    from repro.scenes.cameras import camera_path
+
+    if args.scene not in scene_names():
+        print(f"unknown scene {args.scene!r}; see `python -m repro scenes`",
+              file=sys.stderr)
+        return 2
+    path = camera_path(
+        args.preset,
+        args.frames,
+        args.size,
+        args.size,
+        arc=args.arc,
+        travel=args.travel,
+        amplitude=args.amplitude,
+        period=args.period,
+        hold=args.hold,
+    )
+    rows = video_rows(
+        Workbench(),
+        scene=args.scene,
+        path=path,
+        scale=args.scale,
+        probe_interval=args.probe_interval,
+        temporal=not args.no_temporal,
+    )
+    print(f"== video: {args.scene}, {args.frames}x{args.size}x{args.size} "
+          f"{args.preset} ({args.scale}) ==")
+    print(format_table(rows))
+    amortised = rows[-1]
+    print(
+        f"\namortised: {amortised['video_kcycles']:.1f} kcycles/frame vs "
+        f"{amortised['asdr_kcycles']:.1f} independent "
+        f"({amortised['video_speedup']:.3f}x from temporal reuse; "
+        f"temporal cache hit rate {amortised['temporal_hit_pct']:.1f}%)"
+    )
+    return 0
+
+
 def _cmd_report(args) -> int:
     generate_report(args.out)
     print(f"wrote {args.out}")
@@ -102,6 +146,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("scene")
     p_render.add_argument("--out", default="render.ppm")
     p_render.set_defaults(fn=_cmd_render)
+
+    p_video = sub.add_parser(
+        "video",
+        help="render & simulate a camera-path sequence with temporal reuse",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+examples:
+  repro video palace                        # 4-frame 56x56 orbit (default)
+  repro video lego --frames 2 --size 16     # CI smoke configuration
+  repro video fox --preset shake --hold 2 --frames 6   # pose-replay demo
+  repro video family --preset dolly --frames 8 --probe-interval 4
+  repro video palace --no-temporal          # price frames independently
+""",
+    )
+    p_video.add_argument("scene")
+    p_video.add_argument("--frames", type=int, default=4,
+                         help="frames in the sequence (default 4)")
+    p_video.add_argument("--size", type=int, default=56,
+                         help="square frame resolution (default 56)")
+    p_video.add_argument("--preset", choices=("orbit", "dolly", "shake"),
+                         default="orbit", help="camera path preset")
+    p_video.add_argument("--arc", type=float, default=0.1,
+                         help="orbit: fraction of the circle swept")
+    p_video.add_argument("--travel", type=float, default=0.5,
+                         help="dolly: fraction of the radius travelled")
+    p_video.add_argument("--amplitude", type=float, default=0.05,
+                         help="shake: jitter amplitude (world units)")
+    p_video.add_argument("--period", type=int, default=4,
+                         help="shake: poses repeat every PERIOD frames")
+    p_video.add_argument("--hold", type=int, default=1,
+                         help="repeat each pose HOLD consecutive frames")
+    p_video.add_argument("--probe-interval", type=int, default=0,
+                         help="Phase I cadence; 0 = first frame only, "
+                              "1 = every frame (plan reuse off)")
+    p_video.add_argument("--no-temporal", action="store_true",
+                         help="disable the cross-frame temporal vertex cache")
+    p_video.add_argument("--scale", choices=("server", "edge"),
+                         default="server", help="accelerator design point")
+    p_video.set_defaults(fn=_cmd_video)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("--out", default="EXPERIMENTS.md")

@@ -19,13 +19,20 @@ anchor/interpolation structure.  The trace rides on the returned
 :class:`~repro.core.stats.ASDRRenderResult` so the accelerator simulator
 and the profilers replay this render instead of re-deriving it.
 
+Video sequences are rendered by :meth:`ASDRRenderer.render_sequence`,
+which adds two temporal-reuse levers on top of the per-frame path:
+bit-identical camera poses replay the earlier frame outright, and
+non-keyframes skip Phase I entirely, rendering with the previous
+keyframe's sampling plan (:meth:`ASDRRenderer.render_with_plan`) — the
+profile-guided shortcut temporal coherence buys.
+
 The renderer works with any model exposing the Instant-NGP query interface
 (InstantNGP or TensoRF), mirroring Section 6.8.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +45,7 @@ from repro.core.sampling_plan import (
     probe_pixel_indices,
 )
 from repro.core.stats import ASDRRenderResult
+from repro.errors import ConfigurationError
 from repro.exec.frame_trace import (
     PHASE_MAIN,
     PHASE_PROBE,
@@ -45,6 +53,7 @@ from repro.exec.frame_trace import (
     TraceWavefront,
 )
 from repro.exec.scheduler import iter_budget_wavefronts, iter_wavefronts
+from repro.exec.sequence import SequenceRender, render_camera_path
 from repro.nerf.rays import sample_along_rays
 from repro.nerf.renderer import PhaseCounts
 from repro.nerf.volume import composite, composite_prefix, early_termination_counts
@@ -180,13 +189,159 @@ class ASDRRenderer:
             sample_counts[plan.probe_indices] = self.num_samples
             rendered[plan.probe_indices] = True
 
-        density_points = probe_points
-        color_points = probe_points
-        interpolated_points = 0
-
         remaining = np.nonzero(~rendered)[0]
+        totals = self._render_main(
+            camera, plan.budgets, remaining, image, sample_counts, counts, wavefronts
+        )
+        return self._build_result(
+            camera,
+            plan,
+            image,
+            sample_counts,
+            counts,
+            wavefronts,
+            density_points=probe_points + totals[0],
+            color_points=probe_points + totals[1],
+            interpolated_points=totals[2],
+            probe_points=probe_points,
+            difficulty_evals=len(plan.probe_indices) * plan.num_candidates,
+        )
+
+    def render_with_plan(self, camera: Camera, plan: SamplingPlan) -> ASDRRenderResult:
+        """Render a frame steered by a *reused* sampling plan (no Phase I).
+
+        The profile-guided path of sequence rendering: temporal coherence
+        makes the previous keyframe's per-pixel budget map a good proxy
+        for this frame's difficulty, so probe rendering, difficulty
+        evaluation and budget interpolation are all skipped — every pixel
+        renders through Phase II at the budget the plan assigns it.  The
+        emitted trace records no probe wavefronts and zero difficulty
+        evaluations, so the simulator automatically prices the skipped
+        Phase I work.
+        """
+        n_pixels = camera.height * camera.width
+        if len(plan.budgets) != n_pixels:
+            raise ConfigurationError(
+                f"reused plan covers {len(plan.budgets)} pixels, camera has "
+                f"{n_pixels}"
+            )
+        counts = _new_phase_counts()
+        image = np.zeros((n_pixels, 3))
+        sample_counts = np.zeros(n_pixels, dtype=np.int64)
+        wavefronts: List[TraceWavefront] = []
+        totals = self._render_main(
+            camera,
+            plan.budgets,
+            np.arange(n_pixels, dtype=np.int64),
+            image,
+            sample_counts,
+            counts,
+            wavefronts,
+        )
+        reused = SamplingPlan(
+            budgets=plan.budgets,
+            probe_indices=np.empty(0, dtype=np.int64),
+            probe_budgets=np.empty(0, dtype=np.int64),
+            full_budget=plan.full_budget,
+            num_candidates=0,
+        )
+        return self._build_result(
+            camera,
+            reused,
+            image,
+            sample_counts,
+            counts,
+            wavefronts,
+            density_points=totals[0],
+            color_points=totals[1],
+            interpolated_points=totals[2],
+            probe_points=0,
+            difficulty_evals=0,
+        )
+
+    def render_sequence(
+        self,
+        cameras: Sequence[Camera],
+        probe_interval: int = 1,
+        reuse_poses: bool = True,
+        path_key: Tuple = (),
+    ) -> SequenceRender:
+        """Render a camera path with cross-frame temporal reuse.
+
+        Two reuse levers run on top of the per-frame pipeline:
+
+        * **pose replay** — a camera whose pose/intrinsics are
+          bit-identical to an earlier frame's replays that frame's result
+          (images and counts match exactly by construction);
+        * **plan reuse** — Phase I runs only on keyframes (every
+          ``probe_interval``-th rendered frame; ``0`` means the first
+          frame only); the frames between render with the last keyframe's
+          budget map via :meth:`render_with_plan`.
+
+        Args:
+            cameras: The path's cameras (e.g.
+                :meth:`repro.scenes.cameras.CameraPath.cameras`).
+            probe_interval: Phase I cadence; ``1`` re-probes every frame
+                (plan reuse off), ``0`` probes the first frame only.
+            reuse_poses: Disable to force every frame to render fresh.
+            path_key: Identity recorded on the
+                :class:`~repro.exec.sequence.SequenceTrace`.
+        """
+        if probe_interval < 0:
+            raise ConfigurationError("probe_interval must be >= 0")
+        # Pose replay lives in the shared driver; this closure only
+        # decides, per freshly rendered frame, whether Phase I runs.
+        state: Dict[str, object] = {"plan": None, "since": 0}
+        planned_fresh: List[bool] = []
+
+        def render_fn(camera: Camera) -> ASDRRenderResult:
+            plan: Optional[SamplingPlan] = state["plan"]
+            fresh = (
+                plan is None
+                or len(plan.budgets) != camera.height * camera.width
+                or (probe_interval > 0 and state["since"] >= probe_interval)
+            )
+            if fresh:
+                result = self.render_image(camera)
+                state["plan"] = result.plan
+                state["since"] = 1
+            else:
+                result = self.render_with_plan(camera, plan)
+                state["since"] += 1
+            planned_fresh.append(fresh)
+            return result
+
+        outcome = render_camera_path(
+            render_fn,
+            cameras,
+            path_key=path_key,
+            kind="asdr",
+            reuse_poses=reuse_poses,
+        )
+        fresh_flags = iter(planned_fresh)
+        outcome.trace.planned = [
+            False if source is not None else next(fresh_flags)
+            for source in outcome.trace.replays
+        ]
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _render_main(
+        self,
+        camera: Camera,
+        budgets: np.ndarray,
+        ray_ids: np.ndarray,
+        image: np.ndarray,
+        sample_counts: np.ndarray,
+        counts: Dict[str, PhaseCounts],
+        wavefronts: List[TraceWavefront],
+    ) -> Tuple[int, int, int]:
+        """Run Phase II over ``ray_ids`` at their budgets, accumulating
+        into the frame buffers; returns
+        ``(density, color, interpolated)`` point totals."""
+        density_points = color_points = interpolated_points = 0
         for budget, ids in iter_budget_wavefronts(
-            plan.budgets[remaining], self.batch_rays, ray_ids=remaining
+            budgets[ray_ids], self.batch_rays, ray_ids=ray_ids
         ):
             rgb, used, color_used, points, hit, evals = self._render_group(
                 camera, ids, budget, counts
@@ -207,14 +362,30 @@ class ASDRRenderer:
                     color_used=color_used,
                 )
             )
+        return density_points, color_points, interpolated_points
 
+    def _build_result(
+        self,
+        camera: Camera,
+        plan: SamplingPlan,
+        image: np.ndarray,
+        sample_counts: np.ndarray,
+        counts: Dict[str, PhaseCounts],
+        wavefronts: List[TraceWavefront],
+        density_points: int,
+        color_points: int,
+        interpolated_points: int,
+        probe_points: int,
+        difficulty_evals: int,
+    ) -> ASDRRenderResult:
+        n_pixels = camera.height * camera.width
         approx = self.config.approximation
         trace = FrameTrace(
             num_pixels=n_pixels,
             full_budget=self.num_samples,
             kind="asdr",
             group_size=approx.group_size if approx is not None and approx.enabled else 1,
-            difficulty_evals=len(plan.probe_indices) * plan.num_candidates,
+            difficulty_evals=difficulty_evals,
             wavefronts=wavefronts,
         )
         return ASDRRenderResult(

@@ -1,10 +1,14 @@
-"""Shared execution layer: the FrameTrace IR and wavefront scheduling.
+"""Shared execution layer: FrameTrace/SequenceTrace IR and scheduling.
 
 One frame is rendered exactly once; everything downstream — the cycle-level
 accelerator simulator, the encoding-engine corner streams, and the locality
 profilers — replays the :class:`~repro.exec.frame_trace.FrameTrace` the
 renderer emitted instead of re-deriving rays, sample points and voxel
-corners from ``(camera, budgets)``.  The dataflow is::
+corners from ``(camera, budgets)``.  Multi-frame (video) workloads lift the
+same idea across frames: a :class:`~repro.exec.sequence.SequenceTrace`
+orders the per-frame traces along a camera path and records the temporal
+structure (pose replays, plan reuse, corner-stream overlap) the sequence
+simulator prices.  The dataflow is::
 
     renderer (core.pipeline / nerf.renderer)
         └─ emits FrameTrace (per-wavefront ray ids, sample points, hit
@@ -12,6 +16,8 @@ corners from ``(camera, budgets)``.  The dataflow is::
             ├─ arch.accelerator.ASDRAccelerator.simulate_trace
             ├─ arch.trace.encoding_corner_stream / hash_address_trace
             └─ arch.trace.repetition_profile
+    CameraPath └─ render_sequence ─ emits SequenceTrace (FrameTrace list)
+            └─ arch.accelerator.ASDRAccelerator.simulate_sequence
 
 :mod:`repro.exec.scheduler` holds the budget-group wavefront scheduler the
 renderer, the trace generator and the simulator all share.
@@ -25,6 +31,13 @@ from repro.exec.frame_trace import (
     WavefrontSlice,
 )
 from repro.exec.scheduler import budget_groups, iter_budget_wavefronts, iter_wavefronts
+from repro.exec.sequence import (
+    SequenceRender,
+    SequenceTrace,
+    TemporalDelta,
+    pose_key,
+    render_camera_path,
+)
 
 __all__ = [
     "PHASE_MAIN",
@@ -32,6 +45,11 @@ __all__ = [
     "FrameTrace",
     "TraceWavefront",
     "WavefrontSlice",
+    "SequenceRender",
+    "SequenceTrace",
+    "TemporalDelta",
+    "pose_key",
+    "render_camera_path",
     "budget_groups",
     "iter_budget_wavefronts",
     "iter_wavefronts",

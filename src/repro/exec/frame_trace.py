@@ -116,6 +116,31 @@ class TraceWavefront:
         )
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (schema pinned by the golden test)."""
+        return {
+            "phase": self.phase,
+            "budget": int(self.budget),
+            "ray_ids": self.ray_ids.tolist(),
+            "hit": self.hit.tolist(),
+            "used": self.used.tolist(),
+            "color_used": self.color_used.tolist(),
+            "points": np.asarray(self.points, dtype=np.float64).tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TraceWavefront":
+        return cls(
+            phase=data["phase"],
+            budget=int(data["budget"]),
+            ray_ids=np.asarray(data["ray_ids"], dtype=np.int64),
+            hit=np.asarray(data["hit"], dtype=bool),
+            used=np.asarray(data["used"], dtype=np.int64),
+            color_used=np.asarray(data["color_used"], dtype=np.int64),
+            points=np.asarray(data["points"], dtype=np.float64).reshape(-1, 3),
+        )
+
+    # ------------------------------------------------------------------
     @property
     def num_rays(self) -> int:
         return len(self.ray_ids)
@@ -248,6 +273,32 @@ class FrameTrace:
             full_budget=full,
             kind="budgets",
             wavefronts=wavefronts,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (schema pinned by the golden test)."""
+        return {
+            "num_pixels": int(self.num_pixels),
+            "full_budget": int(self.full_budget),
+            "kind": self.kind,
+            "group_size": int(self.group_size),
+            "difficulty_evals": int(self.difficulty_evals),
+            "wavefronts": [wf.to_dict() for wf in self.wavefronts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FrameTrace":
+        """Rebuild a trace from :meth:`to_dict` output (fresh caches)."""
+        return cls(
+            num_pixels=int(data["num_pixels"]),
+            full_budget=int(data["full_budget"]),
+            kind=data["kind"],
+            group_size=int(data["group_size"]),
+            difficulty_evals=int(data["difficulty_evals"]),
+            wavefronts=[TraceWavefront.from_dict(w) for w in data["wavefronts"]],
         )
 
     # ------------------------------------------------------------------

@@ -69,6 +69,7 @@ def load_experiments() -> Dict[str, Tuple[str, Callable[[Workbench], Rows]]]:
         quality,
         sweeps,
         tensorf_exp,
+        video,
     )
 
     return EXPERIMENTS

@@ -1,0 +1,170 @@
+"""Multi-frame video workloads: temporal reuse vs independent frames.
+
+The ``video`` experiment renders a camera path (default: a 4-frame orbit
+segment at workbench scale) three ways and simulates each on the ASDR
+accelerator:
+
+* **baseline** — the fixed-budget pipeline, every frame independent (the
+  original-pipeline reference, no reuse hardware);
+* **asdr** — the two-phase ASDR pipeline, every frame rendered and
+  simulated independently (Phase I per frame, no temporal cache) — the
+  per-frame state of the art this repo reproduced before the sequence
+  layer;
+* **video** — the sequence path: pose-identical frames replayed outright,
+  Phase I only on keyframes (plan reuse), and the temporal vertex cache
+  serving cross-frame corner fetches.
+
+Per-frame and amortised cycles/energy are reported, along with the
+temporal-cache hit rate and the PSNR of each reused frame against its
+independently rendered twin (the quality cost of plan reuse; ``inf`` for
+bit-identical replays).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.accelerator import ASDRAccelerator, SequenceSimReport
+from repro.arch.config import ArchConfig
+from repro.experiments.harness import register
+from repro.experiments.workbench import (
+    EXPERIMENT_GRID,
+    EXPERIMENT_MODEL,
+    Workbench,
+)
+from repro.metrics.image import psnr
+from repro.scenes.cameras import CameraPath, camera_path
+
+#: The acceptance-scale default: a 4-frame 56x56 orbit segment.
+DEFAULT_SCENE = "palace"
+DEFAULT_FRAMES = 4
+DEFAULT_ARC = 0.1
+
+
+def _accelerator(scale: str) -> ASDRAccelerator:
+    config = ArchConfig.server() if scale == "server" else ArchConfig.edge()
+    return ASDRAccelerator(
+        config,
+        EXPERIMENT_GRID,
+        EXPERIMENT_MODEL.density_mlp_config,
+        EXPERIMENT_MODEL.color_mlp_config,
+    )
+
+
+def _frame_mode(trace, k: int) -> str:
+    if trace.replays[k] is not None:
+        return "replay"
+    return "probe" if trace.planned[k] else "reuse"
+
+
+def video_rows(
+    wb: Workbench,
+    scene: str = DEFAULT_SCENE,
+    path: Optional[CameraPath] = None,
+    scale: str = "server",
+    probe_interval: int = 0,
+    temporal: bool = True,
+    temporal_capacity: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Render + simulate one camera-path sequence; returns table rows.
+
+    The final ``amortised`` row carries the headline numbers: mean
+    cycles/energy per delivered frame for all three pipelines and the
+    sequence path's amortised speedup over independent per-frame ASDR
+    simulation (``video_speedup``).
+    """
+    if path is None:
+        path = camera_path(
+            "orbit",
+            DEFAULT_FRAMES,
+            wb.config.width,
+            wb.config.height,
+            arc=DEFAULT_ARC,
+        )
+    group = wb.group_size()
+    acc = _accelerator(scale)
+
+    video = wb.sequence_render(scene, path, probe_interval=probe_interval)
+    fresh = wb.sequence_render(
+        scene, path, probe_interval=1, reuse_poses=False
+    )
+    base = wb.sequence_render(scene, path, baseline=True, reuse_poses=False)
+
+    video_rep = acc.simulate_sequence(
+        video.trace,
+        group_size=group,
+        temporal=temporal,
+        temporal_capacity=temporal_capacity,
+    )
+    fresh_rep = acc.simulate_sequence(fresh.trace, group_size=group, temporal=False)
+    base_rep = acc.simulate_sequence(base.trace, group_size=1, temporal=False)
+
+    rows: List[Dict[str, object]] = []
+    for k in range(path.frames):
+        v, f, b = video_rep.frames[k], fresh_rep.frames[k], base_rep.frames[k]
+        rows.append(
+            {
+                "frame": str(k),
+                "mode": _frame_mode(video.trace, k),
+                "baseline_kcycles": b.total_cycles / 1e3,
+                "asdr_kcycles": f.total_cycles / 1e3,
+                "video_kcycles": v.total_cycles / 1e3,
+                "video_speedup": f.total_cycles / max(v.total_cycles, 1),
+                "temporal_hit_pct": 100.0 * v.encoding.temporal_hit_rate,
+                "baseline_uj": b.energy_joules * 1e6,
+                "video_uj": v.energy_joules * 1e6,
+                "psnr_vs_fresh": float(
+                    psnr(video.results[k].image, fresh.results[k].image)
+                ),
+            }
+        )
+    finite = [
+        r["psnr_vs_fresh"] for r in rows if np.isfinite(r["psnr_vs_fresh"])
+    ]
+    rows.append(
+        {
+            "frame": "amortised",
+            "mode": "-",
+            "baseline_kcycles": base_rep.amortised_cycles / 1e3,
+            "asdr_kcycles": fresh_rep.amortised_cycles / 1e3,
+            "video_kcycles": video_rep.amortised_cycles / 1e3,
+            "video_speedup": fresh_rep.total_cycles
+            / max(video_rep.total_cycles, 1),
+            "temporal_hit_pct": 100.0 * video_rep.temporal_hit_rate,
+            "baseline_uj": base_rep.energy_joules * 1e6 / path.frames,
+            "video_uj": video_rep.energy_joules * 1e6 / path.frames,
+            "psnr_vs_fresh": float(np.mean(finite)) if finite else float("inf"),
+        }
+    )
+    return rows
+
+
+def sequence_reports(
+    wb: Workbench,
+    scene: str,
+    path: CameraPath,
+    scale: str = "server",
+    probe_interval: int = 0,
+    temporal: bool = True,
+) -> Dict[str, SequenceSimReport]:
+    """``{"video", "asdr", "baseline"}`` sequence reports for one path
+    (the benchmark's entry point — same renders/memos as the table)."""
+    group = wb.group_size()
+    acc = _accelerator(scale)
+    video = wb.sequence_trace(scene, path, probe_interval=probe_interval)
+    fresh = wb.sequence_trace(scene, path, probe_interval=1, reuse_poses=False)
+    base = wb.sequence_trace(scene, path, baseline=True, reuse_poses=False)
+    return {
+        "video": acc.simulate_sequence(video, group_size=group, temporal=temporal),
+        "asdr": acc.simulate_sequence(fresh, group_size=group, temporal=False),
+        "baseline": acc.simulate_sequence(base, group_size=1, temporal=False),
+    }
+
+
+@register("video", "Video sequences: temporal reuse vs independent frames")
+def video_experiment(wb: Workbench) -> List[Dict[str, object]]:
+    """The acceptance-scale configuration: 4-frame 56x56 orbit, Phase I on
+    the first frame only, temporal vertex cache enabled."""
+    return video_rows(wb)

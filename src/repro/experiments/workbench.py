@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.config import ASDRConfig
 from repro.core.pipeline import ASDRRenderer
 from repro.core.stats import ASDRRenderResult
+from repro.exec.sequence import SequenceRender, SequenceTrace, render_camera_path
 from repro.nerf.hashgrid import HashGridConfig
 from repro.nerf.io import (
     load_instant_ngp,
@@ -29,6 +30,7 @@ from repro.nerf.model import InstantNGPConfig, InstantNGPModel
 from repro.nerf.renderer import BaselineRenderer, RenderResult
 from repro.nerf.tensorf import TensoRFConfig, TensoRFModel
 from repro.nerf.training import TrainingConfig, distill_scene
+from repro.scenes.cameras import CameraPath
 from repro.scenes.dataset import SceneDataset, load_dataset
 from repro.utils.rng import derive_seed
 
@@ -210,3 +212,97 @@ class Workbench:
         asdr_config = asdr_config or ASDRConfig()
         approx = asdr_config.approximation
         return approx.group_size if approx else 1
+
+    # ------------------------------------------------------------------
+    def sequence_render(
+        self,
+        scene: str,
+        path: CameraPath,
+        asdr_config: Optional[ASDRConfig] = None,
+        tensorf: bool = False,
+        baseline: bool = False,
+        probe_interval: int = 0,
+        reuse_poses: bool = True,
+    ) -> SequenceRender:
+        """Render a whole camera-path sequence, memoised.
+
+        Sequences are cached under
+        ``(scene, CameraPath.cache_key(), config key, reuse knobs)`` — the
+        sequence-level analogue of the per-frame render memo, so the video
+        experiment, its benchmark and the CLI all replay one
+        :class:`~repro.exec.sequence.SequenceTrace` (cross-frame memo
+        state included) instead of re-rendering the path.
+
+        Args:
+            scene: Scene name.
+            path: The camera trajectory (its resolution applies, not the
+                workbench's).
+            asdr_config: ASDR algorithm settings (ignored for baseline).
+            tensorf: Use the TensoRF backend instead of Instant-NGP.
+            baseline: Render the fixed-budget pipeline instead of ASDR
+                (no plan reuse — the original pipeline has no Phase I).
+            probe_interval: ASDR Phase I cadence (see
+                :meth:`repro.core.pipeline.ASDRRenderer.render_sequence`);
+                default ``0`` probes the first frame only.
+            reuse_poses: Replay bit-identical poses.
+        """
+        asdr_config = asdr_config or ASDRConfig()
+        key = (
+            "sequence",
+            scene,
+            path.cache_key(),
+            tensorf,
+            baseline,
+            probe_interval,
+            reuse_poses,
+            None if baseline else asdr_config.cache_key(),
+        )
+        if key not in self._renders:
+            model = self.tensorf_model(scene) if tensorf else self.model(scene)
+            cameras = path.cameras()
+            if baseline:
+                renderer = BaselineRenderer(
+                    model, num_samples=self.config.num_samples
+                )
+                outcome = render_camera_path(
+                    renderer.render_image,
+                    cameras,
+                    path_key=path.cache_key(),
+                    kind="baseline",
+                    reuse_poses=reuse_poses,
+                )
+            else:
+                asdr = ASDRRenderer(
+                    model, config=asdr_config, num_samples=self.config.num_samples
+                )
+                outcome = asdr.render_sequence(
+                    cameras,
+                    probe_interval=probe_interval,
+                    reuse_poses=reuse_poses,
+                    path_key=path.cache_key(),
+                )
+            self._renders[key] = outcome
+        return self._renders[key]
+
+    def sequence_trace(
+        self,
+        scene: str,
+        path: CameraPath,
+        asdr_config: Optional[ASDRConfig] = None,
+        tensorf: bool = False,
+        baseline: bool = False,
+        probe_interval: int = 0,
+        reuse_poses: bool = True,
+    ) -> SequenceTrace:
+        """The memoised sequence render's
+        :class:`~repro.exec.sequence.SequenceTrace` (shared state, like
+        :meth:`frame_trace` for single frames)."""
+        return self.sequence_render(
+            scene,
+            path,
+            asdr_config=asdr_config,
+            tensorf=tensorf,
+            baseline=baseline,
+            probe_interval=probe_interval,
+            reuse_poses=reuse_poses,
+        ).trace

@@ -23,7 +23,13 @@ from repro.scenes.sdf import (
     Repeat,
 )
 from repro.scenes.analytic import AnalyticScene, scene_names, make_scene
-from repro.scenes.cameras import Camera, look_at_pose, orbit_cameras
+from repro.scenes.cameras import (
+    Camera,
+    CameraPath,
+    camera_path,
+    look_at_pose,
+    orbit_cameras,
+)
 from repro.scenes.dataset import SceneDataset, load_dataset
 
 __all__ = [
@@ -44,6 +50,8 @@ __all__ = [
     "scene_names",
     "make_scene",
     "Camera",
+    "CameraPath",
+    "camera_path",
     "look_at_pose",
     "orbit_cameras",
     "SceneDataset",

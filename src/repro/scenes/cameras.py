@@ -1,8 +1,18 @@
-"""Pinhole cameras and pose generation.
+"""Pinhole cameras, pose generation and camera paths.
 
 Poses follow the OpenGL/NeRF convention: the camera looks down its local
 ``-z`` axis and ``camera_to_world`` is a 4x4 matrix whose columns are the
 camera's right / up / backward axes and position.
+
+Multi-frame (video) workloads describe their camera trajectory with a
+:class:`CameraPath` — a declarative recipe (preset + parameters) that
+expands to a list of :class:`Camera` frames and hashes to a stable
+:meth:`~CameraPath.cache_key` so whole sequences can be memoised.  Three
+presets ship: ``orbit`` (sweep an arc around the scene, generalising
+:func:`orbit_cameras`), ``dolly`` (travel along the view axis) and
+``shake`` (periodic hand-held jitter around a base pose — its poses repeat
+exactly every period, which the sequence layer exploits for whole-frame
+replay).
 """
 
 from __future__ import annotations
@@ -13,6 +23,9 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+#: Valid :class:`CameraPath` presets.
+PATH_PRESETS = ("orbit", "dolly", "shake")
 
 
 @dataclass
@@ -112,15 +125,133 @@ def orbit_cameras(
     ``focal_ratio`` is focal length divided by image width (1.2 roughly
     matches the Synthetic-NeRF field of view).
     """
-    if count <= 0:
-        raise ConfigurationError("camera count must be positive")
-    cameras = []
-    center = np.asarray(center, dtype=np.float64)
-    for i in range(count):
-        angle = 2.0 * np.pi * i / count
-        eye = center + np.array(
-            [radius * np.cos(angle), elevation, radius * np.sin(angle)]
+    return camera_path(
+        "orbit",
+        count,
+        width,
+        height,
+        radius=radius,
+        elevation=elevation,
+        focal_ratio=focal_ratio,
+        center=center,
+        arc=1.0,
+    ).cameras()
+
+
+@dataclass(frozen=True)
+class CameraPath:
+    """A declarative multi-frame camera trajectory.
+
+    Attributes:
+        preset: One of :data:`PATH_PRESETS`.
+        frames: Number of cameras the path expands to.
+        width / height / focal_ratio: Shared intrinsics of every frame.
+        radius / elevation / center: Scene-orbit geometry (all presets
+            position the camera relative to ``center``).
+        arc: ``orbit`` — fraction of the full circle swept across the
+            path (``1.0`` reproduces :func:`orbit_cameras` spacing; small
+            arcs yield the high inter-frame coherence video workloads
+            exhibit).
+        travel: ``dolly`` — fraction of ``radius`` travelled toward
+            ``center`` over the path.
+        amplitude: ``shake`` — hand-held jitter amplitude in world units.
+        period: ``shake`` — poses repeat exactly every ``period`` frames.
+        hold: Each generated pose is held for ``hold`` consecutive frames
+            (a 24->30 fps pulldown stand-in); held frames are bit-identical
+            and the sequence layer replays them outright.
+    """
+
+    preset: str
+    frames: int
+    width: int
+    height: int
+    radius: float = 1.4
+    elevation: float = 0.35
+    focal_ratio: float = 1.2
+    center: Tuple[float, float, float] = (0.5, 0.5, 0.5)
+    arc: float = 0.25
+    travel: float = 0.5
+    amplitude: float = 0.05
+    period: int = 4
+    hold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.preset not in PATH_PRESETS:
+            raise ConfigurationError(
+                f"unknown camera-path preset {self.preset!r}; "
+                f"choose from {PATH_PRESETS}"
+            )
+        if self.frames <= 0:
+            raise ConfigurationError("camera count must be positive")
+        if self.hold < 1:
+            raise ConfigurationError("hold must be >= 1")
+        if self.period < 1:
+            raise ConfigurationError("period must be >= 1")
+        if not 0.0 <= self.travel < 1.0:
+            raise ConfigurationError("travel must lie in [0, 1)")
+
+    # ------------------------------------------------------------------
+    def cache_key(self) -> Tuple:
+        """Stable hashable identity for sequence-level memoisation."""
+        return (
+            "camera_path",
+            self.preset,
+            self.frames,
+            self.width,
+            self.height,
+            float(self.radius),
+            float(self.elevation),
+            float(self.focal_ratio),
+            tuple(float(c) for c in self.center),
+            float(self.arc),
+            float(self.travel),
+            float(self.amplitude),
+            self.period,
+            self.hold,
         )
-        pose = look_at_pose(eye, center)
-        cameras.append(Camera(width, height, focal_ratio * width, pose))
-    return cameras
+
+    # ------------------------------------------------------------------
+    def _eye(self, pose_index: int, num_poses: int) -> np.ndarray:
+        center = np.asarray(self.center, dtype=np.float64)
+        if self.preset == "orbit":
+            angle = 2.0 * np.pi * self.arc * pose_index / num_poses
+            return center + np.array(
+                [self.radius * np.cos(angle), self.elevation,
+                 self.radius * np.sin(angle)]
+            )
+        if self.preset == "dolly":
+            steps = max(num_poses - 1, 1)
+            scale = 1.0 - self.travel * pose_index / steps
+            return center + scale * np.array([self.radius, self.elevation, 0.0])
+        # shake: deterministic periodic jitter around the angle-0 orbit pose.
+        base = center + np.array([self.radius, self.elevation, 0.0])
+        phase = 2.0 * np.pi * (pose_index % self.period) / self.period
+        jitter = self.amplitude * np.array(
+            [0.0, np.sin(phase), np.sin(2.0 * phase)]
+        )
+        return base + jitter
+
+    def cameras(self) -> List[Camera]:
+        """Expand the path to its ``frames`` cameras (held poses are
+        bit-identical repeats of their generating pose)."""
+        center = np.asarray(self.center, dtype=np.float64)
+        num_poses = max(-(-self.frames // self.hold), 1)
+        poses = [
+            look_at_pose(self._eye(p, num_poses), center)
+            for p in range(num_poses)
+        ]
+        return [
+            Camera(
+                self.width,
+                self.height,
+                self.focal_ratio * self.width,
+                poses[k // self.hold],
+            )
+            for k in range(self.frames)
+        ]
+
+
+def camera_path(preset: str, frames: int, width: int, height: int, **params) -> CameraPath:
+    """Build a :class:`CameraPath` for one of the presets in
+    :data:`PATH_PRESETS` (keyword parameters as on the dataclass)."""
+    return CameraPath(preset=preset, frames=frames, width=width, height=height, **params)

@@ -150,17 +150,27 @@ class TestSimulatorConsistency:
         via_result = server_acc.simulate_render(None, asdr_result, group_size=2)
         assert direct.total_cycles == via_result.total_cycles
 
-    def test_trace_matches_legacy_point_totals(
-        self, server_acc, lego_dataset, asdr_result
-    ):
+    def test_trace_less_result_rejected(self, server_acc, lego_dataset, asdr_result):
+        """The legacy (camera, budgets) re-derivation path is retired: a
+        result without a trace raises a clear error instead of silently
+        re-sampling rays inside the simulator."""
         from dataclasses import replace
 
-        legacy = server_acc.simulate_render(
-            lego_dataset.cameras[0], replace(asdr_result, trace=None), group_size=1
+        with pytest.raises(SimulationError, match="FrameTrace-carrying"):
+            server_acc.simulate_render(
+                lego_dataset.cameras[0], replace(asdr_result, trace=None)
+            )
+
+    def test_budget_map_path_matches_trace_totals(
+        self, server_acc, lego_dataset, baseline_result
+    ):
+        """simulate_pass (the explicit budget-map constructor) prices the
+        same point totals as replaying the render's own trace."""
+        traced = server_acc.simulate_render(None, baseline_result)
+        from_budgets = server_acc.simulate_pass(
+            lego_dataset.cameras[0], baseline_result.sample_counts
         )
-        traced = server_acc.simulate_render(None, asdr_result, group_size=1)
-        assert traced.mlp.density_points == legacy.mlp.density_points
-        assert traced.mlp.color_points == legacy.mlp.color_points
+        assert from_budgets.mlp.density_points == traced.mlp.density_points
 
     def test_group_size_repricing_without_resampling(self, server_acc, asdr_result):
         g1 = server_acc.simulate_render(None, asdr_result, group_size=1)

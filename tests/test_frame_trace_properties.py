@@ -1,0 +1,148 @@
+"""Property-based trace invariants (extends tests/test_frame_trace.py).
+
+Kept in a sibling module so the core trace tests run without the optional
+``hypothesis`` dependency — this whole file self-skips when it is absent
+(CI installs it; a bare numpy+pytest checkout still collects cleanly).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+import numpy as np  # noqa: E402
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.arch.accelerator import ASDRAccelerator  # noqa: E402
+from repro.arch.config import ArchConfig  # noqa: E402
+from repro.core.config import (  # noqa: E402
+    ASDRConfig,
+    AdaptiveSamplingConfig,
+    ApproximationConfig,
+)
+from repro.core.pipeline import ASDRRenderer  # noqa: E402
+from repro.exec.frame_trace import PHASE_PROBE  # noqa: E402
+from repro.nerf.hashgrid import HashGridConfig  # noqa: E402
+from repro.nerf.model import InstantNGPConfig, InstantNGPModel  # noqa: E402
+from repro.scenes.cameras import Camera, look_at_pose  # noqa: E402
+
+
+class TestTraceInvariants:
+    """Property-based invariants: every trace a renderer emits, for any
+    algorithm configuration and viewpoint, satisfies the structural
+    contract the simulator relies on."""
+
+    GRID = HashGridConfig(
+        num_levels=3, table_size=2**9, base_resolution=4, max_resolution=16
+    )
+    MODEL_CONFIG = InstantNGPConfig(
+        grid=GRID,
+        geo_feature_dim=7,
+        density_hidden_dim=16,
+        density_num_hidden=1,
+        color_hidden_dim=16,
+        color_num_hidden=1,
+    )
+    _model = None
+    _acc = None
+
+    @classmethod
+    def model(cls):
+        if cls._model is None:
+            cls._model = InstantNGPModel(cls.MODEL_CONFIG, seed=5)
+        return cls._model
+
+    @classmethod
+    def accelerator(cls):
+        if cls._acc is None:
+            cls._acc = ASDRAccelerator(
+                ArchConfig.server(),
+                cls.GRID,
+                cls.MODEL_CONFIG.density_mlp_config,
+                cls.MODEL_CONFIG.color_mlp_config,
+            )
+        return cls._acc
+
+    @staticmethod
+    @st.composite
+    def render_cases(draw):
+        size = draw(st.integers(min_value=6, max_value=12))
+        num_samples = draw(st.integers(min_value=4, max_value=12))
+        adaptive = draw(
+            st.one_of(
+                st.none(),
+                st.builds(
+                    AdaptiveSamplingConfig,
+                    probe_stride=st.integers(min_value=2, max_value=5),
+                    threshold=st.sampled_from([0.0, 1 / 2048, 1 / 256]),
+                ),
+            )
+        )
+        group = draw(st.sampled_from([1, 2, 4]))
+        et = draw(st.sampled_from([None, 0.9, 0.99]))
+        angle = draw(st.floats(min_value=0.0, max_value=1.0,
+                               allow_nan=False))
+        config = ASDRConfig(
+            adaptive=adaptive,
+            approximation=ApproximationConfig(group) if group > 1 else None,
+            early_termination=et,
+        )
+        eye = np.array([0.5 + 1.4 * np.cos(2 * np.pi * angle), 0.85,
+                        0.5 + 1.4 * np.sin(2 * np.pi * angle)])
+        camera = Camera(size, size, 1.2 * size, look_at_pose(eye))
+        return camera, config, num_samples
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(case=render_cases())
+    def test_emitted_trace_satisfies_contract(self, case):
+        camera, config, num_samples = case
+        result = ASDRRenderer(
+            self.model(), config=config, num_samples=num_samples
+        ).render_image(camera)
+        trace = result.trace
+        n_pixels = camera.width * camera.height
+        assert trace.num_pixels == n_pixels
+
+        probe_ids, main_ids = [], []
+        for wf in trace.wavefronts:
+            # used_counts <= budgets, color never exceeds density, misses
+            # march nothing, and points hold exactly the active prefixes.
+            assert np.all(wf.used <= wf.budget)
+            assert np.all(wf.used >= 0)
+            assert np.all(wf.color_used <= wf.used)
+            assert np.all(wf.used[~wf.hit] == 0)
+            assert wf.points.shape == (int(wf.used.sum()), 3)
+            (probe_ids if wf.phase == PHASE_PROBE else main_ids).append(
+                wf.ray_ids
+            )
+
+        # Wavefront ray ids partition the frame's rays: main wavefronts
+        # cover every non-probe pixel exactly once, probes the rest.
+        main = (np.concatenate(main_ids) if main_ids
+                else np.empty(0, dtype=np.int64))
+        probe = (np.concatenate(probe_ids) if probe_ids
+                 else np.empty(0, dtype=np.int64))
+        assert len(np.unique(main)) == len(main)
+        assert len(np.unique(probe)) == len(probe)
+        assert len(np.intersect1d(main, probe)) == 0
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate([main, probe])), np.arange(n_pixels)
+        )
+
+        # The trace's aggregate statistics match the renderer's counters.
+        assert trace.density_points == result.density_points
+        assert trace.color_points == result.color_points
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(case=render_cases())
+    def test_cycle_total_is_sum_of_wavefront_charges(self, case):
+        camera, config, num_samples = case
+        result = ASDRRenderer(
+            self.model(), config=config, num_samples=num_samples
+        ).render_image(camera)
+        log = []
+        report = self.accelerator().simulate_trace(
+            result.trace, wavefront_log=log
+        )
+        assert report.total_cycles == sum(cycles for _, cycles in log)
+        assert all(cycles >= 0 for _, cycles in log)
