@@ -468,19 +468,12 @@ class ASDRAccelerator:
             )
         cache = TemporalVertexCache(temporal_capacity) if temporal else None
         frames: List[SimReport] = []
-        for k, trace in enumerate(sequence.frames):
-            if sequence.replays[k] is not None:
-                frames.append(self._replay_framebuffer(trace))
-                continue
-            report = self.simulate_trace(
-                trace,
-                group_size=group_size,
-                temporal=cache,
-                memo_scope=_SequenceMemoScope(sequence, k),
+        for k in range(sequence.num_frames):
+            frames.append(
+                self.simulate_sequence_frame(
+                    sequence, k, group_size=group_size, temporal=cache
+                )
             )
-            if cache is not None:
-                cache.commit_frame()
-            frames.append(report)
         return SequenceSimReport(
             name=self.config.name,
             clock_hz=self.config.clock_hz,
@@ -488,9 +481,57 @@ class ASDRAccelerator:
             replayed=[j is not None for j in sequence.replays],
         )
 
-    def _replay_framebuffer(self, trace: FrameTrace) -> SimReport:
-        """Price a pose-replayed frame: no engine work, only the RGB
-        scan-out of the (already rendered) frame over the system bus."""
+    # ------------------------------------------------------------------
+    def simulate_sequence_frame(
+        self,
+        sequence: SequenceTrace,
+        frame: int,
+        group_size: Optional[int] = None,
+        temporal: Optional[TemporalVertexCache] = None,
+    ) -> SimReport:
+        """Simulate one frame of a sequence — the interleaving unit.
+
+        :meth:`simulate_sequence` calls this in path order with one shared
+        temporal cache; the multi-tenant serving layer
+        (:class:`~repro.serving.server.SequenceServer`) calls it in
+        *scheduler* order, passing each client's own cache partition, so
+        per-client cycle and energy attribution falls out of the returned
+        per-frame :class:`SimReport` directly.
+
+        Frames recorded as pose replays never touch the engines (they are
+        priced via :meth:`simulate_scanout`); fresh frames are replayed
+        through :meth:`simulate_trace` with the frame-scoped sequence memo,
+        and the temporal cache — when given — is committed at the frame
+        boundary so the client's next frame compares against this frame's
+        working set.
+        """
+        if not 0 <= frame < sequence.num_frames:
+            raise SimulationError(
+                f"frame {frame} out of range for a "
+                f"{sequence.num_frames}-frame sequence"
+            )
+        trace = sequence.frames[frame]
+        if sequence.replays[frame] is not None:
+            return self.simulate_scanout(trace)
+        report = self.simulate_trace(
+            trace,
+            group_size=group_size,
+            temporal=temporal,
+            memo_scope=_SequenceMemoScope(sequence, frame),
+        )
+        if temporal is not None:
+            # Tag the committed working set with its frame so memoised
+            # temporal hit masks are keyed by which resident set they were
+            # computed against — a serving schedule that skips a frame the
+            # alone run executed must not inherit the alone run's masks.
+            temporal.commit_frame(tag=frame)
+        return report
+
+    def simulate_scanout(self, trace: FrameTrace) -> SimReport:
+        """Price a frame whose pixels already exist: no engine work, only
+        the RGB scan-out of the (already rendered) frame over the system
+        bus.  Used for pose-replayed frames within a sequence and for
+        cross-client content hits in the serving layer."""
         report = SimReport(name=self.config.name, clock_hz=self.config.clock_hz)
         report.bus_cycles = bus_cycles(BusTraffic(pixels=trace.rendered_pixels))
         report.total_cycles = report.bus_cycles

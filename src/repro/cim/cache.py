@@ -99,7 +99,13 @@ class TemporalVertexCache:
     The double-buffered protocol matches frame pipelining: lookups during
     frame ``k`` compare against the *committed* set (frame ``k-1``'s
     addresses) while frame ``k``'s own addresses accumulate in a pending
-    set; :meth:`commit_frame` swaps them at the frame boundary.
+    set; :meth:`commit_frame` swaps them at the frame boundary, recording
+    the committer's ``tag`` as the resident set's identity.  The tag is
+    folded into the memoised hit-mask keys, so a mask computed against
+    one resident set is never served for another — two runs over one
+    trace share masks only where their commit histories coincide (the
+    warm-replay win), not where a serving schedule skipped a frame the
+    alone run executed.
 
     Args:
         capacity_per_level: Entries the buffer retains per level between
@@ -113,6 +119,7 @@ class TemporalVertexCache:
             raise ConfigurationError("capacity_per_level must be positive")
         self.capacity_per_level = capacity_per_level
         self._resident: Dict[int, np.ndarray] = {}
+        self._resident_tag = None
         self._pending: Dict[int, list] = {}
         self.stats: Dict[int, CacheStats] = {}
 
@@ -139,7 +146,8 @@ class TemporalVertexCache:
             compute = lambda: np.isin(stream, resident)  # noqa: E731
             if memo is not None:
                 hits = memo(
-                    ("temporal", level, self.capacity_per_level)
+                    ("temporal", level, self.capacity_per_level,
+                     self._resident_tag)
                     + tuple(stream_key),
                     compute,
                 )
@@ -156,8 +164,16 @@ class TemporalVertexCache:
             np.unique(np.asarray(stream).reshape(-1))
         )
 
-    def commit_frame(self) -> None:
-        """Frame boundary: the pending working set becomes the lookup set."""
+    def commit_frame(self, tag=None) -> None:
+        """Frame boundary: the pending working set becomes the lookup set.
+
+        Args:
+            tag: Hashable identity of the committed set (e.g. the frame
+                index that produced it); becomes part of memoised hit-mask
+                keys so masks are never reused across different resident
+                sets.
+        """
+        self._resident_tag = tag
         resident: Dict[int, np.ndarray] = {}
         for level, chunks in self._pending.items():
             merged = np.unique(np.concatenate(chunks)) if chunks else np.empty(0)

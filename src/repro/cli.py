@@ -10,6 +10,9 @@ Commands:
 * ``video <scene>`` — render a camera-path sequence and report per-frame
   and amortised cycles/energy with temporal reuse (see
   ``repro video --help`` for path presets and examples).
+* ``serve [scene]`` — serve N concurrent clients' sequences on one
+  simulated accelerator and report per-client latency, throughput and
+  fairness for each scheduling policy (see ``repro serve --help``).
 * ``report [--out EXPERIMENTS.md]`` — regenerate the paper-vs-measured
   report.
 * ``scenes`` — list available scenes.
@@ -26,6 +29,7 @@ import numpy as np
 from repro.experiments.harness import (
     EXPERIMENTS,
     list_experiments,
+    load_experiments,
     run_experiment,
 )
 from repro.experiments.report import generate_report
@@ -119,6 +123,52 @@ def _cmd_video(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.experiments.harness import format_table
+    from repro.experiments.serving import (
+        default_client_mix,
+        serve_reports,
+    )
+    from repro.serving.policies import POLICY_NAMES
+
+    if args.scene not in scene_names():
+        print(f"unknown scene {args.scene!r}; see `python -m repro scenes`",
+              file=sys.stderr)
+        return 2
+    if args.clients < 1:
+        print("--clients must be >= 1", file=sys.stderr)
+        return 2
+    policies = POLICY_NAMES if args.policy == "all" else (args.policy,)
+    requests = default_client_mix(
+        scene=args.scene,
+        clients=args.clients,
+        frames=args.frames,
+        size=args.size,
+    )
+    reports = serve_reports(
+        Workbench(),
+        requests,
+        scale=args.scale,
+        policies=policies,
+        temporal_capacity=args.temporal_capacity,
+        shared_content=not args.no_shared_content,
+    )
+    print(f"== serve: {args.clients} clients on {args.scene}, "
+          f"{args.frames}x{args.size}x{args.size} ({args.scale}) ==")
+    rows = [row for policy in policies for row in reports[policy].to_rows()]
+    print(format_table(rows))
+    for policy in policies:
+        rep = reports[policy]
+        print(
+            f"\n{policy}: {rep.busy_cycles / 1e3:.1f} kcycles aggregate vs "
+            f"{rep.back_to_back_cycles / 1e3:.1f} back-to-back "
+            f"({100.0 * rep.sharing_saving:.1f}% saved by sharing); "
+            f"fairness {rep.fairness:.3f}, "
+            f"throughput {rep.throughput_fps:.1f} fps"
+        )
+    return 0
+
+
 def _cmd_report(args) -> int:
     generate_report(args.out)
     print(f"wrote {args.out}")
@@ -186,6 +236,38 @@ examples:
                          default="server", help="accelerator design point")
     p_video.set_defaults(fn=_cmd_video)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve N clients' sequences on one simulated accelerator",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+examples:
+  repro serve                               # 3 clients on palace (default)
+  repro serve lego --clients 5 --frames 6
+  repro serve palace --policy round_robin   # one policy only
+  repro serve palace --no-shared-content    # price every client as unique
+""",
+    )
+    p_serve.add_argument("scene", nargs="?", default="palace")
+    p_serve.add_argument("--clients", type=int, default=3,
+                         help="concurrent clients (default 3)")
+    p_serve.add_argument("--frames", type=int, default=4,
+                         help="frames per client sequence (default 4)")
+    p_serve.add_argument("--size", type=int, default=16,
+                         help="square frame resolution (default 16)")
+    from repro.serving.policies import POLICY_NAMES
+
+    p_serve.add_argument("--policy", choices=("all", *POLICY_NAMES),
+                         default="all", help="scheduling policy to run")
+    p_serve.add_argument("--temporal-capacity", type=int, default=None,
+                         help="combined temporal vertex-cache budget, "
+                              "partitioned among clients (default unbounded)")
+    p_serve.add_argument("--no-shared-content", action="store_true",
+                         help="disable cross-client content replay")
+    p_serve.add_argument("--scale", choices=("server", "edge"),
+                         default="server", help="accelerator design point")
+    p_serve.set_defaults(fn=_cmd_serve)
+
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("--out", default="EXPERIMENTS.md")
     p_report.set_defaults(fn=_cmd_report)
@@ -194,6 +276,11 @@ examples:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "ids", None):
+        # The registry fills lazily as experiment modules are imported;
+        # load it before validating ids (lately-registered experiments
+        # like `video` and `serve` were rejected here otherwise).
+        load_experiments()
     unknown = [i for i in getattr(args, "ids", []) if i != "all"
                and i not in EXPERIMENTS]
     if unknown:

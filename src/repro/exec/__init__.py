@@ -19,8 +19,15 @@ simulator prices.  The dataflow is::
     CameraPath └─ render_sequence ─ emits SequenceTrace (FrameTrace list)
             └─ arch.accelerator.ASDRAccelerator.simulate_sequence
 
+Multi-tenant serving (:mod:`repro.serving`) schedules at one granularity
+up again: a :class:`~repro.exec.scheduler.FrameWorkItem` is one frame of
+one client's SequenceTrace, and
+:class:`~repro.exec.scheduler.TemporalCachePartitions` splits the
+temporal vertex cache among tenants sharing an accelerator.
+
 :mod:`repro.exec.scheduler` holds the budget-group wavefront scheduler the
-renderer, the trace generator and the simulator all share.
+renderer, the trace generator and the simulator all share, plus those
+frame-granularity serving primitives.
 """
 
 from repro.exec.frame_trace import (
@@ -30,7 +37,17 @@ from repro.exec.frame_trace import (
     TraceWavefront,
     WavefrontSlice,
 )
-from repro.exec.scheduler import budget_groups, iter_budget_wavefronts, iter_wavefronts
+from repro.exec.scheduler import (
+    WORK_PROBE,
+    WORK_REPLAY,
+    WORK_REUSE,
+    FrameWorkItem,
+    TemporalCachePartitions,
+    budget_groups,
+    iter_budget_wavefronts,
+    iter_wavefronts,
+    sequence_work_items,
+)
 from repro.exec.sequence import (
     SequenceRender,
     SequenceTrace,
@@ -42,7 +59,12 @@ from repro.exec.sequence import (
 __all__ = [
     "PHASE_MAIN",
     "PHASE_PROBE",
+    "WORK_PROBE",
+    "WORK_REPLAY",
+    "WORK_REUSE",
     "FrameTrace",
+    "FrameWorkItem",
+    "TemporalCachePartitions",
     "TraceWavefront",
     "WavefrontSlice",
     "SequenceRender",
@@ -53,4 +75,5 @@ __all__ = [
     "budget_groups",
     "iter_budget_wavefronts",
     "iter_wavefronts",
+    "sequence_work_items",
 ]

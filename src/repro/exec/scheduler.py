@@ -1,18 +1,34 @@
-"""Budget-group wavefront scheduling shared by renderer, trace and simulator.
+"""Scheduling shared by renderer, trace, simulator and the serving layer.
 
-The ASDR execution model processes rays in *wavefronts*: rays sharing a
-sample budget are grouped (ascending budget order, as the adaptive renderer
-executes them) and dispatched in fixed-size batches.  Before this module,
-``core/pipeline.py``, ``arch/trace.py`` and ``arch/accelerator.py`` each
-carried their own copy of the ``unique-budget -> chunk`` double loop; they
-now all iterate the generators below.
+Two granularities live here:
+
+* **Wavefronts** (within one frame).  The ASDR execution model processes
+  rays in *wavefronts*: rays sharing a sample budget are grouped
+  (ascending budget order, as the adaptive renderer executes them) and
+  dispatched in fixed-size batches.  Before this module,
+  ``core/pipeline.py``, ``arch/trace.py`` and ``arch/accelerator.py`` each
+  carried their own copy of the ``unique-budget -> chunk`` double loop;
+  they now all iterate the generators below.
+
+* **Frames** (across clients).  Multi-tenant serving interleaves many
+  clients' sequences on one accelerator; the scheduling unit is one frame
+  of one client's :class:`~repro.exec.sequence.SequenceTrace`, described
+  by a :class:`FrameWorkItem` (execution mode + cost hint, so policies can
+  tell a cheap pose-replay from an expensive Phase I probe without
+  simulating anything).  :class:`TemporalCachePartitions` splits one
+  temporal vertex-cache budget among the tenants so one client's working
+  set never evicts another's.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from repro.cim.cache import TemporalVertexCache
+from repro.errors import ConfigurationError
 
 
 def budget_groups(
@@ -28,6 +44,11 @@ def budget_groups(
     Yields:
         ``(budget, ray_ids)`` with ascending budgets; non-positive budgets
         are skipped (rays with nothing to render).
+
+    Example:
+        >>> import numpy as np
+        >>> [(b, ids.tolist()) for b, ids in budget_groups(np.array([2, 4, 2, 0]))]
+        [(2, [0, 2]), (4, [1])]
     """
     budgets = np.asarray(budgets)
     if ray_ids is None:
@@ -41,7 +62,13 @@ def budget_groups(
 def iter_wavefronts(
     ray_ids: np.ndarray, wavefront_rays: int
 ) -> Iterator[np.ndarray]:
-    """Split one budget group into wavefronts of at most ``wavefront_rays``."""
+    """Split one budget group into wavefronts of at most ``wavefront_rays``.
+
+    Example:
+        >>> import numpy as np
+        >>> [w.tolist() for w in iter_wavefronts(np.arange(5), 2)]
+        [[0, 1], [2, 3], [4]]
+    """
     for start in range(0, len(ray_ids), wavefront_rays):
         yield ray_ids[start : start + wavefront_rays]
 
@@ -51,7 +78,127 @@ def iter_budget_wavefronts(
     wavefront_rays: int,
     ray_ids: Optional[np.ndarray] = None,
 ) -> Iterator[Tuple[int, np.ndarray]]:
-    """Yield ``(budget, wavefront_ray_ids)`` in execution order."""
+    """Yield ``(budget, wavefront_ray_ids)`` in execution order.
+
+    Example:
+        >>> import numpy as np
+        >>> [(b, w.tolist())
+        ...  for b, w in iter_budget_wavefronts(np.array([2, 4, 2, 2]), 2)]
+        [(2, [0, 2]), (2, [3]), (4, [1])]
+    """
     for budget, ids in budget_groups(budgets, ray_ids):
         for chunk in iter_wavefronts(ids, wavefront_rays):
             yield budget, chunk
+
+
+# ----------------------------------------------------------------------
+# Frame-granularity scheduling (multi-tenant serving)
+# ----------------------------------------------------------------------
+
+#: Execution modes of a frame work item, cheapest first: a bit-identical
+#: pose replay (framebuffer scan-out only), a sampling-plan-reuse frame
+#: (no Phase I probe) and a keyframe that runs its own Phase I probe.
+WORK_REPLAY = "replay"
+WORK_REUSE = "reuse"
+WORK_PROBE = "probe"
+
+
+@dataclass(frozen=True)
+class FrameWorkItem:
+    """One frame of one client's sequence — the serving scheduling unit.
+
+    Attributes:
+        client: Tenant identifier the frame belongs to.
+        frame: Index into the client's
+            :class:`~repro.exec.sequence.SequenceTrace`.
+        mode: :data:`WORK_REPLAY`, :data:`WORK_REUSE` or
+            :data:`WORK_PROBE` — how the frame executes, which is also a
+            strong cost signal (replays are scan-out only; reuse frames
+            skip Phase I; probes pay everything).
+        cost_hint: Density-MLP points the frame will execute (0 for
+            replays).  Policies multiply it by a calibrated
+            cycles-per-point estimate; it is *not* a cycle count itself.
+    """
+
+    client: str
+    frame: int
+    mode: str
+    cost_hint: int
+
+
+def sequence_work_items(client: str, trace) -> List[FrameWorkItem]:
+    """Expand a :class:`~repro.exec.sequence.SequenceTrace` into the
+    per-frame work items a serving scheduler interleaves.
+
+    The mode of each frame comes from the trace's recorded temporal
+    structure: ``replays[k]`` marks bit-identical pose replays and
+    ``planned[k]`` separates Phase I keyframes from sampling-plan-reuse
+    frames.
+    """
+    items: List[FrameWorkItem] = []
+    for k in range(trace.num_frames):
+        if trace.replays[k] is not None:
+            mode, hint = WORK_REPLAY, 0
+        else:
+            mode = WORK_PROBE if trace.planned[k] else WORK_REUSE
+            hint = trace.frames[k].density_points
+        items.append(FrameWorkItem(client=client, frame=k, mode=mode, cost_hint=hint))
+    return items
+
+
+class TemporalCachePartitions:
+    """Per-tenant partitions of one temporal vertex-cache budget.
+
+    Interleaving many clients on one accelerator must not let client A's
+    voxel working set evict client B's between B's consecutive frames, so
+    the serving layer statically partitions the temporal cache: each
+    tenant owns a private :class:`~repro.cim.cache.TemporalVertexCache`
+    holding ``total_capacity // num_tenants`` entries per level (unbounded
+    when ``total_capacity`` is ``None``).  Private partitions make a
+    client's temporal state independent of how tenants interleave; with
+    an unbounded budget each partition equals the cache the client would
+    have running alone, so serving prices its frames identically to a
+    solo run.  A bounded budget deliberately models contention — each
+    tenant's share is smaller than the whole cache, and reuse may drop
+    accordingly.
+
+    Args:
+        tenants: The tenant ids sharing the budget (fixed up front — a
+            serving run knows its admitted clients).
+        total_capacity: Combined per-level entry budget (``None`` =
+            unbounded, the idealised buffer the video experiment uses).
+    """
+
+    def __init__(
+        self, tenants, total_capacity: Optional[int] = None
+    ) -> None:
+        tenants = list(tenants)
+        if len(set(tenants)) != len(tenants):
+            raise ConfigurationError("tenant ids must be unique")
+        if total_capacity is not None:
+            if total_capacity < len(tenants):
+                raise ConfigurationError(
+                    f"total_capacity {total_capacity} cannot be split among "
+                    f"{len(tenants)} tenants"
+                )
+            share: Optional[int] = total_capacity // len(tenants) if tenants else None
+        else:
+            share = None
+        self.per_tenant_capacity = share
+        self._caches: Dict[str, TemporalVertexCache] = {
+            tenant: TemporalVertexCache(share) for tenant in tenants
+        }
+
+    def cache_for(self, tenant: str) -> TemporalVertexCache:
+        """The tenant's private temporal cache partition."""
+        try:
+            return self._caches[tenant]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown tenant {tenant!r}; partitions are fixed at "
+                "construction"
+            ) from None
+
+    @property
+    def tenants(self) -> List[str]:
+        return list(self._caches)

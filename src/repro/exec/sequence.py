@@ -57,7 +57,17 @@ def pose_key(camera: Camera) -> bytes:
     """Bit-exact identity of a camera's pose and intrinsics.
 
     Two cameras with equal keys trace identical rays, so a frame rendered
-    for one can be replayed for the other without any quality change.
+    for one can be replayed for the other without any quality change —
+    within one sequence (``hold``/``shake`` replays) and across serving
+    clients (cross-client content replay).
+
+    Example:
+        >>> from repro.scenes.cameras import camera_path
+        >>> cams = camera_path("orbit", 2, 8, 8, arc=0.25).cameras()
+        >>> pose_key(cams[0]) == pose_key(cams[0])
+        True
+        >>> pose_key(cams[0]) == pose_key(cams[1])
+        False
     """
     intrinsics = np.array(
         [camera.width, camera.height, camera.focal], dtype=np.float64

@@ -67,6 +67,7 @@ def load_experiments() -> Dict[str, Tuple[str, Callable[[Workbench], Rows]]]:
         performance,
         profiling,
         quality,
+        serving,
         sweeps,
         tensorf_exp,
         video,

@@ -26,14 +26,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.arch.accelerator import ASDRAccelerator, SequenceSimReport
-from repro.arch.config import ArchConfig
+from repro.arch.accelerator import SequenceSimReport
 from repro.experiments.harness import register
-from repro.experiments.workbench import (
-    EXPERIMENT_GRID,
-    EXPERIMENT_MODEL,
-    Workbench,
-)
+from repro.experiments.workbench import Workbench, experiment_accelerator
 from repro.metrics.image import psnr
 from repro.scenes.cameras import CameraPath, camera_path
 
@@ -41,16 +36,6 @@ from repro.scenes.cameras import CameraPath, camera_path
 DEFAULT_SCENE = "palace"
 DEFAULT_FRAMES = 4
 DEFAULT_ARC = 0.1
-
-
-def _accelerator(scale: str) -> ASDRAccelerator:
-    config = ArchConfig.server() if scale == "server" else ArchConfig.edge()
-    return ASDRAccelerator(
-        config,
-        EXPERIMENT_GRID,
-        EXPERIMENT_MODEL.density_mlp_config,
-        EXPERIMENT_MODEL.color_mlp_config,
-    )
 
 
 def _frame_mode(trace, k: int) -> str:
@@ -84,7 +69,7 @@ def video_rows(
             arc=DEFAULT_ARC,
         )
     group = wb.group_size()
-    acc = _accelerator(scale)
+    acc = experiment_accelerator(scale)
 
     video = wb.sequence_render(scene, path, probe_interval=probe_interval)
     fresh = wb.sequence_render(
@@ -152,7 +137,7 @@ def sequence_reports(
     """``{"video", "asdr", "baseline"}`` sequence reports for one path
     (the benchmark's entry point — same renders/memos as the table)."""
     group = wb.group_size()
-    acc = _accelerator(scale)
+    acc = experiment_accelerator(scale)
     video = wb.sequence_trace(scene, path, probe_interval=probe_interval)
     fresh = wb.sequence_trace(scene, path, probe_interval=1, reuse_poses=False)
     base = wb.sequence_trace(scene, path, baseline=True, reuse_poses=False)

@@ -58,6 +58,23 @@ EXPERIMENT_TENSORF = TensoRFConfig(
 )
 
 
+def experiment_accelerator(scale: str = "server"):
+    """An :class:`~repro.arch.accelerator.ASDRAccelerator` for the
+    experiment-scale model at the given design point (``server`` or
+    ``edge``) — the single definition the video and serving experiments
+    share, so a design-point change cannot diverge between them."""
+    from repro.arch.accelerator import ASDRAccelerator
+    from repro.arch.config import ArchConfig
+
+    config = ArchConfig.server() if scale == "server" else ArchConfig.edge()
+    return ASDRAccelerator(
+        config,
+        EXPERIMENT_GRID,
+        EXPERIMENT_MODEL.density_mlp_config,
+        EXPERIMENT_MODEL.color_mlp_config,
+    )
+
+
 @dataclass
 class WorkbenchConfig:
     """Scale and caching knobs of the experiment workbench.
@@ -283,6 +300,23 @@ class Workbench:
                 )
             self._renders[key] = outcome
         return self._renders[key]
+
+    def client_sequence(self, request) -> SequenceRender:
+        """The memoised sequence render for one serving client.
+
+        Maps a :class:`~repro.serving.request.ClientRequest` onto
+        :meth:`sequence_render`, so every serving run — any policy, any
+        client mix — shares one rendered
+        :class:`~repro.exec.sequence.SequenceTrace` per distinct
+        ``(scene, path, probe_interval, backend)``: twin clients cost no
+        extra rendering, and repeated ``repro serve`` invocations against
+        one workbench replay warm traces."""
+        return self.sequence_render(
+            request.scene,
+            request.path,
+            tensorf=request.tensorf,
+            probe_interval=request.probe_interval,
+        )
 
     def sequence_trace(
         self,

@@ -1,0 +1,60 @@
+"""Multi-tenant sequence serving: many clients, one simulated accelerator.
+
+The serving layer turns the single-sequence video stack into a shared
+service: N concurrent clients each request a scene, a camera trajectory
+and a quality target (:class:`~repro.serving.request.ClientRequest`); the
+:class:`~repro.serving.server.SequenceServer` interleaves their per-frame
+work on one :class:`~repro.arch.accelerator.ASDRAccelerator` under a
+scheduling policy (FIFO, round-robin fair share, or deadline/quality
+aware) and reports per-client latency percentiles, aggregate throughput
+and fairness against running the clients back-to-back.  The dataflow is::
+
+    ClientRequest (scene, CameraPath, quality target)
+        └─ Workbench.client_sequence  (memoised SequenceRender per client;
+           twins share one trace)
+            └─ SequenceServer.submit / .serve(policy)
+                ├─ exec.scheduler.FrameWorkItem  (frame-granularity unit)
+                ├─ exec.scheduler.TemporalCachePartitions (per-tenant
+                │    temporal vertex-cache partitions)
+                └─ ASDRAccelerator.simulate_sequence_frame (per-client
+                     cycle/energy attribution)
+                    └─ ServeReport (latency p50/p95, throughput, Jain
+                         fairness, back-to-back comparison)
+
+``repro serve`` drives it from the command line; the ``serve`` experiment
+prints the policy comparison table.
+"""
+
+from repro.serving.policies import (
+    POLICY_NAMES,
+    DeadlineAwarePolicy,
+    FIFOPolicy,
+    PendingFrame,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.serving.report import (
+    ClientServeReport,
+    ScheduledFrame,
+    ServeReport,
+    jain_fairness,
+)
+from repro.serving.request import ClientRequest
+from repro.serving.server import SequenceServer
+
+__all__ = [
+    "POLICY_NAMES",
+    "ClientRequest",
+    "ClientServeReport",
+    "DeadlineAwarePolicy",
+    "FIFOPolicy",
+    "PendingFrame",
+    "RoundRobinPolicy",
+    "ScheduledFrame",
+    "SchedulingPolicy",
+    "SequenceServer",
+    "ServeReport",
+    "jain_fairness",
+    "make_policy",
+]

@@ -1,0 +1,149 @@
+"""Scheduling policies for the multi-tenant sequence server.
+
+A policy picks, at every step, which client's *next frame* runs on the
+accelerator.  The candidate set contains one :class:`PendingFrame` per
+ready client (a client's frames execute in path order — the temporal
+vertex cache and sampling-plan reuse both depend on it), and the policy
+returns an index into that list.
+
+Three policies ship:
+
+* :class:`FIFOPolicy` — serve requests to completion in arrival order;
+  with simultaneous arrivals this is exactly running the clients
+  back-to-back, which makes it the natural fairness baseline.
+* :class:`RoundRobinPolicy` — least-served-first fair share: the ready
+  client with the fewest delivered frames runs next, so delivered frame
+  counts never diverge by more than one among ready clients.
+* :class:`DeadlineAwarePolicy` — earliest-slack-first: schedule the frame
+  whose deadline is closest *after accounting for its estimated cost*.
+  Expensive Phase I probes rise to the front; pose-replay and
+  sampling-plan-reuse frames — cheap by construction, a scan-out or a
+  probe-less render — carry more slack and are deprioritised, which is
+  what lets a quality-aware server absorb an expensive keyframe without
+  missing the cheap frames' deadlines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.exec.scheduler import FrameWorkItem
+
+#: Policy names accepted by :func:`make_policy` (and ``repro serve``).
+POLICY_NAMES = ("fifo", "round_robin", "deadline")
+
+
+@dataclass(frozen=True)
+class PendingFrame:
+    """One ready client's next frame, as the policies see it.
+
+    Attributes:
+        item: The frame work item (mode + cost hint).
+        order: Submission order of the client (the final tie-break, which
+            keeps every policy deterministic under a fixed arrival order).
+        arrival_cycle: When the client's request arrived.
+        completed: Frames already delivered to this client.
+        total_frames: Frames in the client's sequence.
+        est_cycles: Server-calibrated cycle estimate for this frame
+            (scan-out cost for replays/content hits; cycles-per-point
+            estimate otherwise).
+        deadline_cycle: Cycle this frame is due (``None`` = best effort).
+    """
+
+    item: FrameWorkItem
+    order: int
+    arrival_cycle: int
+    completed: int
+    total_frames: int
+    est_cycles: float
+    deadline_cycle: Optional[float] = None
+
+
+class SchedulingPolicy(ABC):
+    """Picks the next frame to run from the ready clients' head frames."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
+        """Index (into ``pending``) of the frame to execute next.
+
+        Args:
+            pending: One entry per ready client, in submission order.
+            clock: Current accelerator cycle.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """Arrival order, each request served to completion (back-to-back)."""
+
+    name = "fifo"
+
+    def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
+        return min(
+            range(len(pending)),
+            key=lambda i: (pending[i].arrival_cycle, pending[i].order),
+        )
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Least-served-first fair share over delivered frames."""
+
+    name = "round_robin"
+
+    def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
+        return min(
+            range(len(pending)),
+            key=lambda i: (
+                pending[i].completed,
+                pending[i].arrival_cycle,
+                pending[i].order,
+            ),
+        )
+
+
+class DeadlineAwarePolicy(SchedulingPolicy):
+    """Earliest slack first; cheap (replay / plan-reuse) frames wait.
+
+    Slack is ``deadline - clock - est_cycles``: a frame that is cheap to
+    produce keeps most of its window as slack, so expensive probes with
+    the same deadline preempt it.  Frames with no deadline run only when
+    every deadlined frame has more slack than :attr:`best_effort_slack`.
+    """
+
+    name = "deadline"
+
+    def __init__(self, best_effort_slack: float = float("inf")) -> None:
+        self.best_effort_slack = best_effort_slack
+
+    def _slack(self, p: PendingFrame, clock: int) -> float:
+        if p.deadline_cycle is None:
+            return self.best_effort_slack
+        return p.deadline_cycle - clock - p.est_cycles
+
+    def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
+        return min(
+            range(len(pending)),
+            key=lambda i: (self._slack(pending[i], clock), pending[i].order),
+        )
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Build a policy by name (one of :data:`POLICY_NAMES`)."""
+    policies: Tuple[SchedulingPolicy, ...] = (
+        FIFOPolicy(),
+        RoundRobinPolicy(),
+        DeadlineAwarePolicy(),
+    )
+    for policy in policies:
+        if policy.name == name:
+            return policy
+    raise ConfigurationError(
+        f"unknown scheduling policy {name!r}; choose from {POLICY_NAMES}"
+    )

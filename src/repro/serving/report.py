@@ -1,0 +1,270 @@
+"""Serving outcome reports: per-client latency, throughput and fairness.
+
+The server's virtual clock prices every scheduled frame in accelerator
+cycles, so the metrics here are deterministic arithmetic over the
+schedule, not wall-clock measurements:
+
+* **latency** — cycles from a client's arrival to each frame's delivery
+  (p50/p95/max per client);
+* **throughput** — delivered frames per simulated second across the run;
+* **fairness** — Jain's index over per-client slowdowns, where slowdown
+  is a client's serving makespan divided by its cycles running alone on
+  the same accelerator (1.0 = every client slowed equally; lower = some
+  client paid disproportionately for the sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` in ``(0, 1]``.
+
+    Example:
+        >>> round(jain_fairness([1.0, 1.0, 1.0]), 3)
+        1.0
+        >>> round(jain_fairness([3.0, 1.0]), 3)
+        0.8
+    """
+    x = np.asarray(list(values), dtype=np.float64)
+    if x.size == 0 or not np.any(x):
+        return 1.0
+    return float(x.sum() ** 2 / (x.size * np.square(x).sum()))
+
+
+@dataclass(frozen=True)
+class ScheduledFrame:
+    """One executed work item in the serving schedule.
+
+    Attributes:
+        client: Tenant the frame was delivered to.
+        frame: Frame index within the client's sequence.
+        mode: Work-item mode (``probe`` / ``reuse`` / ``replay``).
+        cross_replay: True when the frame was served from content another
+            client already executed this run (priced at scan-out).
+        start_cycle / cycles / completion_cycle: Placement on the
+            accelerator's virtual clock.
+    """
+
+    client: str
+    frame: int
+    mode: str
+    cross_replay: bool
+    start_cycle: int
+    cycles: int
+    completion_cycle: int
+
+
+@dataclass
+class ClientServeReport:
+    """One tenant's outcome of a serving run.
+
+    Attributes:
+        client_id / scene / preset: Request identity.
+        arrival_cycle: When the request arrived.
+        latencies_cycles: Per-frame delivery latencies (completion minus
+            arrival), in delivery order.
+        service_cycles: Accelerator cycles attributed to this client's
+            frames (the conservation invariant: these sum to the run's
+            busy cycles across clients).
+        alone_cycles: Cycles the client's sequence costs running alone on
+            the same accelerator (the slowdown denominator).
+        energy_joules: Energy attributed to this client's frames.
+        probes / reuses / replays / cross_replays: Frame-mode mix as
+            executed (``cross_replays`` counts frames of any mode that
+            were served from another client's executed content).
+        deadline_misses: Frames delivered after their deadline (0 when the
+            run had no deadlines).
+    """
+
+    client_id: str
+    scene: str
+    preset: str
+    arrival_cycle: int
+    latencies_cycles: List[int] = field(default_factory=list)
+    service_cycles: int = 0
+    alone_cycles: int = 0
+    energy_joules: float = 0.0
+    probes: int = 0
+    reuses: int = 0
+    replays: int = 0
+    cross_replays: int = 0
+    deadline_misses: int = 0
+
+    @property
+    def frames(self) -> int:
+        return len(self.latencies_cycles)
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Arrival-to-last-frame latency (the client's completion time)."""
+        return max(self.latencies_cycles) if self.latencies_cycles else 0
+
+    @property
+    def first_frame_cycles(self) -> int:
+        return min(self.latencies_cycles) if self.latencies_cycles else 0
+
+    @property
+    def slowdown(self) -> float:
+        """Serving makespan over alone cycles (1.0 = no sharing penalty;
+        below 1.0 means cross-client reuse made sharing a net win)."""
+        return self.makespan_cycles / self.alone_cycles if self.alone_cycles else 1.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_cycles:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_cycles), q))
+
+    @property
+    def mode_mix(self) -> str:
+        """Compact ``probes/reuses/replays(+cross)`` frame-mix label."""
+        mix = f"{self.probes}p/{self.reuses}r/{self.replays}x"
+        if self.cross_replays:
+            mix += f"+{self.cross_replays}c"
+        return mix
+
+
+@dataclass
+class ServeReport:
+    """Outcome of serving all admitted clients under one policy.
+
+    Attributes:
+        policy: Scheduling policy name.
+        clock_hz: Accelerator clock (converts cycles to seconds).
+        clients: Per-client reports, in submission order.
+        schedule: Executed frames in execution order.
+        makespan_cycles: Final virtual-clock value (busy plus any idle
+            gaps before late arrivals).
+        back_to_back_cycles: Sum of every client's alone cycles — the
+            reference a serving run must beat (or at worst match) to
+            justify sharing the accelerator.
+    """
+
+    policy: str
+    clock_hz: float
+    clients: List[ClientServeReport] = field(default_factory=list)
+    schedule: List[ScheduledFrame] = field(default_factory=list)
+    makespan_cycles: int = 0
+    back_to_back_cycles: int = 0
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles the accelerator actually executed (no idle gaps) — the
+        aggregate the acceptance criterion compares to back-to-back."""
+        return sum(s.cycles for s in self.schedule)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(c.frames for c in self.clients)
+
+    @property
+    def throughput_fps(self) -> float:
+        """Delivered frames per simulated second across the run."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.total_frames / (self.makespan_cycles / self.clock_hz)
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over per-client slowdowns (1.0 = perfectly fair)."""
+        return jain_fairness([c.slowdown for c in self.clients])
+
+    @property
+    def sharing_saving(self) -> float:
+        """Fraction of the back-to-back cycles that cross-client reuse
+        saved (0.0 when clients share no content)."""
+        if self.back_to_back_cycles == 0:
+            return 0.0
+        return 1.0 - self.busy_cycles / self.back_to_back_cycles
+
+    @property
+    def energy_joules(self) -> float:
+        return sum(c.energy_joules for c in self.clients)
+
+    def client(self, client_id: str) -> ClientServeReport:
+        for c in self.clients:
+            if c.client_id == client_id:
+                return c
+        raise KeyError(client_id)
+
+    # ------------------------------------------------------------------
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Table rows: one per client plus an aggregate row (the shape
+        the ``serve`` experiment prints and the benchmarks assert on)."""
+        ms = 1e3 / self.clock_hz
+        rows: List[Dict[str, object]] = []
+        for c in self.clients:
+            rows.append(
+                {
+                    "policy": self.policy,
+                    "client": c.client_id,
+                    "frames": str(c.frames),
+                    "modes": c.mode_mix,
+                    "svc_kcycles": c.service_cycles / 1e3,
+                    "makespan_kc": c.makespan_cycles / 1e3,
+                    "p50_ms": c.latency_percentile(50) * ms,
+                    "p95_ms": c.latency_percentile(95) * ms,
+                    "slowdown": c.slowdown,
+                    "misses": str(c.deadline_misses),
+                    "fairness": "",
+                    "fps": "",
+                }
+            )
+        all_latencies = [
+            lat for c in self.clients for lat in c.latencies_cycles
+        ]
+        rows.append(
+            {
+                "policy": self.policy,
+                "client": "(aggregate)",
+                "frames": str(self.total_frames),
+                "modes": f"b2b {self.back_to_back_cycles / 1e3:.0f}kc",
+                "svc_kcycles": self.busy_cycles / 1e3,
+                "makespan_kc": self.makespan_cycles / 1e3,
+                "p50_ms": float(np.percentile(all_latencies, 50)) * ms
+                if all_latencies
+                else 0.0,
+                "p95_ms": float(np.percentile(all_latencies, 95)) * ms
+                if all_latencies
+                else 0.0,
+                "slowdown": float(
+                    np.mean([c.slowdown for c in self.clients])
+                )
+                if self.clients
+                else 1.0,
+                "misses": str(sum(c.deadline_misses for c in self.clients)),
+                "fairness": f"{self.fairness:.3f}",
+                "fps": f"{self.throughput_fps:.1f}",
+            }
+        )
+        return rows
+
+    def to_dict(self) -> Dict:
+        """JSON-style form (used by the determinism test)."""
+        return {
+            "policy": self.policy,
+            "makespan_cycles": int(self.makespan_cycles),
+            "busy_cycles": int(self.busy_cycles),
+            "back_to_back_cycles": int(self.back_to_back_cycles),
+            "fairness": self.fairness,
+            "schedule": [
+                (s.client, s.frame, s.mode, s.cross_replay, s.start_cycle, s.cycles)
+                for s in self.schedule
+            ],
+            "clients": [
+                {
+                    "client_id": c.client_id,
+                    "latencies": list(c.latencies_cycles),
+                    "service_cycles": int(c.service_cycles),
+                    "alone_cycles": int(c.alone_cycles),
+                    "energy_joules": c.energy_joules,
+                    "modes": c.mode_mix,
+                    "deadline_misses": c.deadline_misses,
+                }
+                for c in self.clients
+            ],
+        }

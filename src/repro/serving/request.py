@@ -1,0 +1,70 @@
+"""Client requests admitted by the multi-tenant sequence server.
+
+A :class:`ClientRequest` is what one tenant asks of the serving layer: a
+scene, a camera trajectory (:class:`~repro.scenes.cameras.CameraPath`) and
+a quality/latency target.  The quality lever is the sampling-plan cadence
+``probe_interval`` (how often Phase I re-probes — the profile-guided
+knob); the latency target is an optional per-frame deadline cadence the
+deadline-aware policy schedules against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenes.cameras import CameraPath
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """One client's sequence-serving request.
+
+    Attributes:
+        client_id: Unique tenant identifier.
+        scene: Scene name (see ``python -m repro scenes``).
+        path: Camera trajectory to render; its resolution applies.
+        probe_interval: Phase I cadence (quality target): ``0`` probes the
+            first frame only, ``1`` re-probes every frame (plan reuse
+            off), ``n`` re-probes every n-th rendered frame.
+        arrival_cycle: Accelerator cycle at which the request arrives
+            (``0`` = present at serve start).
+        frame_interval_cycles: Optional per-frame deadline cadence: frame
+            ``k`` is due at ``arrival_cycle + (k+1) * interval``.  ``None``
+            lets the server derive a proportional-share cadence from the
+            request's estimated cost and the number of admitted clients.
+        tensorf: Serve from the TensoRF backend instead of Instant-NGP.
+    """
+
+    client_id: str
+    scene: str
+    path: CameraPath
+    probe_interval: int = 0
+    arrival_cycle: int = 0
+    frame_interval_cycles: Optional[int] = None
+    tensorf: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.client_id:
+            raise ConfigurationError("client_id must be non-empty")
+        if self.probe_interval < 0:
+            raise ConfigurationError("probe_interval must be >= 0")
+        if self.arrival_cycle < 0:
+            raise ConfigurationError("arrival_cycle must be >= 0")
+        if self.frame_interval_cycles is not None and self.frame_interval_cycles <= 0:
+            raise ConfigurationError("frame_interval_cycles must be positive")
+
+    def content_key(self) -> Tuple:
+        """Identity of the rendered sequence *content* this request maps
+        to.  Two requests with equal keys render bit-identical sequences
+        (same scene, backend, trajectory and probe cadence under the
+        server's shared render configuration), so the serving layer can
+        deliver the second from frames the first already executed."""
+        return (
+            "serve_content",
+            self.scene,
+            self.tensorf,
+            self.probe_interval,
+            self.path.cache_key(),
+        )

@@ -1,0 +1,419 @@
+"""The multi-tenant sequence server: N clients, one simulated accelerator.
+
+:class:`SequenceServer` admits concurrent :class:`~repro.serving.request.
+ClientRequest`\\ s whose sequences are already rendered (the Workbench
+memoises them — see :meth:`repro.experiments.workbench.Workbench.
+client_sequence`), then interleaves their per-frame work on one
+:class:`~repro.arch.accelerator.ASDRAccelerator` under a scheduling
+policy.  The scheduling unit is the :class:`~repro.exec.scheduler.
+FrameWorkItem` — one frame of one client's
+:class:`~repro.exec.sequence.SequenceTrace` — and a client's frames
+always execute in path order (sampling-plan reuse and the temporal vertex
+cache both depend on it).
+
+Sharing levers, strongest first:
+
+* **Cross-client content replay** — a frame whose content another client
+  already executed this run (same scene/backend/trajectory/probe cadence,
+  or a bit-identical pose both clients probe as a keyframe) is delivered
+  at framebuffer scan-out cost, like an in-sequence pose replay.  This is
+  why serving N overlapping clients costs *less* than running them
+  back-to-back.
+* **Temporal-cache partitioning** — each tenant owns a private partition
+  of the temporal vertex cache
+  (:class:`~repro.exec.scheduler.TemporalCachePartitions`), so one
+  client's working set never evicts another's, no matter how the policy
+  interleaves tenants.  The interleaved total always equals the sum of
+  per-client service cycles; with the default *unbounded* budget each
+  partition equals the cache a client would have alone, so that total
+  also equals back-to-back exactly when content sharing is off.  A
+  *bounded* budget divides capacity among tenants — real contention —
+  and a client may then pay more than it would alone.
+* **Trace sharing** — clients with identical requests share one memoised
+  :class:`~repro.exec.sequence.SequenceTrace` object (the Workbench's
+  sequence memo), so serving twins costs no extra rendering or trace
+  memory.
+
+Everything is priced on a virtual cycle clock, so serving reports are
+deterministic for a fixed arrival order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.arch.accelerator import ASDRAccelerator
+from repro.errors import ConfigurationError
+from repro.exec.scheduler import (
+    WORK_PROBE,
+    WORK_REPLAY,
+    FrameWorkItem,
+    TemporalCachePartitions,
+    sequence_work_items,
+)
+from repro.exec.sequence import SequenceRender, SequenceTrace, pose_key
+from repro.serving.policies import PendingFrame, SchedulingPolicy, make_policy
+from repro.serving.report import ClientServeReport, ScheduledFrame, ServeReport
+from repro.serving.request import ClientRequest
+
+#: Cycles-per-density-point prior used before the first fresh frame
+#: calibrates the estimator (the value only shapes pre-calibration
+#: ordering and derived deadlines; every policy is deterministic for any
+#: choice).
+INITIAL_CYCLES_PER_POINT = 2.0
+
+
+@dataclass
+class _Client:
+    """Admitted request plus its rendered sequence and schedule state."""
+
+    request: ClientRequest
+    trace: SequenceTrace
+    items: List[FrameWorkItem]
+    pose_keys: List[bytes]
+    order: int
+    deadlines: List[Optional[int]] = field(default_factory=list)
+
+    @property
+    def id(self) -> str:
+        return self.request.client_id
+
+
+class SequenceServer:
+    """Interleaves N clients' sequence frames on one simulated accelerator.
+
+    Args:
+        accelerator: The shared design point every client runs on.
+        group_size: Color-decoupling group size applied to every frame
+            (as in :meth:`~repro.arch.accelerator.ASDRAccelerator.
+            simulate_sequence`).
+        temporal_capacity: Combined temporal vertex-cache budget,
+            partitioned evenly among admitted tenants (``None`` =
+            unbounded partitions).
+        shared_content: Enable cross-client content replay.  Disable to
+            price every client as if its content were unique (the
+            back-to-back-equivalent configuration).
+
+    Example lifecycle::
+
+        server = SequenceServer(accelerator)
+        for request in requests:
+            server.submit(request, wb.client_sequence(request))
+        report = server.serve("round_robin")
+    """
+
+    def __init__(
+        self,
+        accelerator: ASDRAccelerator,
+        group_size: int = 1,
+        temporal_capacity: Optional[int] = None,
+        shared_content: bool = True,
+    ) -> None:
+        self.accelerator = accelerator
+        self.group_size = group_size
+        self.temporal_capacity = temporal_capacity
+        self.shared_content = shared_content
+        self._clients: List[_Client] = []
+        self._alone_cycles: Dict[str, int] = {}
+        self._scanout_memo: Dict[Tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: ClientRequest,
+        sequence: Union[SequenceRender, SequenceTrace],
+    ) -> None:
+        """Admit one client with its rendered sequence.
+
+        Args:
+            request: The client's request (identity, trajectory, targets).
+            sequence: The rendered sequence for ``request.path`` — a
+                :class:`~repro.exec.sequence.SequenceRender` (as returned
+                by the Workbench) or its
+                :class:`~repro.exec.sequence.SequenceTrace` directly.
+
+        Raises:
+            ConfigurationError: On duplicate client ids or a sequence
+                whose frame count does not match the request's path.
+        """
+        trace = getattr(sequence, "trace", sequence)
+        if not isinstance(trace, SequenceTrace):
+            raise ConfigurationError(
+                "submit needs a SequenceRender or SequenceTrace, got "
+                f"{type(sequence).__name__}"
+            )
+        if any(c.id == request.client_id for c in self._clients):
+            raise ConfigurationError(
+                f"duplicate client id {request.client_id!r}"
+            )
+        cameras = request.path.cameras()
+        if len(cameras) != trace.num_frames:
+            raise ConfigurationError(
+                f"client {request.client_id!r}: path has {len(cameras)} "
+                f"frames but the sequence has {trace.num_frames}"
+            )
+        self._clients.append(
+            _Client(
+                request=request,
+                trace=trace,
+                items=sequence_work_items(request.client_id, trace),
+                pose_keys=[pose_key(cam) for cam in cameras],
+                order=len(self._clients),
+            )
+        )
+
+    @property
+    def num_clients(self) -> int:
+        return len(self._clients)
+
+    # ------------------------------------------------------------------
+    # Reference costs
+    # ------------------------------------------------------------------
+    def alone_cycles(self, client_id: str) -> int:
+        """Cycles the client's sequence costs running alone on this
+        accelerator — the back-to-back reference and the slowdown
+        denominator.  Alone means the *full* temporal-cache budget, so
+        with a bounded ``temporal_capacity`` a served client (holding
+        only its partition) can legitimately cost more than this."""
+        if client_id not in self._alone_cycles:
+            client = self._find(client_id)
+            report = self.accelerator.simulate_sequence(
+                client.trace,
+                group_size=self.group_size,
+                temporal=True,
+                temporal_capacity=self.temporal_capacity,
+            )
+            self._alone_cycles[client_id] = report.total_cycles
+        return self._alone_cycles[client_id]
+
+    def back_to_back_cycles(self) -> int:
+        """Sum of every admitted client's alone cycles — what the same
+        workload costs with no sharing at all."""
+        return sum(self.alone_cycles(c.id) for c in self._clients)
+
+    def _find(self, client_id: str) -> _Client:
+        for c in self._clients:
+            if c.id == client_id:
+                return c
+        raise ConfigurationError(f"unknown client {client_id!r}")
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _scanout_cycles(self, trace: SequenceTrace, frame: int) -> int:
+        """Exact cycles of delivering a frame by scan-out, priced by the
+        accelerator itself (memoised per frame trace) so the scheduler's
+        estimates stay definitionally equal to the eventual charge."""
+        key = (id(trace.frames[frame]), trace.frames[frame].rendered_pixels)
+        if key not in self._scanout_memo:
+            self._scanout_memo[key] = self.accelerator.simulate_scanout(
+                trace.frames[frame]
+            ).total_cycles
+        return self._scanout_memo[key]
+
+    def _derive_deadlines(self) -> None:
+        """Fix per-frame deadlines before the run starts.
+
+        A request with an explicit ``frame_interval_cycles`` keeps it;
+        otherwise the server derives a proportional-share cadence — the
+        client's estimated alone pace stretched by the number of admitted
+        tenants — so deadline misses measure interference, not ambition.
+        """
+        n = len(self._clients)
+        for client in self._clients:
+            interval = client.request.frame_interval_cycles
+            if interval is None:
+                est = sum(
+                    self._scanout_cycles(client.trace, item.frame)
+                    if item.mode == WORK_REPLAY
+                    else item.cost_hint * INITIAL_CYCLES_PER_POINT
+                    for item in client.items
+                )
+                interval = max(1, math.ceil(est / len(client.items))) * n
+            client.deadlines = [
+                client.request.arrival_cycle + (k + 1) * interval
+                for k in range(len(client.items))
+            ]
+
+    def _content_ids(
+        self, client: _Client, frame: int
+    ) -> Tuple[Tuple, Optional[Tuple]]:
+        """(sequence-level, pose-level) content identities of one frame.
+
+        The sequence-level id resolves in-sequence replays to their source
+        frame, so twin requests (equal :meth:`~repro.serving.request.
+        ClientRequest.content_key`) share ids frame by frame.  The
+        pose-level id exists only for Phase I keyframes — their pixels
+        depend on nothing but the scene model and the pose, so any two
+        clients probing a bit-identical pose render bit-identical frames.
+        """
+        replay_of = client.trace.replays[frame]
+        resolved = frame if replay_of is None else replay_of
+        seq_id = client.request.content_key() + (resolved,)
+        pose_id = None
+        if replay_of is None and client.trace.planned[frame]:
+            pose_id = (
+                "pose",
+                client.request.scene,
+                client.request.tensorf,
+                client.pose_keys[frame],
+            )
+        return seq_id, pose_id
+
+    def serve(
+        self, policy: Union[str, SchedulingPolicy] = "round_robin"
+    ) -> ServeReport:
+        """Run every admitted client to completion under ``policy``.
+
+        The server walks a virtual cycle clock: at each step the policy
+        picks among the ready clients' head frames, the chosen frame is
+        priced (scan-out for replays and cross-client content hits; a
+        full :meth:`~repro.arch.accelerator.ASDRAccelerator.
+        simulate_sequence_frame` otherwise) and the clock advances by its
+        cycles.  Serving the same submissions twice yields identical
+        reports — all pricing is deterministic arithmetic on the traces.
+
+        Returns:
+            A :class:`~repro.serving.report.ServeReport` with the
+            schedule, per-client latency percentiles, throughput,
+            fairness and the back-to-back reference.
+        """
+        if not self._clients:
+            raise ConfigurationError("no clients submitted")
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self._derive_deadlines()
+        partitions = TemporalCachePartitions(
+            [c.id for c in self._clients], self.temporal_capacity
+        )
+        executed: Set[Tuple] = set()
+        reports = {
+            c.id: ClientServeReport(
+                client_id=c.id,
+                scene=c.request.scene,
+                preset=c.request.path.preset,
+                arrival_cycle=c.request.arrival_cycle,
+                alone_cycles=self.alone_cycles(c.id),
+            )
+            for c in self._clients
+        }
+        next_frame = {c.id: 0 for c in self._clients}
+        cycles_per_point = INITIAL_CYCLES_PER_POINT
+        schedule: List[ScheduledFrame] = []
+        clock = 0
+
+        def unfinished() -> List[_Client]:
+            return [
+                c for c in self._clients
+                if next_frame[c.id] < len(c.items)
+            ]
+
+        while True:
+            remaining = unfinished()
+            if not remaining:
+                break
+            ready = [
+                c for c in remaining if c.request.arrival_cycle <= clock
+            ]
+            if not ready:
+                clock = min(c.request.arrival_cycle for c in remaining)
+                continue
+
+            pending: List[PendingFrame] = []
+            hits: List[bool] = []
+            for c in ready:
+                k = next_frame[c.id]
+                item = c.items[k]
+                seq_id, pose_id = self._content_ids(c, k)
+                hit = self.shared_content and (
+                    seq_id in executed or (pose_id is not None and pose_id in executed)
+                )
+                hits.append(hit)
+                if item.mode == WORK_REPLAY or hit:
+                    est = float(self._scanout_cycles(c.trace, k))
+                else:
+                    est = item.cost_hint * cycles_per_point
+                pending.append(
+                    PendingFrame(
+                        item=item,
+                        order=c.order,
+                        arrival_cycle=c.request.arrival_cycle,
+                        completed=k,
+                        total_frames=len(c.items),
+                        est_cycles=est,
+                        deadline_cycle=c.deadlines[k],
+                    )
+                )
+
+            chosen = policy.select(pending, clock)
+            if not 0 <= chosen < len(pending):
+                raise ConfigurationError(
+                    f"policy {policy.name!r} selected invalid index {chosen}"
+                )
+            client = ready[chosen]
+            k = next_frame[client.id]
+            item = client.items[k]
+            cross = hits[chosen] and item.mode != WORK_REPLAY
+            if item.mode == WORK_REPLAY or hits[chosen]:
+                frame_report = self.accelerator.simulate_scanout(
+                    client.trace.frames[k]
+                )
+            else:
+                frame_report = self.accelerator.simulate_sequence_frame(
+                    client.trace,
+                    k,
+                    group_size=self.group_size,
+                    temporal=partitions.cache_for(client.id),
+                )
+                if item.cost_hint:
+                    cycles_per_point = 0.5 * cycles_per_point + 0.5 * (
+                        frame_report.total_cycles / item.cost_hint
+                    )
+
+            seq_id, pose_id = self._content_ids(client, k)
+            executed.add(seq_id)
+            if pose_id is not None:
+                executed.add(pose_id)
+
+            start = clock
+            clock += frame_report.total_cycles
+            schedule.append(
+                ScheduledFrame(
+                    client=client.id,
+                    frame=k,
+                    mode=item.mode,
+                    cross_replay=cross,
+                    start_cycle=start,
+                    cycles=frame_report.total_cycles,
+                    completion_cycle=clock,
+                )
+            )
+            rep = reports[client.id]
+            rep.latencies_cycles.append(clock - client.request.arrival_cycle)
+            rep.service_cycles += frame_report.total_cycles
+            rep.energy_joules += frame_report.energy_joules
+            if cross:
+                rep.cross_replays += 1
+            if item.mode == WORK_REPLAY:
+                rep.replays += 1
+            elif item.mode == WORK_PROBE:
+                rep.probes += 1
+            else:
+                rep.reuses += 1
+            deadline = client.deadlines[k]
+            if deadline is not None and clock > deadline:
+                rep.deadline_misses += 1
+            next_frame[client.id] = k + 1
+
+        return ServeReport(
+            policy=policy.name,
+            clock_hz=self.accelerator.config.clock_hz,
+            clients=[reports[c.id] for c in self._clients],
+            schedule=schedule,
+            makespan_cycles=clock,
+            back_to_back_cycles=self.back_to_back_cycles(),
+        )

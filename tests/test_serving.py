@@ -1,0 +1,406 @@
+"""Multi-tenant serving: policy invariants, conservation, determinism.
+
+These tests drive :class:`repro.serving.server.SequenceServer` with small
+synthetic sequences (budget-map traces on 8x8 cameras) so the scheduler's
+invariants are pinned without rendering real scenes:
+
+* **fairness** — under round-robin no client starves: delivered frame
+  counts across ready clients never diverge by more than one;
+* **conservation** — interleaved busy cycles equal the sum of per-client
+  service cycles, and with sharing disabled each client is priced exactly
+  as if it ran alone;
+* **determinism** — serving the same submissions twice yields identical
+  reports for every policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import ASDRAccelerator
+from repro.arch.config import ArchConfig
+from repro.cim.cache import TemporalVertexCache
+from repro.errors import ConfigurationError
+from repro.exec.frame_trace import FrameTrace
+from repro.exec.scheduler import (
+    WORK_PROBE,
+    WORK_REPLAY,
+    WORK_REUSE,
+    TemporalCachePartitions,
+    sequence_work_items,
+)
+from repro.exec.sequence import SequenceTrace, pose_key
+from repro.scenes.cameras import camera_path
+from repro.serving.policies import (
+    DeadlineAwarePolicy,
+    FIFOPolicy,
+    PendingFrame,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.serving.report import jain_fairness
+from repro.serving.request import ClientRequest
+from repro.serving.server import SequenceServer
+from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
+
+SIZE = 8
+FRAMES = 4
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return ASDRAccelerator(
+        ArchConfig.server(),
+        TEST_GRID,
+        TEST_MODEL_CONFIG.density_mlp_config,
+        TEST_MODEL_CONFIG.color_mlp_config,
+    )
+
+
+def synthetic_sequence(path, budget: int = 6) -> SequenceTrace:
+    """A budget-map SequenceTrace for ``path`` with pose replays detected
+    and Phase I marked on the first frame only (plan-reuse structure)."""
+    frames, replays, seen = [], [], {}
+    for camera in path.cameras():
+        key = pose_key(camera)
+        if key in seen:
+            frames.append(frames[seen[key]])
+            replays.append(seen[key])
+            continue
+        budgets = np.full(camera.width * camera.height, budget, dtype=np.int64)
+        seen[key] = len(frames)
+        frames.append(FrameTrace.from_budgets(camera, budgets))
+        replays.append(None)
+    planned = [k == 0 and r is None for k, r in enumerate(replays)]
+    return SequenceTrace(
+        frames=frames,
+        path_key=path.cache_key(),
+        kind="asdr",
+        replays=replays,
+        planned=planned,
+    )
+
+
+def _request(client_id: str, path, **kwargs) -> ClientRequest:
+    return ClientRequest(
+        client_id=client_id, scene="synthetic", path=path, **kwargs
+    )
+
+
+def _distinct_paths(n: int):
+    """Orbit arcs far enough apart that no poses coincide."""
+    return [
+        camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.3 + 0.1 * i)
+        for i in range(n)
+    ]
+
+
+def _server(accelerator, requests, **kwargs) -> SequenceServer:
+    server = SequenceServer(accelerator, **kwargs)
+    for request in requests:
+        server.submit(request, synthetic_sequence(request.path))
+    return server
+
+
+# ----------------------------------------------------------------------
+# Work items and cache partitions (exec layer)
+# ----------------------------------------------------------------------
+class TestWorkItems:
+    def test_modes_follow_trace_structure(self):
+        path = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.3, hold=2)
+        trace = synthetic_sequence(path)
+        items = sequence_work_items("c", trace)
+        assert [i.frame for i in items] == list(range(FRAMES))
+        assert items[0].mode == WORK_PROBE
+        assert items[1].mode == WORK_REPLAY  # hold=2 repeats each pose
+        assert items[2].mode == WORK_REUSE
+        assert items[0].cost_hint > 0
+        assert items[1].cost_hint == 0
+
+    def test_partitions_split_capacity(self):
+        parts = TemporalCachePartitions(["a", "b", "c"], total_capacity=90)
+        assert parts.per_tenant_capacity == 30
+        assert parts.cache_for("a") is not parts.cache_for("b")
+        assert parts.cache_for("a") is parts.cache_for("a")
+
+    def test_partitions_unbounded_by_default(self):
+        parts = TemporalCachePartitions(["a", "b"])
+        assert parts.per_tenant_capacity is None
+
+    def test_partitions_reject_unknown_tenant(self):
+        parts = TemporalCachePartitions(["a"])
+        with pytest.raises(ConfigurationError):
+            parts.cache_for("ghost")
+
+    def test_partitions_reject_duplicates_and_overcommit(self):
+        with pytest.raises(ConfigurationError):
+            TemporalCachePartitions(["a", "a"])
+        with pytest.raises(ConfigurationError):
+            TemporalCachePartitions(["a", "b", "c"], total_capacity=2)
+
+
+# ----------------------------------------------------------------------
+# Policy selection (pure logic)
+# ----------------------------------------------------------------------
+def _pending(order, completed=0, est=100.0, deadline=None, mode=WORK_PROBE,
+             arrival=0):
+    from repro.exec.scheduler import FrameWorkItem
+
+    return PendingFrame(
+        item=FrameWorkItem(client=f"c{order}", frame=completed, mode=mode,
+                           cost_hint=int(est)),
+        order=order,
+        arrival_cycle=arrival,
+        completed=completed,
+        total_frames=8,
+        est_cycles=est,
+        deadline_cycle=deadline,
+    )
+
+
+class TestPolicies:
+    def test_fifo_prefers_earliest_arrival(self):
+        pending = [_pending(0, arrival=50), _pending(1, arrival=0)]
+        assert FIFOPolicy().select(pending, clock=100) == 1
+
+    def test_round_robin_prefers_least_served(self):
+        pending = [_pending(0, completed=3), _pending(1, completed=1)]
+        assert RoundRobinPolicy().select(pending, clock=0) == 1
+
+    def test_deadline_prefers_least_slack(self):
+        pending = [
+            _pending(0, est=100.0, deadline=10_000.0),
+            _pending(1, est=100.0, deadline=500.0),
+        ]
+        assert DeadlineAwarePolicy().select(pending, clock=0) == 1
+
+    def test_deadline_deprioritises_cheap_frames(self):
+        # Same deadline: the cheap replay keeps its window as slack, the
+        # expensive probe does not, so the probe runs first.
+        pending = [
+            _pending(0, est=10.0, deadline=1_000.0, mode=WORK_REPLAY),
+            _pending(1, est=900.0, deadline=1_000.0, mode=WORK_PROBE),
+        ]
+        assert DeadlineAwarePolicy().select(pending, clock=0) == 1
+
+    def test_make_policy_names(self):
+        for name in ("fifo", "round_robin", "deadline"):
+            assert make_policy(name).name == name
+        with pytest.raises(ConfigurationError):
+            make_policy("lottery")
+
+
+# ----------------------------------------------------------------------
+# Server invariants
+# ----------------------------------------------------------------------
+class TestServerInvariants:
+    def test_round_robin_never_starves(self, accelerator):
+        requests = [
+            _request(f"c{i}", p) for i, p in enumerate(_distinct_paths(3))
+        ]
+        server = _server(accelerator, requests, shared_content=False)
+        report = server.serve("round_robin")
+        counts = {r.client_id: 0 for r in requests}
+        total = {r.client_id: FRAMES for r in requests}
+        for step in report.schedule:
+            unfinished = [c for c in counts if counts[c] < total[c]]
+            spread = max(counts[c] for c in unfinished) - min(
+                counts[c] for c in unfinished
+            )
+            assert spread <= 1, f"client starved before {step}"
+            assert counts[step.client] == min(counts[c] for c in unfinished)
+            counts[step.client] += 1
+        assert counts == total
+
+    def test_conservation_of_cycles(self, accelerator):
+        requests = [
+            _request(f"c{i}", p) for i, p in enumerate(_distinct_paths(3))
+        ]
+        server = _server(accelerator, requests, shared_content=False)
+        for policy in ("fifo", "round_robin", "deadline"):
+            report = server.serve(policy)
+            assert report.busy_cycles == sum(
+                c.service_cycles for c in report.clients
+            )
+            assert report.busy_cycles == sum(s.cycles for s in report.schedule)
+            # Simultaneous arrivals: the clock never idles.
+            assert report.makespan_cycles == report.busy_cycles
+            # Private temporal-cache partitions price every client exactly
+            # as it would run alone, so with content sharing off the
+            # interleaved total equals back-to-back.
+            for client in report.clients:
+                assert client.service_cycles == client.alone_cycles
+            assert report.busy_cycles == report.back_to_back_cycles
+
+    def test_cross_replay_skips_do_not_reuse_stale_temporal_masks(
+        self, accelerator
+    ):
+        # Client B probes every other frame of the same path client A
+        # probes fully, so B's keyframes are served from A's executed
+        # content and B's own temporal cache never sees them.  B's later
+        # fresh frames then compare against an *older* resident set than
+        # B's alone run did — the memoised hit masks (populated by the
+        # alone run) must not leak across that difference.
+        path = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.6)
+        seq_a = synthetic_sequence(path)
+        seq_a.planned = [r is None for r in seq_a.replays]  # probe all
+        seq_b = synthetic_sequence(path)
+        seq_b.planned = [k % 2 == 0 for k in range(FRAMES)]  # probe 0, 2
+
+        server = SequenceServer(accelerator)
+        server.submit(_request("a", path), seq_a)
+        server.submit(_request("b", path, probe_interval=2), seq_b)
+        report = server.serve("fifo")
+        served = {
+            s.frame: s for s in report.schedule if s.client == "b"
+        }
+        assert served[0].cross_replay and served[2].cross_replay
+        assert not served[1].cross_replay and not served[3].cross_replay
+
+        # Ground truth: a cold trace (no memo state) simulated with the
+        # exact skip pattern the serving schedule executed — scan-out for
+        # the cross-replayed keyframes, fresh simulation (with the
+        # correspondingly older resident set) for frames 1 and 3.  At this
+        # scale cycles are MLP-bound, so the temporal-mask difference
+        # shows up in encoding busy time and therefore energy.
+        cold = SequenceTrace.from_dict(seq_b.to_dict())
+        cold.planned = list(seq_b.planned)
+        cache = TemporalVertexCache()
+        truth_energy = 0.0
+        truth_cycles = {}
+        for k in range(FRAMES):
+            if k in (0, 2):
+                rep = accelerator.simulate_scanout(cold.frames[k])
+            else:
+                rep = accelerator.simulate_sequence_frame(
+                    cold, k, temporal=cache
+                )
+                truth_cycles[k] = rep.total_cycles
+            truth_energy += rep.energy_joules
+        for k in (1, 3):
+            assert served[k].cycles == truth_cycles[k]
+        assert report.client("b").energy_joules == pytest.approx(
+            truth_energy, rel=1e-12
+        ), "stale temporal-mask reuse skewed the served energy attribution"
+
+    def test_bounded_capacity_models_contention(self, accelerator):
+        # A bounded temporal budget splits capacity among tenants, so a
+        # served client holds less cache than it would alone and may pay
+        # more than the back-to-back reference (which uses the full
+        # budget).  Attribution conservation must hold regardless.
+        requests = [
+            _request(f"c{i}", p) for i, p in enumerate(_distinct_paths(3))
+        ]
+        server = _server(
+            accelerator, requests, shared_content=False, temporal_capacity=300
+        )
+        report = server.serve("round_robin")
+        assert report.busy_cycles == sum(
+            c.service_cycles for c in report.clients
+        )
+        # Partitioned clients never price *below* their full-cache alone
+        # run: losing cache capacity cannot reduce cycles.
+        for client in report.clients:
+            assert client.service_cycles >= client.alone_cycles
+
+    def test_deterministic_reports(self, accelerator):
+        requests = [
+            _request(f"c{i}", p) for i, p in enumerate(_distinct_paths(3))
+        ]
+        server = _server(accelerator, requests)
+        for policy in ("fifo", "round_robin", "deadline"):
+            assert server.serve(policy).to_dict() == server.serve(policy).to_dict()
+
+    def test_fifo_runs_clients_back_to_back(self, accelerator):
+        requests = [
+            _request(f"c{i}", p) for i, p in enumerate(_distinct_paths(2))
+        ]
+        server = _server(accelerator, requests, shared_content=False)
+        report = server.serve("fifo")
+        order = [s.client for s in report.schedule]
+        assert order == ["c0"] * FRAMES + ["c1"] * FRAMES
+
+    def test_twin_clients_served_from_shared_content(self, accelerator):
+        path = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.3)
+        requests = [_request("orig", path), _request("twin", path)]
+        server = _server(accelerator, requests)
+        report = server.serve("fifo")
+        twin = report.client("twin")
+        assert twin.cross_replays == FRAMES
+        assert twin.service_cycles < report.client("orig").service_cycles
+        assert report.busy_cycles < report.back_to_back_cycles
+
+    def test_shared_pose_keyframe_cross_replays(self, accelerator):
+        # Orbit and dolly paths share their first pose bit-identically, and
+        # both probe it as a keyframe -> the later client's probe is served
+        # at scan-out cost.
+        orbit = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.3)
+        dolly = camera_path("dolly", FRAMES, SIZE, SIZE, travel=0.3)
+        assert pose_key(orbit.cameras()[0]) == pose_key(dolly.cameras()[0])
+        server = _server(
+            accelerator, [_request("a", orbit), _request("b", dolly)]
+        )
+        report = server.serve("fifo")
+        assert report.client("b").cross_replays == 1
+        assert report.busy_cycles < report.back_to_back_cycles
+
+    def test_arrivals_gate_scheduling(self, accelerator):
+        paths = _distinct_paths(2)
+        early = _request("early", paths[0])
+        late = _request("late", paths[1], arrival_cycle=10**9)
+        server = _server(accelerator, [early, late], shared_content=False)
+        report = server.serve("round_robin")
+        late_frames = [s for s in report.schedule if s.client == "late"]
+        assert all(s.start_cycle >= 10**9 for s in late_frames)
+        # The accelerator idled between the early client finishing and the
+        # late arrival: makespan exceeds busy cycles.
+        assert report.makespan_cycles > report.busy_cycles
+
+    def test_submission_validation(self, accelerator):
+        path = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.3)
+        server = SequenceServer(accelerator)
+        server.submit(_request("a", path), synthetic_sequence(path))
+        with pytest.raises(ConfigurationError):
+            server.submit(_request("a", path), synthetic_sequence(path))
+        other = camera_path("orbit", FRAMES + 1, SIZE, SIZE, arc=0.3)
+        with pytest.raises(ConfigurationError):
+            server.submit(_request("b", path), synthetic_sequence(other))
+        with pytest.raises(ConfigurationError):
+            server.submit(_request("c", path), "not a sequence")
+
+    def test_serve_requires_clients(self, accelerator):
+        with pytest.raises(ConfigurationError):
+            SequenceServer(accelerator).serve("fifo")
+
+
+# ----------------------------------------------------------------------
+# Requests and report arithmetic
+# ----------------------------------------------------------------------
+class TestRequestAndReport:
+    def test_request_validation(self):
+        path = camera_path("orbit", 2, SIZE, SIZE)
+        with pytest.raises(ConfigurationError):
+            ClientRequest(client_id="", scene="s", path=path)
+        with pytest.raises(ConfigurationError):
+            ClientRequest(client_id="c", scene="s", path=path, probe_interval=-1)
+        with pytest.raises(ConfigurationError):
+            ClientRequest(client_id="c", scene="s", path=path, arrival_cycle=-5)
+        with pytest.raises(ConfigurationError):
+            ClientRequest(
+                client_id="c", scene="s", path=path, frame_interval_cycles=0
+            )
+
+    def test_content_key_identifies_twins(self):
+        path = camera_path("orbit", 2, SIZE, SIZE)
+        a = ClientRequest(client_id="a", scene="s", path=path)
+        b = ClientRequest(client_id="b", scene="s", path=path)
+        c = ClientRequest(client_id="c", scene="s", path=path, probe_interval=2)
+        assert a.content_key() == b.content_key()
+        assert a.content_key() != c.content_key()
+
+    def test_jain_fairness_bounds(self):
+        assert jain_fairness([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+        skewed = jain_fairness([10.0, 1.0, 1.0])
+        assert 0.0 < skewed < 1.0
+        assert jain_fairness([]) == 1.0

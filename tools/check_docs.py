@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Documentation link checker (the CI docs job).
+
+Scans the project's markdown documentation for inline links and verifies
+that every relative target resolves: linked files exist inside the
+repository, and ``#anchor`` fragments match a heading in the target
+document (GitHub-style slugs).  External ``http(s)``/``mailto`` links are
+not fetched — this job must stay hermetic.
+
+Usage::
+
+    python tools/check_docs.py [--root REPO_ROOT]
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Documents checked (globs relative to the repository root).
+DOC_GLOBS = (
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/**/*.md",
+    "examples/README.md",
+)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (lowercase, punctuation
+    stripped, spaces to hyphens)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: Path) -> set:
+    content = _CODE_FENCE.sub("", markdown.read_text(encoding="utf-8"))
+    slugs = set()
+    for match in _HEADING.finditer(content):
+        slug = github_slug(match.group(1))
+        # Duplicate headings get -1, -2, ... suffixes on GitHub; accept
+        # the base slug for each occurrence.
+        slugs.add(slug)
+    return slugs
+
+
+def check_file(doc: Path, root: Path):
+    """Yield ``(doc, target, reason)`` for every broken link in ``doc``."""
+    content = _CODE_FENCE.sub("", doc.read_text(encoding="utf-8"))
+    targets = _LINK.findall(content) + _IMAGE.findall(content)
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (doc.parent / path_part).resolve()
+            try:
+                resolved.relative_to(root)
+            except ValueError:
+                yield doc, target, "escapes the repository"
+                continue
+            if not resolved.exists():
+                yield doc, target, "file does not exist"
+                continue
+        else:
+            resolved = doc
+        if anchor:
+            if resolved.suffix.lower() != ".md" or resolved.is_dir():
+                continue  # anchors into non-markdown targets: not checked
+            if github_slug(anchor) not in heading_slugs(resolved):
+                yield doc, target, f"no heading for anchor #{anchor}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=Path(__file__).resolve().parent.parent,
+        type=Path,
+        help="repository root (default: the checkout containing this tool)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    docs = []
+    for pattern in DOC_GLOBS:
+        docs.extend(sorted(root.glob(pattern)))
+    if not docs:
+        print(f"no documentation found under {root}", file=sys.stderr)
+        return 1
+
+    broken = []
+    for doc in docs:
+        broken.extend(check_file(doc, root))
+
+    for doc, target, reason in broken:
+        print(f"BROKEN {doc.relative_to(root)}: ({target}) {reason}")
+    checked = len(docs)
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked} document(s)")
+        return 1
+    print(f"ok: {checked} document(s), all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
