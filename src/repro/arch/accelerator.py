@@ -18,6 +18,13 @@ the *only* execution path: trace-less render results are rejected
 through :meth:`simulate_pass`, which synthesises a trace once via the
 shared scheduler.
 
+Every simulation entry point executes through the resumable
+:class:`~repro.exec.execution.FrameExecution` engine: a frame is a cursor
+over budget-group wavefront steps that can be suspended after any step
+and resumed bit-identically — :meth:`simulate_trace` simply runs the
+cursor to completion, while the multi-tenant serving layer interleaves
+many cursors at wavefront granularity (preemption).
+
 Video workloads replay a whole
 :class:`~repro.exec.sequence.SequenceTrace` through
 :meth:`ASDRAccelerator.simulate_sequence`: pose-replayed frames are priced
@@ -29,23 +36,21 @@ register-cache hits.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.arch.buffers import BufferModel, default_buffers
 from repro.arch.bus import BusSpec, BusTraffic, bus_cycles
 from repro.arch.config import ArchConfig
-from repro.arch.encoding_engine import EncodingEngine, EncodingReport
+from repro.arch.encoding_engine import EncodingReport
 from repro.arch.energy import AreaPowerModel
 from repro.arch.mlp_engine import MLPEngine, MLPReport
 from repro.arch.render_engine import RenderEngine, RenderEngineReport
-from repro.arch.trace import EncodingBatch
 from repro.cim.cache import TemporalVertexCache
 from repro.core.approximation import anchor_indices
 from repro.errors import SimulationError
+from repro.exec.execution import FrameExecution, sequence_executions
 from repro.exec.frame_trace import PHASE_PROBE, FrameTrace
 from repro.exec.sequence import SequenceTrace
 from repro.nerf.hashgrid import HashGridConfig, HashGridEncoder
@@ -262,78 +267,29 @@ class ASDRAccelerator:
                 Phase I adaptive-sampling tail — and ``total_cycles`` is
                 exactly their sum (the invariant the property tests pin).
         """
-        if not isinstance(trace, FrameTrace):
-            raise SimulationError(
-                f"simulate_trace expects a FrameTrace, got {type(trace).__name__}"
-            )
-        if memo_scope is None:
-            memo_scope = trace
-        encoding_engine = EncodingEngine(self.config, self.grid)
-        scale = "edge" if "edge" in self.config.name else "server"
-        buffers = BufferModel(default_buffers(scale))
-        report = SimReport(name=self.config.name, clock_hz=self.config.clock_hz)
+        return self.trace_execution(
+            trace,
+            group_size=group_size,
+            color_fraction=color_fraction,
+            difficulty_evals=difficulty_evals,
+            rendered_pixels=rendered_pixels,
+            temporal=temporal,
+            memo_scope=memo_scope,
+            wavefront_log=wavefront_log,
+        ).finish()
 
-        resolutions = [int(r) for r in self.grid.level_resolutions]
-        color_used = self._effective_color_used(trace, group_size)
+    # ------------------------------------------------------------------
+    def trace_execution(self, trace: FrameTrace, **kwargs) -> FrameExecution:
+        """A resumable :class:`~repro.exec.execution.FrameExecution` over
+        ``trace``, accepting the same keyword overrides as
+        :meth:`simulate_trace`.  Running it to completion is exactly
+        ``simulate_trace``; stepping it lets a scheduler suspend the frame
+        after any wavefront."""
+        return FrameExecution(self, trace, **kwargs)
 
-        for sl in trace.split(self.config.wavefront_rays):
-            num_points = sl.num_points
-            if num_points == 0:
-                continue
-            corners = {
-                level: sl.corners(resolutions[level])
-                for level in range(self.grid.num_levels)
-            }
-            batch = EncodingBatch(
-                corners=corners,
-                point_ray=sl.point_ray(),
-                num_points=num_points,
-                memo=memo_scope.memo_hook(
-                    (sl.index, sl.points.start, sl.points.stop)
-                ),
-            )
-            enc = encoding_engine.process_batch(batch, temporal=temporal)
-            if color_fraction is not None:
-                color_points = math.ceil(num_points * color_fraction)
-            else:
-                color_points = int(color_used[sl.index][sl.rays].sum())
-            mlp = self.mlp_engine.process(num_points, color_points)
-            ren = self.render_engine.process(
-                composited_points=num_points,
-                interpolated_points=num_points - color_points,
-            )
-            stall = buffers.observe_wavefront(
-                in_flight_points=min(num_points, self.config.wavefront_rays),
-                levels=self.grid.num_levels,
-                ray_working_points=num_points,
-            )
-            report.encoding.merge(enc)
-            report.mlp.merge(mlp)
-            report.render.merge(ren)
-            report.buffer_stall_cycles += stall
-            charge = max(enc.cycles, mlp.cycles, ren.cycles) + stall
-            if wavefront_log is not None:
-                wavefront_log.append(
-                    (("wavefront", sl.index, sl.rays.start, sl.rays.stop), charge)
-                )
-            report.total_cycles += charge
-
-        evals = trace.difficulty_evals if difficulty_evals is None else difficulty_evals
-        if evals:
-            # The adaptive sampling unit compares candidate renders at the
-            # tail of Phase I (it cannot overlap the batches that produce
-            # its inputs' final samples).
-            ren = self.render_engine.process(0, 0, evals)
-            report.render.merge(ren)
-            if wavefront_log is not None:
-                wavefront_log.append((("adaptive_tail",), ren.cycles))
-            report.total_cycles += ren.cycles
-
-        rendered = trace.rendered_pixels if rendered_pixels is None else rendered_pixels
-        report.bus_cycles = bus_cycles(BusTraffic(pixels=rendered))
-
-        self._charge_energy(report)
-        return report
+    def _new_report(self) -> SimReport:
+        """An empty report for this design point (execution-engine hook)."""
+        return SimReport(name=self.config.name, clock_hz=self.config.clock_hz)
 
     def _effective_color_used(
         self, trace: FrameTrace, group_size: Optional[int]
@@ -467,13 +423,15 @@ class ASDRAccelerator:
                 f"{type(sequence).__name__}"
             )
         cache = TemporalVertexCache(temporal_capacity) if temporal else None
-        frames: List[SimReport] = []
-        for k in range(sequence.num_frames):
-            frames.append(
-                self.simulate_sequence_frame(
-                    sequence, k, group_size=group_size, temporal=cache
-                )
+        # A thin loop over the resumable execution engine: one cursor per
+        # frame, each run to completion before the next frame's lookups
+        # (the temporal cache commits at every finish()).
+        frames: List[SimReport] = [
+            ex.finish()
+            for ex in sequence_executions(
+                self, sequence, group_size=group_size, temporal=cache
             )
+        ]
         return SequenceSimReport(
             name=self.config.name,
             clock_hz=self.config.clock_hz,
@@ -505,6 +463,28 @@ class ASDRAccelerator:
         boundary so the client's next frame compares against this frame's
         working set.
         """
+        return self.frame_execution(
+            sequence, frame, group_size=group_size, temporal=temporal
+        ).finish()
+
+    # ------------------------------------------------------------------
+    def frame_execution(
+        self,
+        sequence: SequenceTrace,
+        frame: int,
+        group_size: Optional[int] = None,
+        temporal: Optional[TemporalVertexCache] = None,
+        wavefront_log: Optional[List[Tuple[Tuple, int]]] = None,
+    ) -> FrameExecution:
+        """A resumable execution cursor over one sequence frame.
+
+        Frames recorded as pose replays come back in scan-out mode (a
+        single step pricing the framebuffer read-out); fresh frames carry
+        the frame-scoped sequence memo and — when ``temporal`` is given —
+        commit the cache at :meth:`~repro.exec.execution.FrameExecution.
+        finish`, tagged with the frame index so memoised temporal hit
+        masks stay keyed to the resident set they were computed against.
+        """
         if not 0 <= frame < sequence.num_frames:
             raise SimulationError(
                 f"frame {frame} out of range for a "
@@ -512,20 +492,16 @@ class ASDRAccelerator:
             )
         trace = sequence.frames[frame]
         if sequence.replays[frame] is not None:
-            return self.simulate_scanout(trace)
-        report = self.simulate_trace(
+            return FrameExecution(self, trace, scanout=True)
+        return FrameExecution(
+            self,
             trace,
             group_size=group_size,
             temporal=temporal,
             memo_scope=_SequenceMemoScope(sequence, frame),
+            wavefront_log=wavefront_log,
+            commit_tag=frame,
         )
-        if temporal is not None:
-            # Tag the committed working set with its frame so memoised
-            # temporal hit masks are keyed by which resident set they were
-            # computed against — a serving schedule that skips a frame the
-            # alone run executed must not inherit the alone run's masks.
-            temporal.commit_frame(tag=frame)
-        return report
 
     def simulate_scanout(self, trace: FrameTrace) -> SimReport:
         """Price a frame whose pixels already exist: no engine work, only

@@ -120,8 +120,43 @@ class TemporalVertexCache:
         self.capacity_per_level = capacity_per_level
         self._resident: Dict[int, np.ndarray] = {}
         self._resident_tag = None
+        # Identity of the resident *content*, folded into memoised hit-mask
+        # keys: the committing frame's tag and the bound it was trimmed to,
+        # extended by every later trim.  Two caches (or two runs over one
+        # shared trace memo) share a mask only when these histories — and
+        # therefore the resident sets — coincide; a mere per-instance
+        # counter could not guarantee that across serve() runs.
+        self._resident_key: tuple = ()
         self._pending: Dict[int, list] = {}
         self.stats: Dict[int, CacheStats] = {}
+
+    def resize(self, capacity_per_level: Optional[int]) -> None:
+        """Change the per-level bound in place (elastic re-partitioning).
+
+        Shrinking trims every resident set to the new bound with the same
+        keep-the-lowest-addresses policy :meth:`commit_frame` uses, so a
+        resident set is always a prefix of what a larger bound would hold
+        (losing capacity can only lose hits, never invent them); growing
+        keeps resident sets untouched.  A resize that truncates resident
+        content extends the resident-content key, so memoised hit masks
+        computed against the pre-trim set are never served afterwards —
+        even if the same nominal capacity recurs, and even from another
+        cache instance sharing the trace memo.
+        """
+        if capacity_per_level is not None and capacity_per_level <= 0:
+            raise ConfigurationError("capacity_per_level must be positive")
+        if capacity_per_level == self.capacity_per_level:
+            return
+        self.capacity_per_level = capacity_per_level
+        if capacity_per_level is None:
+            return
+        trimmed = False
+        for level, resident in self._resident.items():
+            if resident.size > capacity_per_level:
+                self._resident[level] = resident[:capacity_per_level]
+                trimmed = True
+        if trimmed:
+            self._resident_key += (("trim", capacity_per_level),)
 
     def lookup(
         self, stream: np.ndarray, level: int, memo=None, stream_key=()
@@ -146,8 +181,7 @@ class TemporalVertexCache:
             compute = lambda: np.isin(stream, resident)  # noqa: E731
             if memo is not None:
                 hits = memo(
-                    ("temporal", level, self.capacity_per_level,
-                     self._resident_tag)
+                    ("temporal", level, self._resident_key)
                     + tuple(stream_key),
                     compute,
                 )
@@ -169,11 +203,12 @@ class TemporalVertexCache:
 
         Args:
             tag: Hashable identity of the committed set (e.g. the frame
-                index that produced it); becomes part of memoised hit-mask
-                keys so masks are never reused across different resident
-                sets.
+                index that produced it); together with the bound the set
+                was trimmed to it becomes part of memoised hit-mask keys,
+                so masks are never reused across different resident sets.
         """
         self._resident_tag = tag
+        self._resident_key = (("commit", tag, self.capacity_per_level),)
         resident: Dict[int, np.ndarray] = {}
         for level, chunks in self._pending.items():
             merged = np.unique(np.concatenate(chunks)) if chunks else np.empty(0)

@@ -123,13 +123,42 @@ def _cmd_video(args) -> int:
     return 0
 
 
+def _serve_policy_set(args) -> Optional[tuple]:
+    """Resolve the ``--policy`` / ``--preemptive`` combination into the
+    policy names to run (``None`` = invalid combination, reported)."""
+    from repro.serving.policies import POLICY_NAMES
+
+    if args.policy == "all":
+        # --preemptive compares each preemptible policy with its
+        # wavefront-granularity variant side by side.
+        if args.preemptive:
+            return (
+                "round_robin",
+                "round_robin_preemptive",
+                "deadline",
+                "deadline_preemptive",
+            )
+        return POLICY_NAMES
+    name = args.policy
+    if args.preemptive and name in ("round_robin", "deadline"):
+        name += "_preemptive"
+    if args.preemptive and name == "fifo":
+        print("fifo serves requests to completion; it has no preemptive "
+              "variant (try --policy round_robin or deadline)",
+              file=sys.stderr)
+        return None
+    return (name,)
+
+
 def _cmd_serve(args) -> int:
+    import json
+
     from repro.experiments.harness import format_table
     from repro.experiments.serving import (
         default_client_mix,
         serve_reports,
     )
-    from repro.serving.policies import POLICY_NAMES
+    from repro.serving.report import bench_summary
 
     if args.scene not in scene_names():
         print(f"unknown scene {args.scene!r}; see `python -m repro scenes`",
@@ -138,7 +167,19 @@ def _cmd_serve(args) -> int:
     if args.clients < 1:
         print("--clients must be >= 1", file=sys.stderr)
         return 2
-    policies = POLICY_NAMES if args.policy == "all" else (args.policy,)
+    if args.quantum is not None and args.quantum < 1:
+        print("--quantum must be >= 1 wavefront step", file=sys.stderr)
+        return 2
+    policies = _serve_policy_set(args)
+    if policies is None:
+        return 2
+    if args.quantum is not None and not any(
+        p.endswith("_preemptive") for p in policies
+    ):
+        print("--quantum only applies to preemptive policies; add "
+              "--preemptive or pick a *_preemptive --policy",
+              file=sys.stderr)
+        return 2
     requests = default_client_mix(
         scene=args.scene,
         clients=args.clients,
@@ -152,6 +193,7 @@ def _cmd_serve(args) -> int:
         policies=policies,
         temporal_capacity=args.temporal_capacity,
         shared_content=not args.no_shared_content,
+        quantum=args.quantum,
     )
     print(f"== serve: {args.clients} clients on {args.scene}, "
           f"{args.frames}x{args.size}x{args.size} ({args.scale}) ==")
@@ -159,13 +201,24 @@ def _cmd_serve(args) -> int:
     print(format_table(rows))
     for policy in policies:
         rep = reports[policy]
+        preempt = (
+            f"; {rep.context_switches} context switches (quantum "
+            f"{rep.quantum} wavefronts)"
+            if rep.quantum is not None
+            else ""
+        )
         print(
             f"\n{policy}: {rep.busy_cycles / 1e3:.1f} kcycles aggregate vs "
             f"{rep.back_to_back_cycles / 1e3:.1f} back-to-back "
             f"({100.0 * rep.sharing_saving:.1f}% saved by sharing); "
             f"fairness {rep.fairness:.3f}, "
-            f"throughput {rep.throughput_fps:.1f} fps"
+            f"throughput {rep.throughput_fps:.1f} fps{preempt}"
         )
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(bench_summary(reports), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -245,7 +298,9 @@ examples:
   repro serve                               # 3 clients on palace (default)
   repro serve lego --clients 5 --frames 6
   repro serve palace --policy round_robin   # one policy only
+  repro serve palace --preemptive --quantum 4   # wavefront preemption
   repro serve palace --no-shared-content    # price every client as unique
+  repro serve lego --json BENCH_serving.json    # machine-readable report
 """,
     )
     p_serve.add_argument("scene", nargs="?", default="palace")
@@ -255,17 +310,29 @@ examples:
                          help="frames per client sequence (default 4)")
     p_serve.add_argument("--size", type=int, default=16,
                          help="square frame resolution (default 16)")
-    from repro.serving.policies import POLICY_NAMES
+    from repro.serving.policies import ALL_POLICY_NAMES
 
-    p_serve.add_argument("--policy", choices=("all", *POLICY_NAMES),
+    p_serve.add_argument("--policy", choices=("all", *ALL_POLICY_NAMES),
                          default="all", help="scheduling policy to run")
+    p_serve.add_argument("--preemptive", action="store_true",
+                         help="wavefront-granularity preemption: run the "
+                              "preemptive policy variants (with --policy "
+                              "all, each next to its frame-atomic twin)")
+    p_serve.add_argument("--quantum", type=int, default=None,
+                         help="preemption quantum in wavefront steps "
+                              "(default 4; preemptive policies only)")
     p_serve.add_argument("--temporal-capacity", type=int, default=None,
                          help="combined temporal vertex-cache budget, "
-                              "partitioned among clients (default unbounded)")
+                              "elastically partitioned among the tenants "
+                              "present (default unbounded)")
     p_serve.add_argument("--no-shared-content", action="store_true",
                          help="disable cross-client content replay")
     p_serve.add_argument("--scale", choices=("server", "edge"),
                          default="server", help="accelerator design point")
+    p_serve.add_argument("--json", metavar="PATH", default=None,
+                         help="also write a machine-readable summary "
+                              "(p50/p95, throughput, context switches) to "
+                              "PATH")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")

@@ -30,6 +30,7 @@ renderer, the trace generator and the simulator all share, plus those
 frame-granularity serving primitives.
 """
 
+from repro.exec.execution import FrameExecution, sequence_executions
 from repro.exec.frame_trace import (
     PHASE_MAIN,
     PHASE_PROBE,
@@ -57,8 +58,10 @@ from repro.exec.sequence import (
 )
 
 __all__ = [
+    "FrameExecution",
     "PHASE_MAIN",
     "PHASE_PROBE",
+    "sequence_executions",
     "WORK_PROBE",
     "WORK_REPLAY",
     "WORK_REUSE",

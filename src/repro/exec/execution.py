@@ -1,0 +1,329 @@
+"""The resumable execution engine: frames as cursors over wavefront steps.
+
+:class:`FrameExecution` is the execution unit behind every simulation
+entry point of :class:`~repro.arch.accelerator.ASDRAccelerator`.  Where
+the pre-refactor simulator walked a frame's wavefronts in one opaque
+loop, a ``FrameExecution`` is a *cursor* over that loop: each
+:meth:`~FrameExecution.step` prices exactly one budget-group wavefront
+slice (re-chunked to the design's ``wavefront_rays``; the Phase I
+adaptive-sampling tail is the final step), accumulating into a partial
+:class:`~repro.arch.accelerator.SimReport` and carrying the frame's
+engine state (encoding engine, buffer model, temporal-cache handle)
+between steps.
+
+Because each frame owns its engines and the step order is exactly the
+order the monolithic loop used, an execution can be **suspended after any
+step and resumed later — even with other frames' wavefronts executed in
+between — and still produce bit-identical cycles and energy** to an
+uninterrupted run (pinned by the golden test in
+``tests/test_execution.py``).  That property is what makes
+wavefront-granularity preemption in the serving layer
+(:class:`~repro.serving.server.SequenceServer`) free of pricing
+artefacts: the interleaved total always equals the sum of per-client
+service cycles.
+
+Lifecycle::
+
+    ex = accelerator.frame_execution(sequence, k, temporal=cache)
+    while not ex.done:
+        charged = ex.run(max_steps=quantum)   # suspend point
+    report = ex.finish()                      # bus + energy + cache commit
+
+``finish()`` finalises the frame exactly once: RGB scan-out bus traffic,
+energy for the accumulated busy time, and — for sequence frames — the
+temporal vertex-cache commit at the frame boundary.  A client departing
+mid-frame calls :meth:`~FrameExecution.abandon` instead, which charges
+energy for the work actually executed but never commits the cache and
+never bills the (undelivered) scan-out.
+
+Frames recorded as pose replays execute in *scan-out mode*: a single
+step charging the framebuffer scan-out, identical to
+:meth:`~repro.arch.accelerator.ASDRAccelerator.simulate_scanout`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.accelerator import ASDRAccelerator, SimReport
+
+
+#: Sentinel distinguishing "commit with tag None" from "do not commit".
+_NO_COMMIT = object()
+
+
+class FrameExecution:
+    """Cursor-style execution of one frame on one accelerator design.
+
+    Do not construct directly — use
+    :meth:`~repro.arch.accelerator.ASDRAccelerator.frame_execution` (for
+    sequence frames) or
+    :meth:`~repro.arch.accelerator.ASDRAccelerator.trace_execution` (for
+    bare frame traces).  The constructor mirrors the keyword surface of
+    the old ``simulate_trace``; every override keeps its exact meaning.
+
+    Attributes:
+        trace: The frame's :class:`~repro.exec.frame_trace.FrameTrace`.
+        report: The partial :class:`~repro.arch.accelerator.SimReport`
+            accumulated so far (finalised by :meth:`finish`).
+    """
+
+    def __init__(
+        self,
+        accelerator: "ASDRAccelerator",
+        trace,
+        *,
+        group_size: Optional[int] = None,
+        color_fraction: Optional[float] = None,
+        difficulty_evals: Optional[int] = None,
+        rendered_pixels: Optional[int] = None,
+        temporal=None,
+        memo_scope=None,
+        wavefront_log: Optional[List[Tuple[Tuple, int]]] = None,
+        scanout: bool = False,
+        commit_tag=_NO_COMMIT,
+    ) -> None:
+        # Engines and batch types live under repro.arch, which imports this
+        # module back through the accelerator; resolve them lazily so the
+        # two layers can load in either order.
+        from repro.arch.buffers import BufferModel, default_buffers
+        from repro.arch.encoding_engine import EncodingEngine
+        from repro.exec.frame_trace import FrameTrace
+
+        if not isinstance(trace, FrameTrace):
+            raise SimulationError(
+                f"simulate_trace expects a FrameTrace, got {type(trace).__name__}"
+            )
+        self.accelerator = accelerator
+        self.trace = trace
+        self.report: "SimReport" = accelerator._new_report()
+        self._temporal = temporal
+        self._commit_tag = commit_tag
+        self._wavefront_log = wavefront_log
+        self._rendered_pixels = rendered_pixels
+        self._scanout = scanout
+        self._cursor = 0
+        self._points_done = 0
+        self._finalised = False
+
+        if scanout:
+            self._slices: List = []
+            self._total_points = 0
+            self._evals = 0
+            self._steps_total = 1
+            return
+
+        config = accelerator.config
+        self._memo_scope = trace if memo_scope is None else memo_scope
+        self._color_fraction = color_fraction
+        self._encoding_engine = EncodingEngine(config, accelerator.grid)
+        scale = "edge" if "edge" in config.name else "server"
+        self._buffers = BufferModel(default_buffers(scale))
+        self._resolutions = [int(r) for r in accelerator.grid.level_resolutions]
+        self._color_used = accelerator._effective_color_used(trace, group_size)
+        # Empty slices charge nothing in any consumer; dropping them up
+        # front keeps `step` meaningful (every step prices real work).
+        self._slices = [
+            sl for sl in trace.split(config.wavefront_rays) if sl.num_points > 0
+        ]
+        self._total_points = sum(sl.num_points for sl in self._slices)
+        self._evals = (
+            trace.difficulty_evals if difficulty_evals is None else difficulty_evals
+        )
+        self._steps_total = len(self._slices) + (1 if self._evals else 0)
+
+    # ------------------------------------------------------------------
+    # Cursor state
+    # ------------------------------------------------------------------
+    @property
+    def steps_total(self) -> int:
+        """Wavefront steps this frame comprises (adaptive tail included)."""
+        return self._steps_total
+
+    @property
+    def steps_done(self) -> int:
+        return self._cursor
+
+    @property
+    def done(self) -> bool:
+        """All steps executed (the frame still needs :meth:`finish`)."""
+        return self._cursor >= self._steps_total
+
+    @property
+    def service_cycles(self) -> int:
+        """Cycles charged so far — the partial frame's accelerator time."""
+        return self.report.total_cycles
+
+    @property
+    def points_done(self) -> int:
+        """Density-MLP points executed so far (cost-model feedback)."""
+        return self._points_done
+
+    @property
+    def remaining_points(self) -> int:
+        """Density-MLP points the remaining steps will execute — the
+        scheduler's remaining-work signal for preemption-aware estimates
+        (queried every scheduling decision, so it must stay O(1))."""
+        return self._total_points - self._points_done
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """Execute the next wavefront step; returns the cycles it charged.
+
+        Raises:
+            SimulationError: When the execution already completed.
+        """
+        if self.done:
+            raise SimulationError("FrameExecution already ran to completion")
+        if self._scanout:
+            charge = self._scanout_cycles()
+        elif self._cursor < len(self._slices):
+            charge = self._wavefront_step(self._slices[self._cursor])
+        else:
+            charge = self._adaptive_tail_step()
+        self._cursor += 1
+        self.report.total_cycles += charge
+        return charge
+
+    def run(self, max_steps: Optional[int] = None) -> int:
+        """Execute up to ``max_steps`` steps (all remaining when ``None``);
+        returns the cycles charged.  This is the preemption quantum: the
+        serving event loop calls ``run(quantum)`` and may hand the
+        accelerator to another client before calling it again."""
+        charged = 0
+        steps = self._steps_total - self._cursor
+        if max_steps is not None:
+            if max_steps <= 0:
+                raise SimulationError("max_steps must be positive")
+            steps = min(steps, max_steps)
+        for _ in range(steps):
+            charged += self.step()
+        return charged
+
+    def _wavefront_step(self, sl) -> int:
+        from repro.arch.trace import EncodingBatch
+
+        num_points = sl.num_points
+        corners = {
+            level: sl.corners(self._resolutions[level])
+            for level in range(self.accelerator.grid.num_levels)
+        }
+        batch = EncodingBatch(
+            corners=corners,
+            point_ray=sl.point_ray(),
+            num_points=num_points,
+            memo=self._memo_scope.memo_hook(
+                (sl.index, sl.points.start, sl.points.stop)
+            ),
+        )
+        enc = self._encoding_engine.process_batch(batch, temporal=self._temporal)
+        if self._color_fraction is not None:
+            color_points = math.ceil(num_points * self._color_fraction)
+        else:
+            color_points = int(self._color_used[sl.index][sl.rays].sum())
+        mlp = self.accelerator.mlp_engine.process(num_points, color_points)
+        ren = self.accelerator.render_engine.process(
+            composited_points=num_points,
+            interpolated_points=num_points - color_points,
+        )
+        stall = self._buffers.observe_wavefront(
+            in_flight_points=min(num_points, self.accelerator.config.wavefront_rays),
+            levels=self.accelerator.grid.num_levels,
+            ray_working_points=num_points,
+        )
+        self.report.encoding.merge(enc)
+        self.report.mlp.merge(mlp)
+        self.report.render.merge(ren)
+        self.report.buffer_stall_cycles += stall
+        charge = max(enc.cycles, mlp.cycles, ren.cycles) + stall
+        if self._wavefront_log is not None:
+            self._wavefront_log.append(
+                (("wavefront", sl.index, sl.rays.start, sl.rays.stop), charge)
+            )
+        self._points_done += num_points
+        return charge
+
+    def _adaptive_tail_step(self) -> int:
+        # The adaptive sampling unit compares candidate renders at the
+        # tail of Phase I (it cannot overlap the batches that produce its
+        # inputs' final samples).
+        ren = self.accelerator.render_engine.process(0, 0, self._evals)
+        self.report.render.merge(ren)
+        if self._wavefront_log is not None:
+            self._wavefront_log.append((("adaptive_tail",), ren.cycles))
+        return ren.cycles
+
+    def _scanout_cycles(self) -> int:
+        from repro.arch.bus import BusTraffic, bus_cycles
+
+        pixels = (
+            self.trace.rendered_pixels
+            if self._rendered_pixels is None
+            else self._rendered_pixels
+        )
+        return bus_cycles(BusTraffic(pixels=pixels))
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def finish(self) -> "SimReport":
+        """Run any remaining steps, then finalise the frame exactly once:
+        bus traffic, energy for the accumulated busy time and — when this
+        execution was created for a sequence frame — the temporal
+        vertex-cache commit at the frame boundary."""
+        if self._finalised:
+            raise SimulationError("FrameExecution already finalised")
+        self.run()
+        self._finalised = True
+        if self._scanout:
+            self.report.bus_cycles = self.report.total_cycles
+        else:
+            self.report.bus_cycles = self._scanout_cycles()
+        self.accelerator._charge_energy(self.report)
+        if (
+            not self._scanout
+            and self._temporal is not None
+            and self._commit_tag is not _NO_COMMIT
+        ):
+            # Tag the committed working set with its frame so memoised
+            # temporal hit masks are keyed by which resident set they were
+            # computed against — a serving schedule that skips a frame the
+            # alone run executed must not inherit the alone run's masks.
+            self._temporal.commit_frame(tag=self._commit_tag)
+        return self.report
+
+    def abandon(self) -> "SimReport":
+        """Finalise a suspended execution whose client departed: charge
+        energy for the work actually executed, but never bill the
+        (undelivered) scan-out and never commit the temporal cache — the
+        frame boundary was never reached."""
+        if self._finalised:
+            raise SimulationError("FrameExecution already finalised")
+        self._finalised = True
+        self.accelerator._charge_energy(self.report)
+        return self.report
+
+
+def sequence_executions(
+    accelerator: "ASDRAccelerator",
+    sequence,
+    group_size: Optional[int] = None,
+    temporal=None,
+):
+    """Yield one :class:`FrameExecution` per frame of ``sequence`` in path
+    order — the generator behind
+    :meth:`~repro.arch.accelerator.ASDRAccelerator.simulate_sequence`.
+    Each execution must be finished before the next frame's lookups are
+    meaningful (the temporal cache commits at frame boundaries)."""
+    for frame in range(sequence.num_frames):
+        yield accelerator.frame_execution(
+            sequence, frame, group_size=group_size, temporal=temporal
+        )

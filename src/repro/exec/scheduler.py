@@ -15,14 +15,17 @@ Two granularities live here:
   of one client's :class:`~repro.exec.sequence.SequenceTrace`, described
   by a :class:`FrameWorkItem` (execution mode + cost hint, so policies can
   tell a cheap pose-replay from an expensive Phase I probe without
-  simulating anything).  :class:`TemporalCachePartitions` splits one
+  simulating anything — plus the suspend/resume state of an in-flight
+  :class:`~repro.exec.execution.FrameExecution` under wavefront-
+  granularity preemption).  :class:`TemporalCachePartitions` splits one
   temporal vertex-cache budget among the tenants so one client's working
-  set never evicts another's.
+  set never evicts another's, and re-partitions elastically as tenants
+  arrive and depart.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -103,9 +106,18 @@ WORK_REUSE = "reuse"
 WORK_PROBE = "probe"
 
 
-@dataclass(frozen=True)
+@dataclass
 class FrameWorkItem:
     """One frame of one client's sequence — the serving scheduling unit.
+
+    The identity fields (``client`` / ``frame`` / ``mode`` /
+    ``cost_hint``) describe the frame; the remaining fields are the
+    *suspend/resume state* a preemptive serving run accumulates: the
+    in-flight :class:`~repro.exec.execution.FrameExecution` cursor, the
+    cycle its first wavefront ran, service cycles charged so far and how
+    often the frame was set aside for another tenant.  Runtime state is
+    per serving run — schedulers take a :meth:`fresh` copy so one
+    submitted sequence can be served under many policies.
 
     Attributes:
         client: Tenant identifier the frame belongs to.
@@ -118,12 +130,41 @@ class FrameWorkItem:
         cost_hint: Density-MLP points the frame will execute (0 for
             replays).  Policies multiply it by a calibrated
             cycles-per-point estimate; it is *not* a cycle count itself.
+        execution: In-flight execution cursor (``None`` until the frame's
+            first wavefront runs; cleared state means not started).
+        start_cycle: Virtual-clock cycle the first wavefront ran at
+            (``-1`` = not started).
+        service_cycles: Accelerator cycles charged to this frame so far.
+        preemptions: Times this frame was suspended with work remaining
+            while another tenant's wavefronts ran.
     """
 
     client: str
     frame: int
     mode: str
     cost_hint: int
+    execution: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+    start_cycle: int = field(default=-1, compare=False)
+    service_cycles: int = field(default=0, compare=False)
+    preemptions: int = field(default=0, compare=False)
+
+    @property
+    def started(self) -> bool:
+        """True once the frame's first wavefront has executed."""
+        return self.execution is not None
+
+    @property
+    def in_flight(self) -> bool:
+        """Started but not yet complete — the suspend/resume window."""
+        return self.execution is not None and not self.execution.done
+
+    def fresh(self) -> "FrameWorkItem":
+        """A copy with pristine runtime state (one per serving run)."""
+        return replace(
+            self, execution=None, start_cycle=-1, service_cycles=0, preemptions=0
+        )
 
 
 def sequence_work_items(client: str, trace) -> List[FrameWorkItem]:
@@ -147,24 +188,35 @@ def sequence_work_items(client: str, trace) -> List[FrameWorkItem]:
 
 
 class TemporalCachePartitions:
-    """Per-tenant partitions of one temporal vertex-cache budget.
+    """Elastic per-tenant partitions of one temporal vertex-cache budget.
 
     Interleaving many clients on one accelerator must not let client A's
     voxel working set evict client B's between B's consecutive frames, so
-    the serving layer statically partitions the temporal cache: each
-    tenant owns a private :class:`~repro.cim.cache.TemporalVertexCache`
-    holding ``total_capacity // num_tenants`` entries per level (unbounded
-    when ``total_capacity`` is ``None``).  Private partitions make a
-    client's temporal state independent of how tenants interleave; with
-    an unbounded budget each partition equals the cache the client would
+    the serving layer partitions the temporal cache: each tenant owns a
+    private :class:`~repro.cim.cache.TemporalVertexCache` holding
+    ``total_capacity // num_tenants`` entries per level (unbounded when
+    ``total_capacity`` is ``None``).  Private partitions make a client's
+    temporal state independent of how tenants interleave; with an
+    unbounded budget each partition equals the cache the client would
     have running alone, so serving prices its frames identically to a
     solo run.  A bounded budget deliberately models contention — each
     tenant's share is smaller than the whole cache, and reuse may drop
     accordingly.
 
+    The partitioning is **elastic**: :meth:`admit` and :meth:`release`
+    change the tenant set mid-run (online admission, client departure)
+    and re-split the budget among the tenants now present.  Shrinking a
+    surviving tenant's share trims its resident set to the new bound;
+    growing it never invents entries.  Conservation holds throughout —
+    the shares always sum to at most ``total_capacity`` — and a resize
+    that trims resident content extends the cache's resident-content
+    key, so hit masks memoised against an earlier share are never served
+    against the re-partitioned resident set (see
+    :meth:`~repro.cim.cache.TemporalVertexCache.resize`).
+
     Args:
-        tenants: The tenant ids sharing the budget (fixed up front — a
-            serving run knows its admitted clients).
+        tenants: Tenant ids present at construction (may be empty — a
+            serving run admits clients as they arrive).
         total_capacity: Combined per-level entry budget (``None`` =
             unbounded, the idealised buffer the video experiment uses).
     """
@@ -175,19 +227,67 @@ class TemporalCachePartitions:
         tenants = list(tenants)
         if len(set(tenants)) != len(tenants):
             raise ConfigurationError("tenant ids must be unique")
-        if total_capacity is not None:
-            if total_capacity < len(tenants):
-                raise ConfigurationError(
-                    f"total_capacity {total_capacity} cannot be split among "
-                    f"{len(tenants)} tenants"
-                )
-            share: Optional[int] = total_capacity // len(tenants) if tenants else None
-        else:
-            share = None
+        self.total_capacity = total_capacity
+        self.per_tenant_capacity: Optional[int] = None
+        self._caches: Dict[str, TemporalVertexCache] = {}
+        for tenant in tenants:
+            self.admit(tenant)
+
+    def _rebalance(self) -> None:
+        """Re-split the budget evenly among the tenants now present."""
+        if self.total_capacity is None or not self._caches:
+            self.per_tenant_capacity = None
+            return
+        if self.total_capacity < len(self._caches):
+            raise ConfigurationError(
+                f"total_capacity {self.total_capacity} cannot be split among "
+                f"{len(self._caches)} tenants"
+            )
+        share = self.total_capacity // len(self._caches)
         self.per_tenant_capacity = share
-        self._caches: Dict[str, TemporalVertexCache] = {
-            tenant: TemporalVertexCache(share) for tenant in tenants
-        }
+        for cache in self._caches.values():
+            cache.resize(share)
+
+    def admit(self, tenant: str) -> TemporalVertexCache:
+        """Add a tenant mid-run; every partition shrinks to the new share.
+
+        Returns the new tenant's (empty) partition.
+
+        Raises:
+            ConfigurationError: On a duplicate tenant id, or when the
+                budget cannot cover one more tenant.
+        """
+        if tenant in self._caches:
+            raise ConfigurationError(f"tenant {tenant!r} already admitted")
+        if (
+            self.total_capacity is not None
+            and self.total_capacity < len(self._caches) + 1
+        ):
+            raise ConfigurationError(
+                f"total_capacity {self.total_capacity} cannot be split among "
+                f"{len(self._caches) + 1} tenants"
+            )
+        # Insert with the current share (rebalance below tightens it), so
+        # the new cache is constructed under a valid bound.
+        self._caches[tenant] = TemporalVertexCache(self.per_tenant_capacity)
+        self._rebalance()
+        return self._caches[tenant]
+
+    def release(self, tenant: str) -> TemporalVertexCache:
+        """Remove a departing tenant; survivors inherit its budget share.
+
+        Returns the released partition (its owner may still hold a
+        suspended execution draining against it — the partition object
+        stays valid, it just no longer counts against the budget).
+        """
+        try:
+            cache = self._caches.pop(tenant)
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown tenant {tenant!r}; cannot release"
+            ) from None
+        self._rebalance()
+        return cache
 
     def cache_for(self, tenant: str) -> TemporalVertexCache:
         """The tenant's private temporal cache partition."""
@@ -195,8 +295,7 @@ class TemporalCachePartitions:
             return self._caches[tenant]
         except KeyError:
             raise ConfigurationError(
-                f"unknown tenant {tenant!r}; partitions are fixed at "
-                "construction"
+                f"unknown tenant {tenant!r}; admit it first"
             ) from None
 
     @property

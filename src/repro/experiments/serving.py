@@ -19,7 +19,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.harness import register
 from repro.experiments.workbench import Workbench, experiment_accelerator
 from repro.scenes.cameras import camera_path
-from repro.serving.policies import POLICY_NAMES
+from repro.serving.policies import (
+    ALL_POLICY_NAMES,
+    POLICY_NAMES,
+    PREEMPTIVE_POLICY_NAMES,
+    make_policy,
+)
 from repro.serving.report import ServeReport
 from repro.serving.request import ClientRequest
 from repro.serving.server import SequenceServer
@@ -73,11 +78,13 @@ def serve_reports(
     group_size: Optional[int] = None,
     temporal_capacity: Optional[int] = None,
     shared_content: bool = True,
+    quantum: Optional[int] = None,
 ) -> Dict[str, ServeReport]:
     """``{policy: ServeReport}`` for one client mix (the benchmark's entry
     point).  One server runs every policy — ``serve`` is re-entrant — so
     the policies share the memoised client traces *and* the per-client
-    alone-cycles references."""
+    alone-cycles references.  ``quantum`` (wavefront steps) applies to
+    the preemptive policies only; non-preemptive frames stay atomic."""
     requests = list(requests) if requests is not None else default_client_mix()
     group = wb.group_size() if group_size is None else group_size
     server = SequenceServer(
@@ -88,7 +95,15 @@ def serve_reports(
     )
     for request in requests:
         server.submit(request, wb.client_sequence(request))
-    return {policy: server.serve(policy) for policy in policies}
+    return {
+        policy: server.serve(
+            make_policy(
+                policy,
+                quantum=quantum if policy in PREEMPTIVE_POLICY_NAMES else None,
+            )
+        )
+        for policy in policies
+    }
 
 
 def serving_rows(
@@ -98,6 +113,7 @@ def serving_rows(
     policies: Sequence[str] = POLICY_NAMES,
     temporal_capacity: Optional[int] = None,
     shared_content: bool = True,
+    quantum: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Policy-comparison table: per-client rows plus one aggregate row
     per policy (fairness, throughput, busy vs back-to-back cycles)."""
@@ -108,6 +124,7 @@ def serving_rows(
         policies=policies,
         temporal_capacity=temporal_capacity,
         shared_content=shared_content,
+        quantum=quantum,
     )
     rows: List[Dict[str, object]] = []
     for policy in policies:
@@ -118,5 +135,7 @@ def serving_rows(
 @register("serve", "Multi-tenant serving: scheduling policies vs back-to-back")
 def serve_experiment(wb: Workbench) -> List[Dict[str, object]]:
     """The acceptance-scale configuration: three clients (orbit, shake and
-    an orbit twin) on palace at 16x16, all three policies."""
-    return serving_rows(wb)
+    an orbit twin) on palace at 16x16, every policy — the three
+    frame-atomic ones plus the two wavefront-granularity preemptive
+    variants (default quantum)."""
+    return serving_rows(wb, policies=ALL_POLICY_NAMES)

@@ -3,33 +3,45 @@
 The serving layer turns the single-sequence video stack into a shared
 service: N concurrent clients each request a scene, a camera trajectory
 and a quality target (:class:`~repro.serving.request.ClientRequest`); the
-:class:`~repro.serving.server.SequenceServer` interleaves their per-frame
-work on one :class:`~repro.arch.accelerator.ASDRAccelerator` under a
-scheduling policy (FIFO, round-robin fair share, or deadline/quality
-aware) and reports per-client latency percentiles, aggregate throughput
-and fairness against running the clients back-to-back.  The dataflow is::
+:class:`~repro.serving.server.SequenceServer` interleaves their work on
+one :class:`~repro.arch.accelerator.ASDRAccelerator` under a scheduling
+policy — frame-atomic (FIFO, round-robin fair share, deadline-aware
+earliest-slack-first) or wavefront-granularity preemptive (quantum-based
+round-robin and preemptive ESF, riding the resumable
+:class:`~repro.exec.execution.FrameExecution` engine) — and reports
+per-client latency percentiles, aggregate throughput, fairness and
+context switches against running the clients back-to-back.  Clients may
+arrive and depart mid-run; the temporal-cache budget re-partitions
+elastically as the tenant set changes.  The dataflow is::
 
-    ClientRequest (scene, CameraPath, quality target)
+    ClientRequest (scene, CameraPath, quality target, arrival/departure)
         └─ Workbench.client_sequence  (memoised SequenceRender per client;
            twins share one trace)
             └─ SequenceServer.submit / .serve(policy)
-                ├─ exec.scheduler.FrameWorkItem  (frame-granularity unit)
-                ├─ exec.scheduler.TemporalCachePartitions (per-tenant
-                │    temporal vertex-cache partitions)
-                └─ ASDRAccelerator.simulate_sequence_frame (per-client
-                     cycle/energy attribution)
+                ├─ exec.scheduler.FrameWorkItem  (scheduling unit, carries
+                │    the suspend/resume state of an in-flight frame)
+                ├─ exec.scheduler.TemporalCachePartitions (elastic
+                │    per-tenant temporal vertex-cache partitions)
+                └─ ASDRAccelerator.frame_execution (resumable cursor;
+                     per-client cycle/energy attribution)
                     └─ ServeReport (latency p50/p95, throughput, Jain
-                         fairness, back-to-back comparison)
+                         fairness, preemptions, back-to-back comparison)
 
-``repro serve`` drives it from the command line; the ``serve`` experiment
-prints the policy comparison table.
+``repro serve`` drives it from the command line (``--preemptive
+--quantum N``, ``--json`` for the machine-readable summary); the
+``serve`` experiment prints the policy comparison table.
 """
 
 from repro.serving.policies import (
+    ALL_POLICY_NAMES,
+    DEFAULT_QUANTUM,
     POLICY_NAMES,
+    PREEMPTIVE_POLICY_NAMES,
     DeadlineAwarePolicy,
     FIFOPolicy,
     PendingFrame,
+    PreemptiveDeadlinePolicy,
+    PreemptiveRoundRobinPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
     make_policy,
@@ -38,23 +50,31 @@ from repro.serving.report import (
     ClientServeReport,
     ScheduledFrame,
     ServeReport,
+    bench_summary,
     jain_fairness,
 )
 from repro.serving.request import ClientRequest
-from repro.serving.server import SequenceServer
+from repro.serving.server import SequenceServer, WavefrontCostModel
 
 __all__ = [
+    "ALL_POLICY_NAMES",
+    "DEFAULT_QUANTUM",
     "POLICY_NAMES",
+    "PREEMPTIVE_POLICY_NAMES",
     "ClientRequest",
     "ClientServeReport",
     "DeadlineAwarePolicy",
     "FIFOPolicy",
     "PendingFrame",
+    "PreemptiveDeadlinePolicy",
+    "PreemptiveRoundRobinPolicy",
     "RoundRobinPolicy",
     "ScheduledFrame",
     "SchedulingPolicy",
     "SequenceServer",
     "ServeReport",
+    "WavefrontCostModel",
+    "bench_summary",
     "jain_fairness",
     "make_policy",
 ]

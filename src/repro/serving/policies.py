@@ -1,39 +1,60 @@
 """Scheduling policies for the multi-tenant sequence server.
 
-A policy picks, at every step, which client's *next frame* runs on the
-accelerator.  The candidate set contains one :class:`PendingFrame` per
-ready client (a client's frames execute in path order — the temporal
-vertex cache and sampling-plan reuse both depend on it), and the policy
-returns an index into that list.
+A policy picks, at every scheduling decision, which client's *next frame*
+gets the accelerator.  The candidate set contains one
+:class:`PendingFrame` per ready client (a client's frames execute in path
+order — the temporal vertex cache and sampling-plan reuse both depend on
+it), and the policy returns an index into that list.
 
-Three policies ship:
+Policies come in two families:
 
-* :class:`FIFOPolicy` — serve requests to completion in arrival order;
-  with simultaneous arrivals this is exactly running the clients
-  back-to-back, which makes it the natural fairness baseline.
-* :class:`RoundRobinPolicy` — least-served-first fair share: the ready
-  client with the fewest delivered frames runs next, so delivered frame
-  counts never diverge by more than one among ready clients.
-* :class:`DeadlineAwarePolicy` — earliest-slack-first: schedule the frame
-  whose deadline is closest *after accounting for its estimated cost*.
-  Expensive Phase I probes rise to the front; pose-replay and
-  sampling-plan-reuse frames — cheap by construction, a scan-out or a
-  probe-less render — carry more slack and are deprioritised, which is
-  what lets a quality-aware server absorb an expensive keyframe without
-  missing the cheap frames' deadlines.
+* **Non-preemptive** (``preemptive = False``): a selected frame runs to
+  completion before the next decision.  :class:`FIFOPolicy` serves
+  requests to completion in arrival order (= back-to-back with
+  simultaneous arrivals, the fairness baseline);
+  :class:`RoundRobinPolicy` is least-served-first fair share over
+  delivered frames; :class:`DeadlineAwarePolicy` is earliest-slack-first
+  against per-frame deadlines.
+* **Preemptive** (``preemptive = True``): a selected frame runs for at
+  most ``quantum`` wavefront steps, then the decision is re-taken — the
+  in-flight frame can be suspended (its
+  :class:`~repro.exec.execution.FrameExecution` cursor keeps its engine
+  state) while another client's wavefronts run.
+  :class:`PreemptiveRoundRobinPolicy` equalises *service cycles* rather
+  than frame counts — the natural fair share once frames stop being
+  atomic; :class:`PreemptiveDeadlinePolicy` re-evaluates slack every
+  quantum against the *remaining* cost estimate, so an expensive Phase I
+  probe no longer blocks a cheap replay frame for its whole duration:
+  the replay slots in at the next quantum boundary, which is exactly the
+  p95 win ``benchmarks/test_preemptive_serving.py`` pins.
+
+Every earliest-slack-first variant breaks slack ties deterministically by
+client id (stable lexicographic order), so two frames with identical
+slack always schedule in the same order regardless of submission history.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.exec.scheduler import FrameWorkItem
 
-#: Policy names accepted by :func:`make_policy` (and ``repro serve``).
+#: Non-preemptive policy names (frames are atomic).
 POLICY_NAMES = ("fifo", "round_robin", "deadline")
+
+#: Quantum-based preemptive policy names (wavefront-granularity).
+PREEMPTIVE_POLICY_NAMES = ("round_robin_preemptive", "deadline_preemptive")
+
+#: Every policy name accepted by :func:`make_policy` (and ``repro serve``).
+ALL_POLICY_NAMES = POLICY_NAMES + PREEMPTIVE_POLICY_NAMES
+
+#: Default preemption quantum, in wavefront steps.  Small enough that a
+#: cheap frame waits at most a few wavefronts behind an expensive probe,
+#: large enough that scheduling decisions stay rare next to real work.
+DEFAULT_QUANTUM = 4
 
 
 @dataclass(frozen=True)
@@ -41,16 +62,20 @@ class PendingFrame:
     """One ready client's next frame, as the policies see it.
 
     Attributes:
-        item: The frame work item (mode + cost hint).
-        order: Submission order of the client (the final tie-break, which
-            keeps every policy deterministic under a fixed arrival order).
+        item: The frame work item (mode + cost hint + runtime state).
+        order: Submission order of the client (a deterministic tie-break).
         arrival_cycle: When the client's request arrived.
         completed: Frames already delivered to this client.
         total_frames: Frames in the client's sequence.
-        est_cycles: Server-calibrated cycle estimate for this frame
-            (scan-out cost for replays/content hits; cycles-per-point
-            estimate otherwise).
+        est_cycles: Server-calibrated estimate of the cycles this frame
+            still needs (scan-out cost for replays/content hits; the
+            learned cycles-per-point model otherwise — for an in-flight
+            frame this is the *remaining* work, not the full frame).
         deadline_cycle: Cycle this frame is due (``None`` = best effort).
+        started: True when the frame is in flight (suspended mid-frame).
+        client_service_cycles: Accelerator cycles the client has received
+            so far, delivered and in-flight — what preemptive fair share
+            equalises.
     """
 
     item: FrameWorkItem
@@ -60,12 +85,24 @@ class PendingFrame:
     total_frames: int
     est_cycles: float
     deadline_cycle: Optional[float] = None
+    started: bool = False
+    client_service_cycles: int = 0
 
 
 class SchedulingPolicy(ABC):
-    """Picks the next frame to run from the ready clients' head frames."""
+    """Picks the next frame to run from the ready clients' head frames.
+
+    Attributes:
+        preemptive: When True the server runs the selected frame for at
+            most :attr:`quantum` wavefront steps before the next
+            decision; when False the frame runs to completion.
+        quantum: Preemption quantum in wavefront steps (ignored for
+            non-preemptive policies).
+    """
 
     name: str = "abstract"
+    preemptive: bool = False
+    quantum: Optional[int] = None
 
     @abstractmethod
     def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
@@ -115,6 +152,7 @@ class DeadlineAwarePolicy(SchedulingPolicy):
     produce keeps most of its window as slack, so expensive probes with
     the same deadline preempt it.  Frames with no deadline run only when
     every deadlined frame has more slack than :attr:`best_effort_slack`.
+    Equal slacks break deterministically by client id.
     """
 
     name = "deadline"
@@ -130,20 +168,91 @@ class DeadlineAwarePolicy(SchedulingPolicy):
     def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
         return min(
             range(len(pending)),
-            key=lambda i: (self._slack(pending[i], clock), pending[i].order),
+            key=lambda i: (self._slack(pending[i], clock), pending[i].item.client),
         )
 
 
-def make_policy(name: str) -> SchedulingPolicy:
-    """Build a policy by name (one of :data:`POLICY_NAMES`)."""
-    policies: Tuple[SchedulingPolicy, ...] = (
-        FIFOPolicy(),
-        RoundRobinPolicy(),
-        DeadlineAwarePolicy(),
-    )
-    for policy in policies:
-        if policy.name == name:
-            return policy
-    raise ConfigurationError(
-        f"unknown scheduling policy {name!r}; choose from {POLICY_NAMES}"
-    )
+class PreemptiveRoundRobinPolicy(SchedulingPolicy):
+    """Quantum-based fair share over *service cycles*.
+
+    Every decision hands the next quantum to the ready client that has
+    received the fewest accelerator cycles so far (delivered plus
+    in-flight), so an expensive probe frame advances a few wavefronts at
+    a time while cheaper tenants' frames keep flowing between quanta.
+    Ties break by delivered frames, then arrival, then client id.
+    """
+
+    name = "round_robin_preemptive"
+    preemptive = True
+
+    def __init__(self, quantum: int = DEFAULT_QUANTUM) -> None:
+        if quantum < 1:
+            raise ConfigurationError("quantum must be >= 1 wavefront step")
+        self.quantum = quantum
+
+    def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
+        return min(
+            range(len(pending)),
+            key=lambda i: (
+                pending[i].client_service_cycles,
+                pending[i].completed,
+                pending[i].arrival_cycle,
+                pending[i].item.client,
+            ),
+        )
+
+
+class PreemptiveDeadlinePolicy(DeadlineAwarePolicy):
+    """Earliest-slack-first, re-evaluated every quantum.
+
+    Identical slack arithmetic to :class:`DeadlineAwarePolicy`, but the
+    server re-runs the decision after every ``quantum`` wavefront steps
+    with ``est_cycles`` tracking the in-flight frame's *remaining* work:
+    a frame whose deadline approaches rises to the front mid-way through
+    another client's expensive frame instead of queueing behind it.
+    Equal slacks break deterministically by client id.
+    """
+
+    name = "deadline_preemptive"
+    preemptive = True
+
+    def __init__(
+        self,
+        quantum: int = DEFAULT_QUANTUM,
+        best_effort_slack: float = float("inf"),
+    ) -> None:
+        super().__init__(best_effort_slack=best_effort_slack)
+        if quantum < 1:
+            raise ConfigurationError("quantum must be >= 1 wavefront step")
+        self.quantum = quantum
+
+
+def make_policy(name: str, quantum: Optional[int] = None) -> SchedulingPolicy:
+    """Build a policy by name (one of :data:`ALL_POLICY_NAMES`).
+
+    Args:
+        name: Policy name.
+        quantum: Preemption quantum in wavefront steps for the preemptive
+            policies (``None`` = :data:`DEFAULT_QUANTUM`); rejected for
+            non-preemptive policies, whose frames are atomic.
+    """
+    factories = {
+        "fifo": FIFOPolicy,
+        "round_robin": RoundRobinPolicy,
+        "deadline": DeadlineAwarePolicy,
+        "round_robin_preemptive": PreemptiveRoundRobinPolicy,
+        "deadline_preemptive": PreemptiveDeadlinePolicy,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduling policy {name!r}; choose from {ALL_POLICY_NAMES}"
+        ) from None
+    if quantum is not None:
+        if name not in PREEMPTIVE_POLICY_NAMES:
+            raise ConfigurationError(
+                f"policy {name!r} is non-preemptive; quantum does not apply"
+            )
+        return factory(quantum=quantum)
+    return factory()

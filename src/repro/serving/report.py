@@ -11,12 +11,23 @@ schedule, not wall-clock measurements:
   is a client's serving makespan divided by its cycles running alone on
   the same accelerator (1.0 = every client slowed equally; lower = some
   client paid disproportionately for the sharing).
+
+Preemption-aware accounting: under a preemptive policy a frame's
+``completion_cycle - start_cycle`` spans every suspension, while its
+``cycles`` count only the wavefronts it actually executed — the gap is
+time spent preempted.  The report separates the two: per-frame and
+per-client **preemption counts**, the run's **context switches** (times
+the engines' in-flight frame state was set aside for another tenant) and
+any configured **context-switch overhead cycles**, which are accounted
+next to — never inside — per-client service cycles, so the conservation
+invariant reads ``busy == sum(service)`` and
+``makespan == busy + context_switch_cycles`` when the clock never idles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -47,7 +58,14 @@ class ScheduledFrame:
         cross_replay: True when the frame was served from content another
             client already executed this run (priced at scan-out).
         start_cycle / cycles / completion_cycle: Placement on the
-            accelerator's virtual clock.
+            accelerator's virtual clock.  Under preemption
+            ``completion_cycle - start_cycle`` may exceed ``cycles``: the
+            difference is time the frame sat suspended.
+        preemptions: Times the frame was suspended with work remaining.
+        delivered: False for a frame aborted mid-execution by a client
+            departure — its ``cycles`` still occupied the accelerator
+            (and count toward busy/service totals) but no frame reached
+            the client, so it contributes no latency sample.
     """
 
     client: str
@@ -57,6 +75,8 @@ class ScheduledFrame:
     start_cycle: int
     cycles: int
     completion_cycle: int
+    preemptions: int = 0
+    delivered: bool = True
 
 
 @dataclass
@@ -79,6 +99,11 @@ class ClientServeReport:
             were served from another client's executed content).
         deadline_misses: Frames delivered after their deadline (0 when the
             run had no deadlines).
+        preemptions: Times one of this client's in-flight frames was
+            suspended for another tenant's wavefronts.
+        aborted_frames: Frames cancelled by the client's departure
+            (undelivered; at most one of them — the in-flight frame —
+            contributed service cycles).
     """
 
     client_id: str
@@ -94,6 +119,8 @@ class ClientServeReport:
     replays: int = 0
     cross_replays: int = 0
     deadline_misses: int = 0
+    preemptions: int = 0
+    aborted_frames: int = 0
 
     @property
     def frames(self) -> int:
@@ -137,11 +164,20 @@ class ServeReport:
         clock_hz: Accelerator clock (converts cycles to seconds).
         clients: Per-client reports, in submission order.
         schedule: Executed frames in execution order.
-        makespan_cycles: Final virtual-clock value (busy plus any idle
-            gaps before late arrivals).
+        makespan_cycles: Final virtual-clock value (busy plus context-
+            switch overhead plus any idle gaps before late arrivals).
         back_to_back_cycles: Sum of every client's alone cycles — the
             reference a serving run must beat (or at worst match) to
             justify sharing the accelerator.
+        context_switches: Times the engines' in-flight frame state was
+            set aside for another tenant (0 under non-preemptive
+            policies, whose frames are atomic).
+        context_switch_cycles: Total overhead cycles charged for those
+            switches (the server's ``context_switch_cycles`` each) —
+            accounted separately from per-client service so conservation
+            stays exact.
+        quantum: Preemption quantum in wavefront steps (``None`` for
+            non-preemptive policies).
     """
 
     policy: str
@@ -150,6 +186,9 @@ class ServeReport:
     schedule: List[ScheduledFrame] = field(default_factory=list)
     makespan_cycles: int = 0
     back_to_back_cycles: int = 0
+    context_switches: int = 0
+    context_switch_cycles: int = 0
+    quantum: Optional[int] = None
 
     @property
     def busy_cycles(self) -> int:
@@ -158,8 +197,21 @@ class ServeReport:
         return sum(s.cycles for s in self.schedule)
 
     @property
+    def total_cycles(self) -> int:
+        """Busy cycles plus context-switch overhead — everything the
+        accelerator spent other than idling for arrivals."""
+        return self.busy_cycles + self.context_switch_cycles
+
+    @property
     def total_frames(self) -> int:
         return sum(c.frames for c in self.clients)
+
+    def latency_percentile(self, q: float) -> float:
+        """Percentile over every delivered frame's latency, all clients."""
+        lats = [lat for c in self.clients for lat in c.latencies_cycles]
+        if not lats:
+            return 0.0
+        return float(np.percentile(np.asarray(lats), q))
 
     @property
     def throughput_fps(self) -> float:
@@ -210,13 +262,11 @@ class ServeReport:
                     "p95_ms": c.latency_percentile(95) * ms,
                     "slowdown": c.slowdown,
                     "misses": str(c.deadline_misses),
+                    "preempt": str(c.preemptions),
                     "fairness": "",
                     "fps": "",
                 }
             )
-        all_latencies = [
-            lat for c in self.clients for lat in c.latencies_cycles
-        ]
         rows.append(
             {
                 "policy": self.policy,
@@ -225,18 +275,15 @@ class ServeReport:
                 "modes": f"b2b {self.back_to_back_cycles / 1e3:.0f}kc",
                 "svc_kcycles": self.busy_cycles / 1e3,
                 "makespan_kc": self.makespan_cycles / 1e3,
-                "p50_ms": float(np.percentile(all_latencies, 50)) * ms
-                if all_latencies
-                else 0.0,
-                "p95_ms": float(np.percentile(all_latencies, 95)) * ms
-                if all_latencies
-                else 0.0,
+                "p50_ms": self.latency_percentile(50) * ms,
+                "p95_ms": self.latency_percentile(95) * ms,
                 "slowdown": float(
                     np.mean([c.slowdown for c in self.clients])
                 )
                 if self.clients
                 else 1.0,
                 "misses": str(sum(c.deadline_misses for c in self.clients)),
+                "preempt": f"{self.context_switches}cs",
                 "fairness": f"{self.fairness:.3f}",
                 "fps": f"{self.throughput_fps:.1f}",
             }
@@ -247,12 +294,16 @@ class ServeReport:
         """JSON-style form (used by the determinism test)."""
         return {
             "policy": self.policy,
+            "quantum": self.quantum,
             "makespan_cycles": int(self.makespan_cycles),
             "busy_cycles": int(self.busy_cycles),
             "back_to_back_cycles": int(self.back_to_back_cycles),
+            "context_switches": int(self.context_switches),
+            "context_switch_cycles": int(self.context_switch_cycles),
             "fairness": self.fairness,
             "schedule": [
-                (s.client, s.frame, s.mode, s.cross_replay, s.start_cycle, s.cycles)
+                (s.client, s.frame, s.mode, s.cross_replay, s.start_cycle,
+                 s.cycles, s.preemptions, s.delivered)
                 for s in self.schedule
             ],
             "clients": [
@@ -264,7 +315,51 @@ class ServeReport:
                     "energy_joules": c.energy_joules,
                     "modes": c.mode_mix,
                     "deadline_misses": c.deadline_misses,
+                    "preemptions": c.preemptions,
+                    "aborted_frames": c.aborted_frames,
                 }
                 for c in self.clients
             ],
         }
+
+
+def bench_summary(reports: Dict[str, "ServeReport"]) -> Dict:
+    """Machine-readable serving summary (the ``repro serve --json`` shape,
+    written as ``BENCH_serving.json`` by the CI smoke job).
+
+    One entry per policy with the headline numbers a dashboard or CI
+    check needs — latency percentiles in milliseconds, throughput,
+    fairness, context switches and the back-to-back reference — plus a
+    per-client breakdown.
+    """
+    out: Dict = {"schema": "serving_bench/v1", "policies": {}}
+    for name, report in reports.items():
+        ms = 1e3 / report.clock_hz
+        out["policies"][name] = {
+            "quantum": report.quantum,
+            "p50_ms": report.latency_percentile(50) * ms,
+            "p95_ms": report.latency_percentile(95) * ms,
+            "throughput_fps": report.throughput_fps,
+            "fairness": report.fairness,
+            "context_switches": report.context_switches,
+            "context_switch_cycles": report.context_switch_cycles,
+            "busy_cycles": int(report.busy_cycles),
+            "makespan_cycles": int(report.makespan_cycles),
+            "back_to_back_cycles": int(report.back_to_back_cycles),
+            "sharing_saving": report.sharing_saving,
+            "total_frames": report.total_frames,
+            "clients": {
+                c.client_id: {
+                    "frames": c.frames,
+                    "p50_ms": c.latency_percentile(50) * ms,
+                    "p95_ms": c.latency_percentile(95) * ms,
+                    "service_cycles": int(c.service_cycles),
+                    "slowdown": c.slowdown,
+                    "deadline_misses": c.deadline_misses,
+                    "preemptions": c.preemptions,
+                    "aborted_frames": c.aborted_frames,
+                }
+                for c in report.clients
+            },
+        }
+    return out

@@ -30,6 +30,11 @@ class ClientRequest:
             off), ``n`` re-probes every n-th rendered frame.
         arrival_cycle: Accelerator cycle at which the request arrives
             (``0`` = present at serve start).
+        departure_cycle: Optional cycle at which the client walks away
+            (tab closed, stream stopped): frames not delivered by then
+            are aborted — an in-flight frame is abandoned mid-wavefront
+            and the tenant's temporal-cache budget share is redistributed
+            to the survivors.  ``None`` = stays until served.
         frame_interval_cycles: Optional per-frame deadline cadence: frame
             ``k`` is due at ``arrival_cycle + (k+1) * interval``.  ``None``
             lets the server derive a proportional-share cadence from the
@@ -42,6 +47,7 @@ class ClientRequest:
     path: CameraPath
     probe_interval: int = 0
     arrival_cycle: int = 0
+    departure_cycle: Optional[int] = None
     frame_interval_cycles: Optional[int] = None
     tensorf: bool = False
 
@@ -52,6 +58,13 @@ class ClientRequest:
             raise ConfigurationError("probe_interval must be >= 0")
         if self.arrival_cycle < 0:
             raise ConfigurationError("arrival_cycle must be >= 0")
+        if (
+            self.departure_cycle is not None
+            and self.departure_cycle <= self.arrival_cycle
+        ):
+            raise ConfigurationError(
+                "departure_cycle must come after arrival_cycle"
+            )
         if self.frame_interval_cycles is not None and self.frame_interval_cycles <= 0:
             raise ConfigurationError("frame_interval_cycles must be positive")
 

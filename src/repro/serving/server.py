@@ -3,13 +3,28 @@
 :class:`SequenceServer` admits concurrent :class:`~repro.serving.request.
 ClientRequest`\\ s whose sequences are already rendered (the Workbench
 memoises them — see :meth:`repro.experiments.workbench.Workbench.
-client_sequence`), then interleaves their per-frame work on one
+client_sequence`), then interleaves their work on one
 :class:`~repro.arch.accelerator.ASDRAccelerator` under a scheduling
 policy.  The scheduling unit is the :class:`~repro.exec.scheduler.
 FrameWorkItem` — one frame of one client's
 :class:`~repro.exec.sequence.SequenceTrace` — and a client's frames
 always execute in path order (sampling-plan reuse and the temporal vertex
 cache both depend on it).
+
+:meth:`SequenceServer.serve` is an **event loop over wavefront steps**:
+each selected frame executes through a resumable
+:class:`~repro.exec.execution.FrameExecution` cursor.  Non-preemptive
+policies run the cursor to completion in one go (frame-atomic, the
+pre-refactor behaviour, bit-identical); preemptive policies run at most
+``quantum`` wavefront steps before re-taking the scheduling decision, so
+an expensive Phase I probe no longer blocks cheap replay frames for
+millions of cycles — they slot in at the next quantum boundary.  The
+loop also handles the full tenancy lifecycle on the virtual clock:
+**mid-run admission** (a request's ``arrival_cycle`` may land inside
+another client's frame; the arrival is seen at the next quantum
+boundary), **departure/abort** (``departure_cycle`` cancels undelivered
+frames, abandoning an in-flight cursor) and **elastic re-partitioning**
+of the temporal-cache budget as the tenant set changes.
 
 Sharing levers, strongest first:
 
@@ -23,12 +38,14 @@ Sharing levers, strongest first:
   of the temporal vertex cache
   (:class:`~repro.exec.scheduler.TemporalCachePartitions`), so one
   client's working set never evicts another's, no matter how the policy
-  interleaves tenants.  The interleaved total always equals the sum of
-  per-client service cycles; with the default *unbounded* budget each
-  partition equals the cache a client would have alone, so that total
-  also equals back-to-back exactly when content sharing is off.  A
-  *bounded* budget divides capacity among tenants — real contention —
-  and a client may then pay more than it would alone.
+  interleaves tenants — at frame or at wavefront granularity.  The
+  interleaved total always equals the sum of per-client service cycles
+  (context-switch overhead, when configured, is accounted separately);
+  with the default *unbounded* budget each partition equals the cache a
+  client would have alone, so that total also equals back-to-back exactly
+  when content sharing is off.  A *bounded* budget divides capacity among
+  the tenants *currently present* — real contention — and a client may
+  then pay more than it would alone.
 * **Trace sharing** — clients with identical requests share one memoised
   :class:`~repro.exec.sequence.SequenceTrace` object (the Workbench's
   sequence memo), so serving twins costs no extra rendering or trace
@@ -58,11 +75,69 @@ from repro.serving.policies import PendingFrame, SchedulingPolicy, make_policy
 from repro.serving.report import ClientServeReport, ScheduledFrame, ServeReport
 from repro.serving.request import ClientRequest
 
-#: Cycles-per-density-point prior used before the first fresh frame
-#: calibrates the estimator (the value only shapes pre-calibration
-#: ordering and derived deadlines; every policy is deterministic for any
-#: choice).
+#: Cycles-per-density-point prior used before the first measured wavefront
+#: charges calibrate the cost model (the value only shapes
+#: pre-calibration ordering and derived deadlines; every policy is
+#: deterministic for any choice).
 INITIAL_CYCLES_PER_POINT = 2.0
+
+
+class WavefrontCostModel:
+    """Cycles-per-point estimator learned from measured wavefront charges.
+
+    The scheduler needs cycle estimates before frames run (slack, derived
+    deadlines).  Instead of the old 2-tap EMA over whole-frame averages,
+    this model accumulates the *measured* charges the execution engine
+    reports — every quantum feeds back ``(cycles_charged,
+    points_executed)`` straight from the frame's wavefront accounting, so
+    the estimate converges after the first few wavefronts of the run and
+    keeps sharpening from partially executed frames that the EMA (which
+    only saw completed frames) had to ignore.
+
+    The estimate is the cumulative ratio ``sum(cycles) / sum(points)``;
+    charges with zero points (the Phase I adaptive-sampling tail) still
+    contribute cycles, so fixed per-frame overheads are amortised into
+    the rate rather than silently dropped.
+
+    Example:
+        >>> model = WavefrontCostModel(prior=2.0)
+        >>> model.cycles_per_point
+        2.0
+        >>> model.observe(300, 100)
+        >>> model.observe(100, 100)
+        >>> model.cycles_per_point
+        2.0
+        >>> model.estimate(50)
+        100.0
+    """
+
+    def __init__(self, prior: float = INITIAL_CYCLES_PER_POINT) -> None:
+        if prior <= 0:
+            raise ConfigurationError("prior cycles-per-point must be positive")
+        self._prior = prior
+        self._cycles = 0
+        self._points = 0
+
+    def observe(self, cycles: int, points: int) -> None:
+        """Feed one measured charge (a quantum's or a frame's)."""
+        if cycles < 0 or points < 0:
+            raise ConfigurationError("observed cycles/points must be >= 0")
+        self._cycles += cycles
+        self._points += points
+
+    @property
+    def calibrated(self) -> bool:
+        return self._points > 0
+
+    @property
+    def cycles_per_point(self) -> float:
+        if self._points == 0:
+            return self._prior
+        return self._cycles / self._points
+
+    def estimate(self, points: int) -> float:
+        """Estimated cycles for ``points`` density-MLP points of work."""
+        return points * self.cycles_per_point
 
 
 @dataclass
@@ -90,18 +165,23 @@ class SequenceServer:
             (as in :meth:`~repro.arch.accelerator.ASDRAccelerator.
             simulate_sequence`).
         temporal_capacity: Combined temporal vertex-cache budget,
-            partitioned evenly among admitted tenants (``None`` =
-            unbounded partitions).
+            partitioned evenly among the tenants present at any moment
+            (``None`` = unbounded partitions).
         shared_content: Enable cross-client content replay.  Disable to
             price every client as if its content were unique (the
             back-to-back-equivalent configuration).
+        context_switch_cycles: Overhead cycles charged whenever the
+            engines' in-flight frame state is set aside for another
+            tenant (preemptive policies only; 0 = free switches).  The
+            overhead is accounted *next to* per-client service cycles,
+            never inside them, so conservation stays exact.
 
     Example lifecycle::
 
         server = SequenceServer(accelerator)
         for request in requests:
             server.submit(request, wb.client_sequence(request))
-        report = server.serve("round_robin")
+        report = server.serve("round_robin_preemptive")
     """
 
     def __init__(
@@ -110,11 +190,15 @@ class SequenceServer:
         group_size: int = 1,
         temporal_capacity: Optional[int] = None,
         shared_content: bool = True,
+        context_switch_cycles: int = 0,
     ) -> None:
+        if context_switch_cycles < 0:
+            raise ConfigurationError("context_switch_cycles must be >= 0")
         self.accelerator = accelerator
         self.group_size = group_size
         self.temporal_capacity = temporal_capacity
         self.shared_content = shared_content
+        self.context_switch_cycles = context_switch_cycles
         self._clients: List[_Client] = []
         self._alone_cycles: Dict[str, int] = {}
         self._scanout_memo: Dict[Tuple, int] = {}
@@ -264,32 +348,43 @@ class SequenceServer:
             )
         return seq_id, pose_id
 
+    # ------------------------------------------------------------------
+    # The serving event loop
+    # ------------------------------------------------------------------
     def serve(
         self, policy: Union[str, SchedulingPolicy] = "round_robin"
     ) -> ServeReport:
-        """Run every admitted client to completion under ``policy``.
+        """Run every admitted client under ``policy`` on a virtual clock.
 
-        The server walks a virtual cycle clock: at each step the policy
-        picks among the ready clients' head frames, the chosen frame is
-        priced (scan-out for replays and cross-client content hits; a
-        full :meth:`~repro.arch.accelerator.ASDRAccelerator.
-        simulate_sequence_frame` otherwise) and the clock advances by its
-        cycles.  Serving the same submissions twice yields identical
+        Each iteration of the event loop: departed clients abort (their
+        in-flight execution is abandoned, their temporal-cache share is
+        redistributed), newly arrived clients are admitted (elastic
+        re-partitioning), the policy picks among the ready clients' head
+        frames, and the chosen frame executes — to completion for a
+        non-preemptive policy, for at most ``policy.quantum`` wavefront
+        steps otherwise — advancing the clock by exactly the cycles
+        charged.  Serving the same submissions twice yields identical
         reports — all pricing is deterministic arithmetic on the traces.
 
         Returns:
             A :class:`~repro.serving.report.ServeReport` with the
             schedule, per-client latency percentiles, throughput,
-            fairness and the back-to-back reference.
+            fairness, context-switch counts and the back-to-back
+            reference.
         """
         if not self._clients:
             raise ConfigurationError("no clients submitted")
         if isinstance(policy, str):
             policy = make_policy(policy)
         self._derive_deadlines()
-        partitions = TemporalCachePartitions(
-            [c.id for c in self._clients], self.temporal_capacity
-        )
+        # Runtime state is per serve() call: fresh work items (the server
+        # is re-entrant across policies), an initially empty partition set
+        # (tenants are admitted as they arrive) and a cold cost model.
+        items: Dict[str, List[FrameWorkItem]] = {
+            c.id: [item.fresh() for item in c.items] for c in self._clients
+        }
+        partitions = TemporalCachePartitions([], self.temporal_capacity)
+        cost_model = WavefrontCostModel()
         executed: Set[Tuple] = set()
         reports = {
             c.id: ClientServeReport(
@@ -302,99 +397,55 @@ class SequenceServer:
             for c in self._clients
         }
         next_frame = {c.id: 0 for c in self._clients}
-        cycles_per_point = INITIAL_CYCLES_PER_POINT
+        finished: Set[str] = set()  # departed or fully served
+        admitted: Set[str] = set()
         schedule: List[ScheduledFrame] = []
         clock = 0
+        context_switches = 0
+        context_switch_cycles = 0
+        # The tenant whose fresh-frame wavefronts ran last — switching
+        # away from it while its frame is in flight is a context switch
+        # (scan-out deliveries ride the bus and disturb no engine state).
+        engine_owner: Optional[str] = None
 
         def unfinished() -> List[_Client]:
             return [
                 c for c in self._clients
-                if next_frame[c.id] < len(c.items)
+                if c.id not in finished and next_frame[c.id] < len(items[c.id])
             ]
 
-        while True:
-            remaining = unfinished()
-            if not remaining:
-                break
-            ready = [
-                c for c in remaining if c.request.arrival_cycle <= clock
-            ]
-            if not ready:
-                clock = min(c.request.arrival_cycle for c in remaining)
-                continue
+        def retire(client: _Client) -> None:
+            """Remove a finished/departed tenant from the elastic set."""
+            nonlocal engine_owner
+            finished.add(client.id)
+            if client.id in partitions.tenants:
+                partitions.release(client.id)
+            if engine_owner == client.id:
+                engine_owner = None
 
-            pending: List[PendingFrame] = []
-            hits: List[bool] = []
-            for c in ready:
-                k = next_frame[c.id]
-                item = c.items[k]
-                seq_id, pose_id = self._content_ids(c, k)
-                hit = self.shared_content and (
-                    seq_id in executed or (pose_id is not None and pose_id in executed)
-                )
-                hits.append(hit)
-                if item.mode == WORK_REPLAY or hit:
-                    est = float(self._scanout_cycles(c.trace, k))
-                else:
-                    est = item.cost_hint * cycles_per_point
-                pending.append(
-                    PendingFrame(
-                        item=item,
-                        order=c.order,
-                        arrival_cycle=c.request.arrival_cycle,
-                        completed=k,
-                        total_frames=len(c.items),
-                        est_cycles=est,
-                        deadline_cycle=c.deadlines[k],
-                    )
-                )
-
-            chosen = policy.select(pending, clock)
-            if not 0 <= chosen < len(pending):
-                raise ConfigurationError(
-                    f"policy {policy.name!r} selected invalid index {chosen}"
-                )
-            client = ready[chosen]
-            k = next_frame[client.id]
-            item = client.items[k]
-            cross = hits[chosen] and item.mode != WORK_REPLAY
-            if item.mode == WORK_REPLAY or hits[chosen]:
-                frame_report = self.accelerator.simulate_scanout(
-                    client.trace.frames[k]
-                )
-            else:
-                frame_report = self.accelerator.simulate_sequence_frame(
-                    client.trace,
-                    k,
-                    group_size=self.group_size,
-                    temporal=partitions.cache_for(client.id),
-                )
-                if item.cost_hint:
-                    cycles_per_point = 0.5 * cycles_per_point + 0.5 * (
-                        frame_report.total_cycles / item.cost_hint
-                    )
-
+        def complete_frame(client: _Client, item: FrameWorkItem,
+                           frame_report, cross: bool) -> None:
+            """Deliver a finished frame: schedule entry, latency, modes."""
+            k = item.frame
             seq_id, pose_id = self._content_ids(client, k)
             executed.add(seq_id)
             if pose_id is not None:
                 executed.add(pose_id)
-
-            start = clock
-            clock += frame_report.total_cycles
             schedule.append(
                 ScheduledFrame(
                     client=client.id,
                     frame=k,
                     mode=item.mode,
                     cross_replay=cross,
-                    start_cycle=start,
-                    cycles=frame_report.total_cycles,
+                    start_cycle=item.start_cycle,
+                    cycles=item.service_cycles,
                     completion_cycle=clock,
+                    preemptions=item.preemptions,
                 )
             )
             rep = reports[client.id]
             rep.latencies_cycles.append(clock - client.request.arrival_cycle)
-            rep.service_cycles += frame_report.total_cycles
+            rep.service_cycles += item.service_cycles
             rep.energy_joules += frame_report.energy_joules
             if cross:
                 rep.cross_replays += 1
@@ -408,6 +459,166 @@ class SequenceServer:
             if deadline is not None and clock > deadline:
                 rep.deadline_misses += 1
             next_frame[client.id] = k + 1
+            if next_frame[client.id] == len(items[client.id]):
+                retire(client)
+
+        def abort(client: _Client) -> None:
+            """Client departure: cancel undelivered frames, abandon the
+            in-flight execution (its partial cycles stay attributed to
+            the client — conservation), free the cache share."""
+            rep = reports[client.id]
+            head = next_frame[client.id]
+            pending_items = items[client.id][head:]
+            rep.aborted_frames += len(pending_items)
+            if pending_items and pending_items[0].in_flight:
+                item = pending_items[0]
+                partial = item.execution.abandon()
+                rep.service_cycles += item.service_cycles
+                rep.energy_joules += partial.energy_joules
+                schedule.append(
+                    ScheduledFrame(
+                        client=client.id,
+                        frame=item.frame,
+                        mode=item.mode,
+                        cross_replay=False,
+                        start_cycle=item.start_cycle,
+                        cycles=item.service_cycles,
+                        completion_cycle=clock,
+                        preemptions=item.preemptions,
+                        delivered=False,
+                    )
+                )
+            retire(client)
+
+        while True:
+            # 1. Departures first: a client gone by `clock` receives
+            #    nothing from this point on.
+            for c in list(unfinished()):
+                dep = c.request.departure_cycle
+                if dep is not None and dep <= clock:
+                    abort(c)
+            remaining = unfinished()
+            if not remaining:
+                break
+            ready = [
+                c for c in remaining if c.request.arrival_cycle <= clock
+            ]
+            if not ready:
+                clock = min(c.request.arrival_cycle for c in remaining)
+                continue
+            # 2. Mid-run admission: tenants joining at this clock get a
+            #    partition; everyone present re-splits the budget.
+            for c in ready:
+                if c.id not in admitted:
+                    partitions.admit(c.id)
+                    admitted.add(c.id)
+
+            # 3. Build the candidate set (one head frame per ready client).
+            pending: List[PendingFrame] = []
+            hits: List[bool] = []
+            for c in ready:
+                k = next_frame[c.id]
+                item = items[c.id][k]
+                rep = reports[c.id]
+                if item.started:
+                    # Locked in as a fresh execution; estimate remaining.
+                    hit = False
+                    est = cost_model.estimate(item.execution.remaining_points)
+                else:
+                    seq_id, pose_id = self._content_ids(c, k)
+                    hit = self.shared_content and (
+                        seq_id in executed
+                        or (pose_id is not None and pose_id in executed)
+                    )
+                    if item.mode == WORK_REPLAY or hit:
+                        est = float(self._scanout_cycles(c.trace, k))
+                    else:
+                        est = cost_model.estimate(item.cost_hint)
+                hits.append(hit)
+                pending.append(
+                    PendingFrame(
+                        item=item,
+                        order=c.order,
+                        arrival_cycle=c.request.arrival_cycle,
+                        completed=k,
+                        total_frames=len(items[c.id]),
+                        est_cycles=est,
+                        deadline_cycle=c.deadlines[k],
+                        started=item.started,
+                        client_service_cycles=(
+                            rep.service_cycles + item.service_cycles
+                        ),
+                    )
+                )
+
+            chosen = policy.select(pending, clock)
+            if not 0 <= chosen < len(pending):
+                raise ConfigurationError(
+                    f"policy {policy.name!r} selected invalid index {chosen}"
+                )
+            client = ready[chosen]
+            k = next_frame[client.id]
+            item = items[client.id][k]
+
+            # 4a. Scan-out deliveries (in-sequence replays and cross-client
+            #     content hits) are atomic: one bus transfer, no engines.
+            if not item.started and (item.mode == WORK_REPLAY or hits[chosen]):
+                frame_report = self.accelerator.simulate_scanout(
+                    client.trace.frames[k]
+                )
+                item.start_cycle = clock
+                item.service_cycles = frame_report.total_cycles
+                clock += frame_report.total_cycles
+                complete_frame(
+                    client, item, frame_report,
+                    cross=hits[chosen] and item.mode != WORK_REPLAY,
+                )
+                continue
+
+            # 4b. Fresh execution: start or resume the frame's cursor.
+            # Switch overhead is charged before the frame's start cycle
+            # is stamped, so `completion - start` exceeds `cycles` by
+            # exactly the time the frame itself sat suspended.
+            if engine_owner is not None and engine_owner != client.id:
+                # The previous tenant's frame is still in flight: its
+                # engine state is set aside — a context switch, charged
+                # separately from anyone's service cycles.
+                owner_items = items[engine_owner]
+                owner_head = next_frame[engine_owner]
+                if (
+                    engine_owner not in finished
+                    and owner_head < len(owner_items)
+                    and owner_items[owner_head].in_flight
+                ):
+                    owner_items[owner_head].preemptions += 1
+                    reports[engine_owner].preemptions += 1
+                    context_switches += 1
+                    clock += self.context_switch_cycles
+                    context_switch_cycles += self.context_switch_cycles
+            engine_owner = client.id
+            if not item.started:
+                item.execution = self.accelerator.frame_execution(
+                    client.trace,
+                    k,
+                    group_size=self.group_size,
+                    temporal=partitions.cache_for(client.id),
+                )
+                item.start_cycle = clock
+
+            points_before = item.execution.points_done
+            charged = item.execution.run(
+                max_steps=policy.quantum if policy.preemptive else None
+            )
+            cost_model.observe(
+                charged, item.execution.points_done - points_before
+            )
+            item.service_cycles += charged
+            clock += charged
+            if item.execution.done:
+                frame_report = item.execution.finish()
+                complete_frame(client, item, frame_report, cross=False)
+            # else: suspended — the cursor (and its engines) wait on the
+            # work item for the policy's next decision.
 
         return ServeReport(
             policy=policy.name,
@@ -416,4 +627,7 @@ class SequenceServer:
             schedule=schedule,
             makespan_cycles=clock,
             back_to_back_cycles=self.back_to_back_cycles(),
+            context_switches=context_switches,
+            context_switch_cycles=context_switch_cycles,
+            quantum=policy.quantum if policy.preemptive else None,
         )

@@ -33,15 +33,19 @@ from repro.exec.scheduler import (
 from repro.exec.sequence import SequenceTrace, pose_key
 from repro.scenes.cameras import camera_path
 from repro.serving.policies import (
+    ALL_POLICY_NAMES,
+    PREEMPTIVE_POLICY_NAMES,
     DeadlineAwarePolicy,
     FIFOPolicy,
     PendingFrame,
+    PreemptiveDeadlinePolicy,
+    PreemptiveRoundRobinPolicy,
     RoundRobinPolicy,
     make_policy,
 )
 from repro.serving.report import jain_fairness
 from repro.serving.request import ClientRequest
-from repro.serving.server import SequenceServer
+from repro.serving.server import SequenceServer, WavefrontCostModel
 from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
 
 SIZE = 8
@@ -58,9 +62,12 @@ def accelerator():
     )
 
 
-def synthetic_sequence(path, budget: int = 6) -> SequenceTrace:
+def synthetic_sequence(path, budget: int = 6, varied: bool = False) -> SequenceTrace:
     """A budget-map SequenceTrace for ``path`` with pose replays detected
-    and Phase I marked on the first frame only (plan-reuse structure)."""
+    and Phase I marked on the first frame only (plan-reuse structure).
+    ``varied`` spreads the rays over several budget groups, so each frame
+    splits into multiple wavefront steps (preemption needs suspend
+    points)."""
     frames, replays, seen = [], [], {}
     for camera in path.cameras():
         key = pose_key(camera)
@@ -68,7 +75,11 @@ def synthetic_sequence(path, budget: int = 6) -> SequenceTrace:
             frames.append(frames[seen[key]])
             replays.append(seen[key])
             continue
-        budgets = np.full(camera.width * camera.height, budget, dtype=np.int64)
+        n = camera.width * camera.height
+        if varied:
+            budgets = (1 + (np.arange(n) % 6) * 2).astype(np.int64)
+        else:
+            budgets = np.full(n, budget, dtype=np.int64)
         seen[key] = len(frames)
         frames.append(FrameTrace.from_budgets(camera, budgets))
         replays.append(None)
@@ -96,10 +107,12 @@ def _distinct_paths(n: int):
     ]
 
 
-def _server(accelerator, requests, **kwargs) -> SequenceServer:
+def _server(accelerator, requests, varied=False, **kwargs) -> SequenceServer:
     server = SequenceServer(accelerator, **kwargs)
     for request in requests:
-        server.submit(request, synthetic_sequence(request.path))
+        server.submit(
+            request, synthetic_sequence(request.path, varied=varied)
+        )
     return server
 
 
@@ -404,3 +417,458 @@ class TestRequestAndReport:
         skewed = jain_fairness([10.0, 1.0, 1.0])
         assert 0.0 < skewed < 1.0
         assert jain_fairness([]) == 1.0
+
+    def test_departure_must_follow_arrival(self):
+        path = camera_path("orbit", 2, SIZE, SIZE)
+        with pytest.raises(ConfigurationError):
+            ClientRequest(
+                client_id="c", scene="s", path=path,
+                arrival_cycle=100, departure_cycle=100,
+            )
+
+
+# ----------------------------------------------------------------------
+# Earliest-slack-first tie-breaking (regression)
+# ----------------------------------------------------------------------
+class TestSlackTieBreaking:
+    def _tied(self, *client_ids):
+        """Pending frames with identical slack, listed in the given
+        (client-id) order — submission order follows list position."""
+        from repro.exec.scheduler import FrameWorkItem
+
+        return [
+            PendingFrame(
+                item=FrameWorkItem(
+                    client=cid, frame=0, mode=WORK_PROBE, cost_hint=100
+                ),
+                order=i,
+                arrival_cycle=0,
+                completed=0,
+                total_frames=4,
+                est_cycles=100.0,
+                deadline_cycle=1_000.0,
+            )
+            for i, cid in enumerate(client_ids)
+        ]
+
+    def test_equal_slack_breaks_by_client_id_not_submission_order(self):
+        # "zed" was submitted first; equal slacks must still schedule
+        # "anna" first (stable lexicographic client-id order).
+        pending = self._tied("zed", "anna")
+        assert DeadlineAwarePolicy().select(pending, clock=0) == 1
+        assert PreemptiveDeadlinePolicy().select(pending, clock=0) == 1
+        # And the choice is stable under list reversal.
+        pending = self._tied("anna", "zed")
+        assert DeadlineAwarePolicy().select(pending, clock=0) == 0
+        assert PreemptiveDeadlinePolicy().select(pending, clock=0) == 0
+
+    def test_unequal_slack_still_wins(self):
+        pending = self._tied("anna", "zed")
+        urgent = pending[1]
+        pending[1] = PendingFrame(
+            item=urgent.item,
+            order=urgent.order,
+            arrival_cycle=0,
+            completed=0,
+            total_frames=4,
+            est_cycles=100.0,
+            deadline_cycle=150.0,
+        )
+        assert DeadlineAwarePolicy().select(pending, clock=0) == 1
+
+
+# ----------------------------------------------------------------------
+# Policy construction (preemptive variants)
+# ----------------------------------------------------------------------
+class TestPolicyConstruction:
+    def test_all_policy_names_resolve(self):
+        for name in ALL_POLICY_NAMES:
+            policy = make_policy(name)
+            assert policy.name == name
+            assert policy.preemptive == (name in PREEMPTIVE_POLICY_NAMES)
+
+    def test_quantum_applies_to_preemptive_only(self):
+        assert make_policy("round_robin_preemptive", quantum=7).quantum == 7
+        assert make_policy("deadline_preemptive", quantum=2).quantum == 2
+        with pytest.raises(ConfigurationError):
+            make_policy("round_robin", quantum=7)
+        with pytest.raises(ConfigurationError):
+            make_policy("round_robin_preemptive", quantum=0)
+        with pytest.raises(ConfigurationError):
+            PreemptiveRoundRobinPolicy(quantum=-1)
+
+
+# ----------------------------------------------------------------------
+# Preemptive serving (wavefront-granularity event loop)
+# ----------------------------------------------------------------------
+class TestPreemptiveServing:
+    def _distinct_server(self, accelerator, n=3, **kwargs):
+        requests = [
+            _request(f"c{i}", p) for i, p in enumerate(_distinct_paths(n))
+        ]
+        return _server(
+            accelerator, requests, varied=True, shared_content=False, **kwargs
+        )
+
+    def test_conservation_under_preemption(self, accelerator):
+        """The headline invariant: interleaved total cycles equal the sum
+        of per-client service cycles, and each client's service is
+        bit-identical to the frame-atomic schedule's."""
+        server = self._distinct_server(accelerator)
+        atomic = server.serve("round_robin")
+        for policy in PREEMPTIVE_POLICY_NAMES:
+            report = server.serve(policy)
+            assert report.busy_cycles == sum(
+                c.service_cycles for c in report.clients
+            )
+            assert report.context_switch_cycles == 0
+            assert report.makespan_cycles == report.busy_cycles
+            # Suspend/resume changes *when* wavefronts run, never what
+            # they cost: per-client totals match the atomic run exactly.
+            for a, b in zip(atomic.clients, report.clients):
+                assert a.client_id == b.client_id
+                assert a.service_cycles == b.service_cycles
+            assert report.busy_cycles == atomic.busy_cycles
+
+    def test_preemptions_and_context_switches_are_counted(self, accelerator):
+        server = self._distinct_server(accelerator)
+        atomic = server.serve("round_robin")
+        assert atomic.context_switches == 0
+        assert all(c.preemptions == 0 for c in atomic.clients)
+        report = server.serve(make_policy("round_robin_preemptive", quantum=1))
+        assert report.context_switches > 0
+        assert sum(c.preemptions for c in report.clients) > 0
+        assert sum(s.preemptions for s in report.schedule) == sum(
+            c.preemptions for c in report.clients
+        )
+
+    def test_context_switch_overhead_accounted_separately(self, accelerator):
+        free = self._distinct_server(accelerator)
+        taxed = self._distinct_server(accelerator, context_switch_cycles=50)
+        policy = make_policy("round_robin_preemptive", quantum=1)
+        a = free.serve(policy)
+        b = taxed.serve(policy)
+        assert b.context_switches == a.context_switches > 0
+        assert b.context_switch_cycles == 50 * b.context_switches
+        # Overhead never leaks into service attribution...
+        assert b.busy_cycles == a.busy_cycles
+        assert [c.service_cycles for c in b.clients] == [
+            c.service_cycles for c in a.clients
+        ]
+        # ...it sits next to it on the clock.
+        assert b.makespan_cycles == b.busy_cycles + b.context_switch_cycles
+
+    def test_deterministic_preemptive_reports(self, accelerator):
+        server = self._distinct_server(accelerator)
+        for policy in PREEMPTIVE_POLICY_NAMES:
+            assert (
+                server.serve(policy).to_dict() == server.serve(policy).to_dict()
+            )
+
+    def test_mid_run_admission_at_quantum_boundary(self, accelerator):
+        """A client arriving mid-frame is served at the next quantum
+        boundary under preemption, instead of waiting out the in-flight
+        frame."""
+        big_path, small_path = _distinct_paths(2)
+        big = _request("big", big_path)
+        seq = synthetic_sequence(big_path, varied=True)
+        first_frame_steps = sum(
+            1 for _ in seq.frames[0].split(accelerator.config.wavefront_rays)
+        )
+        assert first_frame_steps > 2, "fixture frame must be multi-step"
+        # Arrive well inside the big client's first frame.
+        late = _request("late", small_path, arrival_cycle=10)
+
+        def run(policy):
+            server = SequenceServer(accelerator, shared_content=False)
+            server.submit(big, seq)
+            server.submit(
+                late, synthetic_sequence(small_path, budget=2)
+            )
+            return server.serve(policy)
+
+        atomic = run("round_robin")
+        preemptive = run(make_policy("round_robin_preemptive", quantum=1))
+        late_first_atomic = min(
+            s.completion_cycle for s in atomic.schedule if s.client == "late"
+        )
+        late_first_preemptive = min(
+            s.completion_cycle
+            for s in preemptive.schedule
+            if s.client == "late"
+        )
+        big_first_end = min(
+            s.completion_cycle
+            for s in preemptive.schedule
+            if s.client == "big"
+        )
+        assert late_first_preemptive < late_first_atomic
+        assert late_first_preemptive < big_first_end, (
+            "the late arrival should be served inside the big client's "
+            "first frame, not after it"
+        )
+        assert preemptive.busy_cycles == atomic.busy_cycles
+
+    def test_departure_aborts_remaining_frames(self, accelerator):
+        paths = _distinct_paths(2)
+        stay = _request("stay", paths[0])
+        # Depart early enough that undelivered frames remain.
+        quit_req = _request("quit", paths[1], departure_cycle=1)
+        server = SequenceServer(accelerator, shared_content=False)
+        server.submit(stay, synthetic_sequence(paths[0], varied=True))
+        server.submit(quit_req, synthetic_sequence(paths[1], varied=True))
+        report = server.serve("round_robin")
+        quit_rep = report.client("quit")
+        stay_rep = report.client("stay")
+        assert quit_rep.aborted_frames > 0
+        assert quit_rep.frames + quit_rep.aborted_frames == FRAMES
+        assert stay_rep.frames == FRAMES
+        # The survivor is priced exactly as if it ran alone (unbounded
+        # partitions, no shared content).
+        assert stay_rep.service_cycles == stay_rep.alone_cycles
+        # Conservation holds with the aborted client's partial work
+        # attributed to it.
+        assert report.busy_cycles == sum(
+            c.service_cycles for c in report.clients
+        )
+
+    def test_departure_abandons_in_flight_execution(self, accelerator):
+        """Under a 1-step quantum the quitter's multi-wavefront frame is
+        in flight when the departure lands: its partial cycles stay
+        attributed (delivered=False schedule entry)."""
+        paths = _distinct_paths(2)
+        stay = _request("stay", paths[0])
+        quit_seq = synthetic_sequence(paths[1], varied=True)
+        first_cycles = (
+            SequenceServer(accelerator)
+            .accelerator.simulate_sequence_frame(quit_seq, 0)
+            .total_cycles
+        )
+        quit_req = _request(
+            "quit", paths[1], departure_cycle=max(2, first_cycles // 4)
+        )
+        server = SequenceServer(accelerator, shared_content=False)
+        server.submit(stay, synthetic_sequence(paths[0], varied=True))
+        cold = SequenceTrace.from_dict(quit_seq.to_dict())
+        cold.planned = list(quit_seq.planned)
+        server.submit(quit_req, cold)
+        report = server.serve(make_policy("round_robin_preemptive", quantum=1))
+        aborted = [s for s in report.schedule if not s.delivered]
+        assert len(aborted) == 1 and aborted[0].client == "quit"
+        assert 0 < aborted[0].cycles < first_cycles
+        assert report.busy_cycles == sum(
+            c.service_cycles for c in report.clients
+        )
+        assert report.client("quit").aborted_frames == FRAMES - len(
+            [s for s in report.schedule
+             if s.client == "quit" and s.delivered]
+        )
+
+    def test_bounded_capacity_conservation_under_preemption(self, accelerator):
+        server = self._distinct_server(accelerator, temporal_capacity=300)
+        report = server.serve("deadline_preemptive")
+        assert report.busy_cycles == sum(
+            c.service_cycles for c in report.clients
+        )
+        for client in report.clients:
+            assert client.service_cycles >= client.alone_cycles
+
+
+# ----------------------------------------------------------------------
+# Elastic temporal-cache re-partitioning (exec layer)
+# ----------------------------------------------------------------------
+class TestElasticPartitions:
+    def test_admit_release_conserve_budget(self):
+        parts = TemporalCachePartitions([], total_capacity=120)
+        assert parts.tenants == []
+        parts.admit("a")
+        assert parts.per_tenant_capacity == 120
+        parts.admit("b")
+        parts.admit("c")
+        assert parts.per_tenant_capacity == 40
+        assert parts.per_tenant_capacity * len(parts.tenants) <= 120
+        parts.release("b")
+        assert parts.per_tenant_capacity == 60
+        assert sorted(parts.tenants) == ["a", "c"]
+        assert parts.per_tenant_capacity * len(parts.tenants) <= 120
+        with pytest.raises(ConfigurationError):
+            parts.admit("a")
+        with pytest.raises(ConfigurationError):
+            parts.release("ghost")
+
+    def test_admit_rejects_overcommit(self):
+        parts = TemporalCachePartitions(["a", "b"], total_capacity=2)
+        with pytest.raises(ConfigurationError):
+            parts.admit("c")
+
+    def test_unbounded_stays_unbounded(self):
+        parts = TemporalCachePartitions(["a"], total_capacity=None)
+        parts.admit("b")
+        parts.release("a")
+        assert parts.per_tenant_capacity is None
+        assert parts.cache_for("b").capacity_per_level is None
+
+    def test_admission_trims_resident_sets_to_new_share(self):
+        parts = TemporalCachePartitions(["a"], total_capacity=8)
+        cache = parts.cache_for("a")
+        cache.record(np.arange(6), level=0)
+        cache.commit_frame(tag=0)
+        before = cache.lookup(np.arange(6), level=0)
+        assert before.all()
+        parts.admit("b")  # share drops 8 -> 4; resident trimmed to lowest 4
+        assert cache.capacity_per_level == 4
+        after = cache.lookup(np.arange(6), level=0)
+        assert after.tolist() == [True] * 4 + [False] * 2
+
+    def test_release_grows_survivor_without_corrupting_masks(self):
+        parts = TemporalCachePartitions(["a", "b"], total_capacity=12)
+        survivor = parts.cache_for("a")
+        survivor.record(np.arange(5), level=0)
+        survivor.commit_frame(tag=0)
+        before = survivor.lookup(np.arange(8), level=0).copy()
+        parts.release("b")
+        assert survivor.capacity_per_level == 12
+        after = survivor.lookup(np.arange(8), level=0)
+        # Growth never invents entries: the mask equals a fresh membership
+        # test of the untouched resident set.
+        assert after.tolist() == before.tolist()
+        assert after.tolist() == [True] * 5 + [False] * 3
+
+    def test_resize_history_blocks_stale_memoised_masks(self):
+        """Capacity returning to an earlier value must not resurrect a
+        hit mask memoised against the pre-resize resident set."""
+        memo_store = {}
+
+        def memo(key, compute):
+            if key not in memo_store:
+                memo_store[key] = compute()
+            return memo_store[key]
+
+        cache = TemporalVertexCache(6)
+        cache.record(np.arange(6), level=0)
+        cache.commit_frame(tag=0)
+        stream = np.arange(6)
+        first = cache.lookup(stream, level=0, memo=memo)
+        assert first.all()
+        cache.resize(3)   # trims resident to {0, 1, 2}
+        cache.resize(6)   # same nominal capacity as when `first` was memoised
+        again = cache.lookup(stream, level=0, memo=memo)
+        assert again.tolist() == [True] * 3 + [False] * 3, (
+            "stale pre-resize mask served from the memo"
+        )
+
+    def test_resident_keys_distinguish_cache_instances_sharing_a_memo(self):
+        """Two serve() runs share one trace memo but resize/commit in
+        different orders (e.g. a departure landing before vs after a
+        commit): masks memoised by one run must not leak into the other,
+        even when nominal capacity and commit tag coincide."""
+        memo_store = {}
+
+        def memo(key, compute):
+            if key not in memo_store:
+                memo_store[key] = compute()
+            return memo_store[key]
+
+        stream = np.arange(10)
+        # Run 1: commit at share 6 (trimmed to {0..5}), then the tenant
+        # set shrinks and the survivor grows to 12.
+        run1 = TemporalVertexCache(6)
+        run1.record(stream, level=0)
+        run1.commit_frame(tag=0)
+        run1.resize(12)
+        mask1 = run1.lookup(stream, level=0, memo=memo)
+        assert int(mask1.sum()) == 6
+        # Run 2: the departure lands first, so the commit happens at
+        # share 12 — all ten addresses resident.
+        run2 = TemporalVertexCache(6)
+        run2.resize(12)
+        run2.record(stream, level=0)
+        run2.commit_frame(tag=0)
+        mask2 = run2.lookup(stream, level=0, memo=memo)
+        assert mask2.all(), (
+            "run 1's trimmed mask leaked into run 2 through the shared memo"
+        )
+
+    def test_resize_validation(self):
+        cache = TemporalVertexCache(4)
+        with pytest.raises(ConfigurationError):
+            cache.resize(0)
+
+
+# ----------------------------------------------------------------------
+# Learned cost model (measured wavefront feedback)
+# ----------------------------------------------------------------------
+class TestWavefrontCostModel:
+    def test_prior_until_calibrated(self):
+        model = WavefrontCostModel(prior=3.0)
+        assert not model.calibrated
+        assert model.estimate(10) == 30.0
+        model.observe(500, 100)
+        assert model.calibrated
+        assert model.cycles_per_point == 5.0
+        assert model.estimate(10) == 50.0
+
+    def test_cumulative_ratio_not_two_tap(self):
+        model = WavefrontCostModel(prior=1.0)
+        model.observe(100, 100)   # 1.0
+        model.observe(900, 100)   # a spike an EMA would half-weight
+        assert model.cycles_per_point == pytest.approx(5.0)
+
+    def test_zero_point_charges_fold_into_rate(self):
+        # The Phase I adaptive tail charges cycles for zero points; the
+        # overhead must raise the learned rate instead of vanishing.
+        model = WavefrontCostModel()
+        model.observe(100, 100)
+        model.observe(50, 0)
+        assert model.cycles_per_point == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WavefrontCostModel(prior=0.0)
+        model = WavefrontCostModel()
+        with pytest.raises(ConfigurationError):
+            model.observe(-1, 0)
+
+    def test_serve_feeds_measured_charges_to_cost_model(
+        self, accelerator, monkeypatch
+    ):
+        """The server's estimator is fed the *measured* execution charges:
+        across a run, observed (cycles, points) sum to exactly the fresh
+        frames' service cycles and executed density points."""
+        import repro.serving.server as server_mod
+
+        observed = []
+
+        class Spy(WavefrontCostModel):
+            def observe(self, cycles, points):
+                observed.append((cycles, points))
+                super().observe(cycles, points)
+
+        monkeypatch.setattr(server_mod, "WavefrontCostModel", Spy)
+        requests = [
+            _request(f"c{i}", p) for i, p in enumerate(_distinct_paths(2))
+        ]
+        server = _server(
+            accelerator, requests, varied=True, shared_content=False
+        )
+        report = server.serve("round_robin")
+        fresh_cycles = sum(
+            s.cycles for s in report.schedule if s.mode != WORK_REPLAY
+        )
+        assert sum(c for c, _ in observed) == fresh_cycles
+        executed_points = sum(
+            synthetic_sequence(r.path, varied=True).executed_density_points()
+            for r in requests
+        )
+        assert sum(p for _, p in observed) == executed_points
+        # Per-quantum feedback under preemption covers the same totals.
+        observed.clear()
+        preemptive = server.serve(
+            make_policy("round_robin_preemptive", quantum=1)
+        )
+        assert sum(c for c, _ in observed) == sum(
+            s.cycles for s in preemptive.schedule if s.mode != WORK_REPLAY
+        )
+        assert len(observed) > len(preemptive.schedule), (
+            "preemption should feed back more than once per frame"
+        )
