@@ -100,6 +100,33 @@ class EncodingEngine:
             config.mapping_mode,
         )
 
+    @property
+    def stream_key(self) -> tuple:
+        """Identity of this engine's address mapping, for trace memo keys."""
+        return self._stream_key
+
+    def compact_dtype(self, level: int):
+        """Narrowest integer dtype that holds every address of ``level``
+        (what memoised address/miss streams are stored as)."""
+        return (
+            np.int32
+            if self.generator.level_storage_entries(level) < 2**31
+            else np.int64
+        )
+
+    def skip_requests(self, num_points: int) -> None:
+        """Advance the request counter past ``num_points`` sample points
+        priced outside :meth:`process_batch` (the batched execution plan).
+
+        Request ids only select which replicated table copy a dense-level
+        lookup addresses, and they restart at zero per execution, so a
+        request's id always equals its global point index within the
+        frame.  The batched planner relies on that to derive striped
+        addresses without the engine; this keeps the counter in sync so a
+        later stepped resume of the same execution stripes identically.
+        """
+        self._request_counter += num_points
+
     def process_batch(
         self, batch: EncodingBatch, temporal=None
     ) -> EncodingReport:
@@ -131,11 +158,7 @@ class EncodingEngine:
             # generation is a pure function of the corner stream, so
             # replayed traces memoise it alongside the gap arrays (in the
             # narrowest dtype the level's address space permits).
-            compact = (
-                np.int32
-                if self.generator.level_storage_entries(level) < 2**31
-                else np.int64
-            )
+            compact = self.compact_dtype(level)
             logical = memoised(
                 ("addr", level) + self._stream_key,
                 lambda: self.generator.addresses(corners, level, None).astype(

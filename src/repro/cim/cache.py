@@ -158,6 +158,17 @@ class TemporalVertexCache:
         if trimmed:
             self._resident_key += (("trim", capacity_per_level),)
 
+    @property
+    def resident_token(self) -> tuple:
+        """Identity of the resident *content* — the commit/trim history key
+        memoised hit masks are scoped by.  Two moments with equal tokens
+        (for one logical tenant and trace) hold equal resident sets, so a
+        batched pricing plan computed against one can be replayed against
+        the other; any commit or trimming resize changes the token, which
+        is how stale plans are detected (see
+        :func:`repro.exec.batch.build_frame_plans`)."""
+        return self._resident_key
+
     def lookup(
         self, stream: np.ndarray, level: int, memo=None, stream_key=()
     ) -> np.ndarray:
@@ -192,11 +203,26 @@ class TemporalVertexCache:
         st.hits += int(hits.sum())
         return hits
 
-    def record(self, stream: np.ndarray, level: int) -> None:
-        """Accumulate this frame's addresses for the next frame's lookups."""
-        self._pending.setdefault(level, []).append(
-            np.unique(np.asarray(stream).reshape(-1))
-        )
+    def record(
+        self, stream: np.ndarray, level: int, assume_unique: bool = False
+    ) -> None:
+        """Accumulate this frame's addresses for the next frame's lookups.
+
+        Args:
+            stream: Addresses the frame fetched at ``level``.
+            assume_unique: The caller already passed the chunk through
+                ``np.unique`` (so it is deduplicated *and* sorted
+                ascending) — the batched engine records each level's
+                whole-frame memoised unique stream this way.
+                :meth:`commit_frame` produces the identical committed set
+                either way — chunk granularity and ordering never matter —
+                but a level whose pending set is exactly one such chunk
+                commits without re-sorting.
+        """
+        chunk = np.asarray(stream).reshape(-1)
+        if not assume_unique:
+            chunk = np.unique(chunk)
+        self._pending.setdefault(level, []).append((chunk, assume_unique))
 
     def commit_frame(self, tag=None) -> None:
         """Frame boundary: the pending working set becomes the lookup set.
@@ -210,8 +236,16 @@ class TemporalVertexCache:
         self._resident_tag = tag
         self._resident_key = (("commit", tag, self.capacity_per_level),)
         resident: Dict[int, np.ndarray] = {}
-        for level, chunks in self._pending.items():
-            merged = np.unique(np.concatenate(chunks)) if chunks else np.empty(0)
+        for level, entries in self._pending.items():
+            if not entries:
+                merged = np.empty(0)
+            elif len(entries) == 1 and entries[0][1]:
+                # A single already-sorted-unique chunk (the batched
+                # engine's whole-frame record) *is* the committed set —
+                # np.unique would return it unchanged.
+                merged = entries[0][0]
+            else:
+                merged = np.unique(np.concatenate([c for c, _ in entries]))
             if (
                 self.capacity_per_level is not None
                 and merged.size > self.capacity_per_level

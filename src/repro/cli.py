@@ -186,8 +186,9 @@ def _cmd_serve(args) -> int:
         frames=args.frames,
         size=args.size,
     )
-    reports = serve_reports(
-        Workbench(),
+    wb = Workbench()
+    run = lambda: serve_reports(  # noqa: E731
+        wb,
         requests,
         scale=args.scale,
         policies=policies,
@@ -195,6 +196,17 @@ def _cmd_serve(args) -> int:
         shared_content=not args.no_shared_content,
         quantum=args.quantum,
     )
+    profile = None
+    if args.profile:
+        from repro.serving.profiler import profile_serve
+
+        # Render every client sequence first so the profile attributes
+        # serving work (scheduling + pricing), not scene rendering.
+        for request in requests:
+            wb.client_sequence(request)
+        reports, profile = profile_serve(run)
+    else:
+        reports = run()
     print(f"== serve: {args.clients} clients on {args.scene}, "
           f"{args.frames}x{args.size}x{args.size} ({args.scale}) ==")
     rows = [row for policy in policies for row in reports[policy].to_rows()]
@@ -214,6 +226,9 @@ def _cmd_serve(args) -> int:
             f"fairness {rep.fairness:.3f}, "
             f"throughput {rep.throughput_fps:.1f} fps{preempt}"
         )
+    if profile is not None:
+        print()
+        print(profile.format_report())
     if args.json is not None:
         with open(args.json, "w") as fh:
             json.dump(bench_summary(reports), fh, indent=2, sort_keys=True)
@@ -300,6 +315,7 @@ examples:
   repro serve palace --policy round_robin   # one policy only
   repro serve palace --preemptive --quantum 4   # wavefront preemption
   repro serve palace --no-shared-content    # price every client as unique
+  repro serve palace --profile              # hot functions + phase breakdown
   repro serve lego --json BENCH_serving.json    # machine-readable report
 """,
     )
@@ -329,6 +345,11 @@ examples:
                          help="disable cross-client content replay")
     p_serve.add_argument("--scale", choices=("server", "edge"),
                          default="server", help="accelerator design point")
+    p_serve.add_argument("--profile", action="store_true",
+                         help="run the serving loop under cProfile and "
+                              "print a hot-function table plus per-phase "
+                              "(encoding/mlp/render/bookkeeping) "
+                              "wall-clock attribution")
     p_serve.add_argument("--json", metavar="PATH", default=None,
                          help="also write a machine-readable summary "
                               "(p50/p95, throughput, context switches) to "

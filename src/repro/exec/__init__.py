@@ -30,7 +30,13 @@ renderer, the trace generator and the simulator all share, plus those
 frame-granularity serving primitives.
 """
 
-from repro.exec.execution import FrameExecution, sequence_executions
+from repro.exec.batch import FramePlan, PlannedStep, build_frame_plans
+from repro.exec.execution import (
+    FrameExecution,
+    batched_enabled,
+    scalar_engine,
+    sequence_executions,
+)
 from repro.exec.frame_trace import (
     PHASE_MAIN,
     PHASE_PROBE,
@@ -59,8 +65,13 @@ from repro.exec.sequence import (
 
 __all__ = [
     "FrameExecution",
+    "FramePlan",
     "PHASE_MAIN",
     "PHASE_PROBE",
+    "PlannedStep",
+    "batched_enabled",
+    "build_frame_plans",
+    "scalar_engine",
     "sequence_executions",
     "WORK_PROBE",
     "WORK_REPLAY",

@@ -44,6 +44,8 @@ step charging the framebuffer scan-out, identical to
 from __future__ import annotations
 
 import math
+import os
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
@@ -52,10 +54,102 @@ from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.accelerator import ASDRAccelerator, SimReport
+    from repro.exec.batch import FramePlan
 
 
 #: Sentinel distinguishing "commit with tag None" from "do not commit".
 _NO_COMMIT = object()
+
+#: Process-wide batched-path switch (list so :func:`scalar_engine` can
+#: flip it without a ``global`` statement).
+_BATCHED_ENABLED = [True]
+
+
+def batched_enabled() -> bool:
+    """Whether :meth:`FrameExecution.run` may route through the batched
+    plan path (the default).  Off inside a :func:`scalar_engine` block or
+    while the ``REPRO_SCALAR_ENGINE`` environment variable is set
+    non-empty — the hooks benchmarks and CI use for honest
+    scalar-vs-batched comparisons."""
+    return _BATCHED_ENABLED[0] and not os.environ.get("REPRO_SCALAR_ENGINE")
+
+
+@contextmanager
+def scalar_engine():
+    """Force stepwise pricing for the duration of the context.
+
+    The batched plan path is bit-identical to stepping (the property the
+    regression suite pins), so this only matters when *wall-clock* is the
+    measurement — A/B throughput benchmarks, profiling the scalar
+    baseline, or bisecting a suspected divergence."""
+    previous = _BATCHED_ENABLED[0]
+    _BATCHED_ENABLED[0] = False
+    try:
+        yield
+    finally:
+        _BATCHED_ENABLED[0] = previous
+
+
+def _build_frame_setup(
+    accelerator, trace, config, group_size, color_fraction, resolutions
+):
+    """The per-frame pricing setup shared by every execution of a trace.
+
+    A pure function of the trace and the pricing knobs in its key (see
+    the constructor), cached on ``trace._setup_cache``.  Every array and
+    list returned is treated as read-only by the executions sharing it.
+    """
+    # Empty slices charge nothing in any consumer; dropping them up
+    # front keeps `step` meaningful (every step prices real work).
+    slices = [
+        sl for sl in trace.split(config.wavefront_rays) if sl.num_points > 0
+    ]
+    total_points = sum(sl.num_points for sl in slices)
+    if color_fraction is not None:
+        slice_color_points = [
+            math.ceil(sl.num_points * color_fraction) for sl in slices
+        ]
+    else:
+        color_used = accelerator._effective_color_used(trace, group_size)
+        slice_color_points = [
+            int(color_used[sl.index][sl.rays].sum()) for sl in slices
+        ]
+    slice_in_flight = [
+        min(sl.num_points, config.wavefront_rays) for sl in slices
+    ]
+    wavefront_offsets: dict = {}
+    wavefront_order: List[int] = []
+    offset = 0
+    for sl in slices:
+        if sl.index not in wavefront_offsets:
+            wavefront_offsets[sl.index] = offset
+            wavefront_order.append(sl.index)
+            offset += trace.wavefronts[sl.index].num_points
+    slice_base_ranges = [
+        (
+            wavefront_offsets[sl.index] + sl.points.start,
+            wavefront_offsets[sl.index] + sl.points.stop,
+        )
+        for sl in slices
+    ]
+    corner_bases = [
+        (
+            np.concatenate(
+                [trace.voxel_base(w, resolution) for w in wavefront_order]
+            )
+            if wavefront_order
+            else np.empty((0, 3), dtype=np.int64)
+        )
+        for resolution in resolutions
+    ]
+    return (
+        slices,
+        total_points,
+        slice_color_points,
+        slice_in_flight,
+        slice_base_ranges,
+        corner_bases,
+    )
 
 
 class FrameExecution:
@@ -111,6 +205,8 @@ class FrameExecution:
         self._cursor = 0
         self._points_done = 0
         self._finalised = False
+        self._plan: Optional["FramePlan"] = None
+        self._plan_record_idx = 0
 
         if scanout:
             self._slices: List = []
@@ -126,17 +222,43 @@ class FrameExecution:
         scale = "edge" if "edge" in config.name else "server"
         self._buffers = BufferModel(default_buffers(scale))
         self._resolutions = [int(r) for r in accelerator.grid.level_resolutions]
-        self._color_used = accelerator._effective_color_used(trace, group_size)
-        # Empty slices charge nothing in any consumer; dropping them up
-        # front keeps `step` meaningful (every step prices real work).
-        self._slices = [
-            sl for sl in trace.split(config.wavefront_rays) if sl.num_points > 0
-        ]
-        self._total_points = sum(sl.num_points for sl in self._slices)
         self._evals = (
             trace.difficulty_evals if difficulty_evals is None else difficulty_evals
         )
+
+        # Everything below is a pure, read-only function of the trace and
+        # the pricing knobs — slicing, per-slice color-point counts,
+        # buffer-model in-flight inputs, and contiguous per-frame voxel
+        # bases per level — so it is computed once per (trace, knobs) and
+        # shared by every FrameExecution over the trace.  Serving
+        # constructs many executions per frame (scheduling probes, plan
+        # prefetch, per-policy replays); sharing the setup keeps
+        # construction O(1) after the first.
+        setup_key = (
+            config.wavefront_rays,
+            group_size,
+            color_fraction,
+            tuple(self._resolutions),
+        )
+        setup = trace._setup_cache.get(setup_key)
+        if setup is None:
+            setup = _build_frame_setup(
+                accelerator, trace, config, group_size, color_fraction,
+                self._resolutions,
+            )
+            trace._setup_cache[setup_key] = setup
+        (
+            self._slices,
+            self._total_points,
+            self._slice_color_points,
+            self._slice_in_flight,
+            self._slice_base_ranges,
+            self._corner_bases,
+        ) = setup
         self._steps_total = len(self._slices) + (1 if self._evals else 0)
+        from repro.nerf.hashgrid import CORNER_OFFSETS
+
+        self._corner_offsets = CORNER_OFFSETS[None, :, :]
 
     # ------------------------------------------------------------------
     # Cursor state
@@ -186,7 +308,7 @@ class FrameExecution:
         if self._scanout:
             charge = self._scanout_cycles()
         elif self._cursor < len(self._slices):
-            charge = self._wavefront_step(self._slices[self._cursor])
+            charge = self._wavefront_step(self._cursor)
         else:
             charge = self._adaptive_tail_step()
         self._cursor += 1
@@ -197,7 +319,21 @@ class FrameExecution:
         """Execute up to ``max_steps`` steps (all remaining when ``None``);
         returns the cycles charged.  This is the preemption quantum: the
         serving event loop calls ``run(quantum)`` and may hand the
-        accelerator to another client before calling it again."""
+        accelerator to another client before calling it again.
+
+        Routed through :meth:`run_vectorized` (bit-identical, much
+        faster) unless a wavefront log is attached, this is a scan-out
+        frame, or :func:`scalar_engine` disabled batching."""
+        if (
+            self._wavefront_log is None
+            and not self._scanout
+            and batched_enabled()
+        ):
+            return self.run_vectorized(max_steps)
+        return self._run_stepwise(max_steps)
+
+    def _run_stepwise(self, max_steps: Optional[int] = None) -> int:
+        """The reference path: a Python loop over :meth:`step`."""
         charged = 0
         steps = self._steps_total - self._cursor
         if max_steps is not None:
@@ -208,12 +344,115 @@ class FrameExecution:
             charged += self.step()
         return charged
 
-    def _wavefront_step(self, sl) -> int:
+    def run_vectorized(self, max_steps: Optional[int] = None) -> int:
+        """Batched form of :meth:`run`: price the next ``max_steps``
+        consecutive slices through the frame's pre-built
+        :class:`~repro.exec.batch.FramePlan` and merge their report
+        fragments — bit-identical to stepping (same arithmetic, same
+        accumulation order), minus the per-step numpy call overhead.
+
+        The plan is built lazily on first use and revalidated against the
+        temporal cache's resident token on every call, so an elastic
+        re-partition that trims the resident set between quanta transparently
+        rebuilds the remaining steps' pricing against the new content."""
+        if max_steps is not None and max_steps <= 0:
+            raise SimulationError("max_steps must be positive")
+        if self._scanout or not batched_enabled():
+            return self._run_stepwise(max_steps)
+        steps = self._steps_total - self._cursor
+        if max_steps is not None:
+            steps = min(steps, max_steps)
+        if steps <= 0:
+            return 0
+        token = (
+            self._temporal.resident_token if self._temporal is not None else None
+        )
+        if self._plan is None or self._plan.temporal_token != token:
+            from repro.exec.batch import build_frame_plans
+
+            build_frame_plans([self])
+        end = self._cursor + steps
+        charged = 0
+        points = 0
+        for planned in self._plan.steps[self._cursor : end]:
+            if planned.encoding is not None:
+                self.report.encoding.merge(planned.encoding)
+            if planned.mlp is not None:
+                self.report.mlp.merge(planned.mlp)
+            self.report.render.merge(planned.render)
+            self.report.buffer_stall_cycles += planned.stall
+            self.report.total_cycles += planned.charge
+            if self._wavefront_log is not None:
+                self._wavefront_log.append((planned.log_key, planned.charge))
+            charged += planned.charge
+            points += planned.num_points
+        self._cursor = end
+        self._points_done += points
+        # Mixed batched/stepped use must keep striping identical: request
+        # ids equal global point indices, so fast-forward the counter.
+        self._encoding_engine.skip_requests(points)
+        self._apply_plan_records()
+        return charged
+
+    def attach_plan(self, plan: "FramePlan") -> bool:
+        """Adopt a plan built elsewhere (the serving layer prices several
+        tenants' head frames in one fused batch and caches the results).
+        Returns ``False`` — leaving the execution untouched — unless the
+        plan is provably valid for this execution's current state: fresh
+        cursor, matching step/point counts, and a temporal resident token
+        equal to the one the plan's hit masks were computed against."""
+        if self._scanout or self._finalised or self._cursor != 0:
+            return False
+        token = (
+            self._temporal.resident_token if self._temporal is not None else None
+        )
+        if plan.temporal_token != token:
+            return False
+        if len(plan.steps) != self._steps_total:
+            return False
+        if plan.total_points != self._total_points:
+            return False
+        self._set_plan(plan)
+        return True
+
+    @property
+    def plan(self) -> Optional["FramePlan"]:
+        """The attached :class:`~repro.exec.batch.FramePlan`, if any —
+        consumers (the serving layer's plan cache) may re-attach it to a
+        later execution of the same frame via :meth:`attach_plan`."""
+        return self._plan
+
+    def _set_plan(self, plan: "FramePlan") -> None:
+        self._plan = plan
+        self._plan_record_idx = 0
+
+    def _apply_plan_records(self) -> None:
+        """Feed the plan's deferred temporal working-set records into the
+        cache once their wavefronts have fully executed.  Overlap with
+        records the stepped path already issued is harmless: the cache
+        commit re-uniques the union, so chunk granularity never matters."""
+        if self._plan is None or self._temporal is None:
+            return
+        records = self._plan.records
+        while (
+            self._plan_record_idx < len(records)
+            and records[self._plan_record_idx][0] <= self._cursor
+        ):
+            _, level, unique_stream = records[self._plan_record_idx]
+            self._temporal.record(unique_stream, level, assume_unique=True)
+            self._plan_record_idx += 1
+
+    def _wavefront_step(self, si: int) -> int:
         from repro.arch.trace import EncodingBatch
 
+        sl = self._slices[si]
         num_points = sl.num_points
+        base_start, base_stop = self._slice_base_ranges[si]
         corners = {
-            level: sl.corners(self._resolutions[level])
+            level: self._corner_bases[level][base_start:base_stop].astype(
+                np.int64
+            )[:, None, :]
+            + self._corner_offsets
             for level in range(self.accelerator.grid.num_levels)
         }
         batch = EncodingBatch(
@@ -225,17 +464,14 @@ class FrameExecution:
             ),
         )
         enc = self._encoding_engine.process_batch(batch, temporal=self._temporal)
-        if self._color_fraction is not None:
-            color_points = math.ceil(num_points * self._color_fraction)
-        else:
-            color_points = int(self._color_used[sl.index][sl.rays].sum())
+        color_points = self._slice_color_points[si]
         mlp = self.accelerator.mlp_engine.process(num_points, color_points)
         ren = self.accelerator.render_engine.process(
             composited_points=num_points,
             interpolated_points=num_points - color_points,
         )
         stall = self._buffers.observe_wavefront(
-            in_flight_points=min(num_points, self.accelerator.config.wavefront_rays),
+            in_flight_points=self._slice_in_flight[si],
             levels=self.accelerator.grid.num_levels,
             ray_working_points=num_points,
         )
@@ -282,6 +518,10 @@ class FrameExecution:
         if self._finalised:
             raise SimulationError("FrameExecution already finalised")
         self.run()
+        # Catch-up for mixed batched/stepped histories: any plan records
+        # not yet applied (their wavefronts finished via step()) must land
+        # in the pending set before the commit below.
+        self._apply_plan_records()
         self._finalised = True
         if self._scanout:
             self.report.bus_cycles = self.report.total_cycles

@@ -232,6 +232,11 @@ class FrameTrace:
     _memo_cache: Dict[Tuple, np.ndarray] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    # Read-only per-(config, pricing) frame setup shared by every
+    # FrameExecution over this trace — see FrameExecution.__init__.
+    _setup_cache: Dict[Tuple, tuple] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
     _memo_seen: set = field(default_factory=set, init=False, repr=False, compare=False)
     _memo_values: int = field(default=0, init=False, repr=False, compare=False)
     _ray_index: Optional[np.ndarray] = field(

@@ -32,6 +32,7 @@ elastically as the tenant set changes.  The dataflow is::
 ``serve`` experiment prints the policy comparison table.
 """
 
+from repro.serving.profiler import HotFunction, ServeProfile, profile_serve
 from repro.serving.policies import (
     ALL_POLICY_NAMES,
     DEFAULT_QUANTUM,
@@ -65,6 +66,7 @@ __all__ = [
     "ClientServeReport",
     "DeadlineAwarePolicy",
     "FIFOPolicy",
+    "HotFunction",
     "PendingFrame",
     "PreemptiveDeadlinePolicy",
     "PreemptiveRoundRobinPolicy",
@@ -72,9 +74,11 @@ __all__ = [
     "ScheduledFrame",
     "SchedulingPolicy",
     "SequenceServer",
+    "ServeProfile",
     "ServeReport",
     "WavefrontCostModel",
     "bench_summary",
     "jain_fairness",
     "make_policy",
+    "profile_serve",
 ]
