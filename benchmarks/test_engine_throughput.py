@@ -35,11 +35,13 @@ mix; CI regenerates a small-config one per push and fails on divergence.
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.exec.batch import cold_plan_point_limit
 from repro.exec.execution import scalar_engine
 from repro.exec.frame_trace import FrameTrace
 from repro.experiments.serving import default_client_mix, serve_reports
@@ -181,6 +183,69 @@ def frame_microbenchmark(
     }
 
 
+def cold_plan_benchmark(
+    sizes: Sequence[int] = (16, 32),
+    budget_scale: int = 1,
+    rounds: int = 2,
+) -> Dict[str, object]:
+    """Stepped vs planned wall-clock on *cold* frames — the measurement
+    behind :data:`repro.exec.batch.COLD_PLAN_POINT_LIMIT`.
+
+    Every timed pass builds a **fresh** trace (no memoised streams, no
+    plan — the genuinely cold case a one-shot large frame hits), so the
+    numbers show where plan assembly stops paying for itself.  ``run()``
+    consults :func:`~repro.exec.batch.plan_build_worthwhile` and falls
+    back to the stepped engine above the limit; both paths price
+    bit-identically (asserted here), so the heuristic is purely a
+    wall-clock choice.  The committed full sweep put the crossover
+    between ~47k and ~94k density points; the smoke sizes here stay
+    below it so CI never pays the slow side.
+    """
+    acc = experiment_accelerator("server")
+    points_list: List[Dict[str, object]] = []
+    for size in sizes:
+        def make_trace() -> FrameTrace:
+            cam = camera_path("orbit", 1, size, size, arc=0.4).cameras()[0]
+            budgets = (
+                (1 + (np.arange(size * size) % 8) * 3) * budget_scale
+            ).astype(np.int64)
+            return FrameTrace.from_budgets(cam, budgets)
+
+        state: Dict[str, object] = {}
+
+        def run_cold(mode: str) -> None:
+            trace = make_trace()  # fresh: cold memo, cold setup cache
+            ex = acc.trace_execution(trace)
+            if mode == "stepped":
+                with scalar_engine():
+                    state["stepped"] = _report_key(ex.finish())
+            else:
+                ex.run_vectorized()
+                state["planned"] = _report_key(ex.finish())
+            state["points"] = ex._total_points
+
+        stepped_s = _best_of(lambda: run_cold("stepped"), rounds)
+        planned_s = _best_of(lambda: run_cold("planned"), rounds)
+        assert state["stepped"] == state["planned"], (
+            "planned cold-frame pricing diverged from the stepped engine"
+        )
+        points_list.append(
+            {
+                "size": size,
+                "points": int(state["points"]),
+                "stepped_seconds": round(stepped_s, 5),
+                "planned_seconds": round(planned_s, 5),
+                "planned_over_stepped": round(
+                    planned_s / max(stepped_s, 1e-9), 3
+                ),
+            }
+        )
+    return {
+        "cold_plan_point_limit": cold_plan_point_limit(),
+        "frames": points_list,
+    }
+
+
 def engine_bench_payload(
     scene: str = "palace",
     clients: int = 6,
@@ -209,6 +274,7 @@ def engine_bench_payload(
             rounds=rounds,
         ),
         "frame_micro": frame_microbenchmark(rounds=rounds),
+        "cold_plan": cold_plan_benchmark(rounds=rounds),
     }
 
 
@@ -232,6 +298,25 @@ if pytest is not None:
             iterations=1,
         )
         assert rows == scalar_rows
+
+    def test_cold_plan_fallback_is_bit_identical(monkeypatch):
+        """Above ``REPRO_COLD_PLAN_LIMIT`` a cold `run()` falls back to
+        the stepped engine (no plan is built) and still prices
+        bit-identically to forcing the planner."""
+        acc = experiment_accelerator("server")
+        cam = camera_path("orbit", 1, 16, 16, arc=0.4).cameras()[0]
+        budgets = (1 + (np.arange(16 * 16) % 8) * 3).astype(np.int64)
+
+        monkeypatch.setenv("REPRO_COLD_PLAN_LIMIT", "1")
+        ex = acc.trace_execution(FrameTrace.from_budgets(cam, budgets))
+        fallback = _report_key(ex.finish())
+        assert ex._plan is None, "cold fallback must not build a plan"
+
+        monkeypatch.delenv("REPRO_COLD_PLAN_LIMIT")
+        ex = acc.trace_execution(FrameTrace.from_budgets(cam, budgets))
+        planned = _report_key(ex.finish())
+        assert ex._plan is not None
+        assert fallback == planned
 
     def test_frame_micro_identity(benchmark):
         """The single-frame hot loop: batched pricing matches stepping

@@ -158,6 +158,54 @@ class TemporalVertexCache:
         if trimmed:
             self._resident_key += (("trim", capacity_per_level),)
 
+    def export_state(self) -> Dict:
+        """Snapshot the committed resident state for migration hand-off.
+
+        Returns a self-contained dict (resident arrays are copied) that
+        :meth:`adopt` can seed a fresh cache from — the mechanism behind
+        tenant migration between cluster shards: the destination shard's
+        partition starts with the source's resident working set instead
+        of cold, so the first frame after the migration keeps its
+        temporal hits.  Pending (uncommitted) state is deliberately not
+        exported: hand-off happens at a frame boundary, where the commit
+        already ran.
+        """
+        return {
+            "resident": {
+                level: resident.copy()
+                for level, resident in self._resident.items()
+            },
+            "resident_tag": self._resident_tag,
+            "resident_key": self._resident_key,
+        }
+
+    def adopt(self, state: Dict) -> None:
+        """Seed this cache from another cache's :meth:`export_state`.
+
+        The resident-content key travels with the arrays, so memoised hit
+        masks computed against the source's resident set (they live on
+        the shared sequence trace, not on the cache) stay valid on the
+        adopting side.  If this cache's bound is tighter than the
+        exported set, the keep-the-lowest-addresses trim applies and the
+        key is extended — exactly the :meth:`resize` semantics, so a
+        hand-off can lose hits but never invent them.
+        """
+        self._resident = {
+            level: np.asarray(resident)
+            for level, resident in state["resident"].items()
+        }
+        self._resident_tag = state["resident_tag"]
+        self._resident_key = tuple(state["resident_key"])
+        self._pending = {}
+        if self.capacity_per_level is not None:
+            trimmed = False
+            for level, resident in self._resident.items():
+                if resident.size > self.capacity_per_level:
+                    self._resident[level] = resident[: self.capacity_per_level]
+                    trimmed = True
+            if trimmed:
+                self._resident_key += (("trim", self.capacity_per_level),)
+
     @property
     def resident_token(self) -> tuple:
         """Identity of the resident *content* — the commit/trim history key

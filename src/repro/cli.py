@@ -150,6 +150,65 @@ def _serve_policy_set(args) -> Optional[tuple]:
     return (name,)
 
 
+def _serve_cluster(args, requests, policies, wb) -> int:
+    """Fleet-mode ``repro serve``: route the client mix across
+    ``--shards`` accelerators with the ``--router`` placement policy and
+    serve each scheduling policy on the resulting placement."""
+    import json
+
+    from repro.experiments.harness import format_table
+    from repro.experiments.workbench import experiment_accelerator
+    from repro.serving.cluster import ClusterServer, cluster_bench_summary
+    from repro.serving.policies import PREEMPTIVE_POLICY_NAMES, make_policy
+
+    cluster = ClusterServer(
+        [experiment_accelerator(args.scale) for _ in range(args.shards)],
+        router=args.router,
+        group_size=wb.group_size(),
+        temporal_capacity=args.temporal_capacity,
+        shared_content=not args.no_shared_content,
+    )
+    for request in requests:
+        cluster.submit(request, wb.client_sequence(request))
+    reports = {
+        policy: cluster.serve(
+            make_policy(
+                policy,
+                quantum=(
+                    args.quantum
+                    if policy in PREEMPTIVE_POLICY_NAMES
+                    else None
+                ),
+            )
+        )
+        for policy in policies
+    }
+    print(f"== serve: {args.clients} clients on {args.scene}, "
+          f"{args.frames}x{args.size}x{args.size} "
+          f"({args.shards}x {args.scale} fleet, router {args.router}) ==")
+    rows = []
+    for policy in policies:
+        for row in reports[policy].to_rows():
+            rows.append({"policy": policy, **row})
+    print(format_table(rows))
+    for policy in policies:
+        rep = reports[policy]
+        print(
+            f"\n{policy}: {rep.total_busy_cycles / 1e3:.1f} kcycles fleet "
+            f"aggregate over {len(rep.shard_names)} shards "
+            f"({rep.total_frames} frames); fairness {rep.fairness:.3f}, "
+            f"p50/p95 latency {rep.latency_percentile_ms(50):.3f}/"
+            f"{rep.latency_percentile_ms(95):.3f} ms"
+        )
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(cluster_bench_summary(reports), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import json
 
@@ -166,6 +225,9 @@ def _cmd_serve(args) -> int:
         return 2
     if args.clients < 1:
         print("--clients must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
         return 2
     if args.quantum is not None and args.quantum < 1:
         print("--quantum must be >= 1 wavefront step", file=sys.stderr)
@@ -187,6 +249,12 @@ def _cmd_serve(args) -> int:
         size=args.size,
     )
     wb = Workbench()
+    if args.shards > 1:
+        if args.profile:
+            print("--profile is per-shard work; run it without --shards",
+                  file=sys.stderr)
+            return 2
+        return _serve_cluster(args, requests, policies, wb)
     run = lambda: serve_reports(  # noqa: E731
         wb,
         requests,
@@ -317,6 +385,8 @@ examples:
   repro serve palace --no-shared-content    # price every client as unique
   repro serve palace --profile              # hot functions + phase breakdown
   repro serve lego --json BENCH_serving.json    # machine-readable report
+  repro serve palace --shards 2             # shard tenants across a fleet
+  repro serve palace --shards 2 --router random   # placement-blind baseline
 """,
     )
     p_serve.add_argument("scene", nargs="?", default="palace")
@@ -345,6 +415,18 @@ examples:
                          help="disable cross-client content replay")
     p_serve.add_argument("--scale", choices=("server", "edge"),
                          default="server", help="accelerator design point")
+    from repro.serving.cluster import ROUTER_NAMES
+
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="accelerator fleet size; with more than one "
+                              "shard the tenants are routed across a "
+                              "ClusterServer instead of one SequenceServer "
+                              "(default 1)")
+    p_serve.add_argument("--router", choices=ROUTER_NAMES,
+                         default="affinity",
+                         help="tenant placement policy for --shards > 1 "
+                              "(default affinity: co-locate twins so "
+                              "content replay and the temporal cache fire)")
     p_serve.add_argument("--profile", action="store_true",
                          help="run the serving loop under cProfile and "
                               "print a hot-function table plus per-phase "

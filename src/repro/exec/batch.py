@@ -64,6 +64,7 @@ predecessor, so the prices cannot depend on how the quanta interleave.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -136,6 +137,54 @@ def build_frame_plans(
     for ex, plan in zip(executions, plans):
         ex._set_plan(plan)
     return plans
+
+
+#: Density-point count above which a *cold* frame (no memoised streams,
+#: no reuse signal) is cheaper to run on the stepped engine than to plan:
+#: plan assembly is dominated by the fused whole-frame stream
+#: derivations, whose cost grows superlinearly with the concatenated
+#: stream length while their payoff (per-step numpy call overhead
+#: removed) grows only with step count.  Measured on the
+#: `benchmarks/test_engine_throughput.py` cold-frame sweep (planning won
+#: below ~47k points, lost 1.3-3.9x from ~94k up); override with
+#: ``REPRO_COLD_PLAN_LIMIT`` (``0`` disables the fallback entirely,
+#: i.e. always plan).
+COLD_PLAN_POINT_LIMIT = 65_536
+
+
+def cold_plan_point_limit() -> int:
+    """The cold-frame point limit, honouring ``REPRO_COLD_PLAN_LIMIT``."""
+    raw = os.environ.get("REPRO_COLD_PLAN_LIMIT")
+    if raw is None:
+        return COLD_PLAN_POINT_LIMIT
+    try:
+        return int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"REPRO_COLD_PLAN_LIMIT must be an integer, got {raw!r}"
+        ) from None
+
+
+def plan_build_worthwhile(ex: "FrameExecution") -> bool:
+    """Whether planning ``ex`` beats stepping it — the size/reuse
+    heuristic behind the engine's cold-plan fallback.
+
+    Planning always wins on small/medium frames and on any frame whose
+    derived streams are already warm on the trace memo (a replayed frame,
+    or a serving tenant whose plan was batched earlier — replaying
+    memoised streams skips the expensive derivations, so assembly is
+    nearly free).  Only a *large cold* frame loses: there the stepped
+    engine is cheaper, and since both paths are bit-identical the choice
+    is purely a wall-clock one.
+    """
+    limit = cold_plan_point_limit()
+    if limit <= 0 or ex._total_points <= limit:
+        return True
+    config = ex.accelerator.config
+    sk = tuple(ex._encoding_engine.stream_key)
+    return ex._memo_scope.memo_contains(
+        ("fplan", config.wavefront_rays, "addr", 0) + sk
+    )
 
 
 # ----------------------------------------------------------------------

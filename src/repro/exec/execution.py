@@ -207,6 +207,7 @@ class FrameExecution:
         self._finalised = False
         self._plan: Optional["FramePlan"] = None
         self._plan_record_idx = 0
+        self._plan_choice: Optional[bool] = None
 
         if scanout:
             self._slices: List = []
@@ -323,14 +324,31 @@ class FrameExecution:
 
         Routed through :meth:`run_vectorized` (bit-identical, much
         faster) unless a wavefront log is attached, this is a scan-out
-        frame, or :func:`scalar_engine` disabled batching."""
+        frame, :func:`scalar_engine` disabled batching, or the frame is
+        large *and* cold (see
+        :func:`~repro.exec.batch.plan_build_worthwhile` — plan assembly
+        would cost more than stepping, and both paths price
+        identically)."""
         if (
             self._wavefront_log is None
             and not self._scanout
             and batched_enabled()
+            and self._plan_worthwhile()
         ):
             return self.run_vectorized(max_steps)
         return self._run_stepwise(max_steps)
+
+    def _plan_worthwhile(self) -> bool:
+        """Size/reuse heuristic for the batched path, decided once per
+        execution (the answer cannot improve mid-frame, and flip-flopping
+        between engines would waste a partially-consumed plan)."""
+        if self._plan is not None:
+            return True
+        if self._plan_choice is None:
+            from repro.exec.batch import plan_build_worthwhile
+
+            self._plan_choice = plan_build_worthwhile(self)
+        return self._plan_choice
 
     def _run_stepwise(self, max_steps: Optional[int] = None) -> int:
         """The reference path: a Python loop over :meth:`step`."""

@@ -26,6 +26,7 @@ pay for corner derivation once.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -242,6 +243,9 @@ class FrameTrace:
     _ray_index: Optional[np.ndarray] = field(
         default=None, init=False, repr=False, compare=False
     )
+    _content_digest: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Construction
@@ -396,6 +400,47 @@ class FrameTrace:
         base = self.voxel_base(index, resolution)[points].astype(np.int64)
         return base[:, None, :] + CORNER_OFFSETS[None, :, :]
 
+    def content_digest(self) -> bytes:
+        """Stable digest of the trace *content* — everything pricing can
+        depend on (structure fields plus every wavefront's arrays).
+
+        Two traces with equal digests price identically on any
+        accelerator, so consumers that cache per-trace results across
+        object lifetimes (the serving layer's plan and scan-out caches)
+        key by this digest instead of ``id()``: a recycled object address
+        can never alias a different trace's cached prices, and twin
+        tenants whose traces are distinct objects with equal content
+        share entries.  Computed once and cached on the instance (traces
+        are immutable once recorded).
+        """
+        if self._content_digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(
+                repr(
+                    (
+                        self.num_pixels,
+                        self.full_budget,
+                        self.kind,
+                        self.group_size,
+                        self.difficulty_evals,
+                        len(self.wavefronts),
+                    )
+                ).encode()
+            )
+            for wf in self.wavefronts:
+                h.update(repr((wf.phase, wf.budget)).encode())
+                h.update(np.ascontiguousarray(wf.ray_ids, np.int64).tobytes())
+                h.update(np.ascontiguousarray(wf.hit, bool).tobytes())
+                h.update(np.ascontiguousarray(wf.used, np.int64).tobytes())
+                h.update(
+                    np.ascontiguousarray(wf.color_used, np.int64).tobytes()
+                )
+                h.update(
+                    np.ascontiguousarray(wf.points, np.float64).tobytes()
+                )
+            self._content_digest = h.digest()
+        return self._content_digest
+
     def memo(self, key: Tuple, compute) -> np.ndarray:
         """Memoise a stream-derived array under ``key`` (bounded).
 
@@ -423,6 +468,14 @@ class FrameTrace:
         """A ``(key, compute)`` hook scoped to ``prefix`` (one wavefront
         slice), handed to consumers via ``EncodingBatch.memo``."""
         return lambda key, compute: self.memo(prefix + key, compute)
+
+    def memo_contains(self, key: Tuple) -> bool:
+        """Whether ``key`` has been requested before (a warmth probe — the
+        batched engine's cold-plan heuristic asks before committing to an
+        expensive stream derivation).  Counts the see-once set too: a
+        stream requested even once predicts the trace is being replayed,
+        which is exactly when plan assembly amortises."""
+        return key in self._memo_cache or key in self._memo_seen
 
     # ------------------------------------------------------------------
     # Profiler access

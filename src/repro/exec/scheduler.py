@@ -248,10 +248,16 @@ class TemporalCachePartitions:
         for cache in self._caches.values():
             cache.resize(share)
 
-    def admit(self, tenant: str) -> TemporalVertexCache:
+    def admit(
+        self, tenant: str, seed: Optional[Dict] = None
+    ) -> TemporalVertexCache:
         """Add a tenant mid-run; every partition shrinks to the new share.
 
-        Returns the new tenant's (empty) partition.
+        Returns the new tenant's partition — empty unless ``seed`` is an
+        exported cache state (see :meth:`export_state`), in which case the
+        partition adopts the seeded resident set before the rebalance;
+        this is the migration hand-off path, where a tenant arrives on a
+        shard carrying the temporal working set it built on another.
 
         Raises:
             ConfigurationError: On a duplicate tenant id, or when the
@@ -269,9 +275,21 @@ class TemporalCachePartitions:
             )
         # Insert with the current share (rebalance below tightens it), so
         # the new cache is constructed under a valid bound.
-        self._caches[tenant] = TemporalVertexCache(self.per_tenant_capacity)
+        cache = TemporalVertexCache(self.per_tenant_capacity)
+        if seed is not None:
+            cache.adopt(seed)
+        self._caches[tenant] = cache
         self._rebalance()
         return self._caches[tenant]
+
+    def export_state(self, tenant: str) -> Dict:
+        """Snapshot a tenant's partition for cross-shard hand-off.
+
+        The snapshot is self-contained (see
+        :meth:`~repro.cim.cache.TemporalVertexCache.export_state`) and
+        can seed :meth:`admit` on another shard's partitions.
+        """
+        return self.cache_for(tenant).export_state()
 
     def release(self, tenant: str) -> TemporalVertexCache:
         """Remove a departing tenant; survivors inherit its budget share.

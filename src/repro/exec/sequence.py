@@ -37,6 +37,7 @@ run — derive address gaps and temporal hit masks once.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -129,6 +130,9 @@ class SequenceTrace:
     _deltas: Dict[Tuple, List[TemporalDelta]] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    _content_token: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.frames:
@@ -191,6 +195,38 @@ class SequenceTrace:
             if self.replays[k] is None
         )
 
+    def content_token(self) -> bytes:
+        """Stable digest of the whole sequence's content: per-frame trace
+        digests plus the replay/plan structure and path identity.
+
+        Two sequences with equal tokens simulate identically, so caches
+        that outlive trace objects (the serving layer's cross-run plan
+        cache) key by this token — never by ``id()``, which CPython
+        recycles after garbage collection.  Twin clients sharing one
+        memoised trace object trivially share the token; equal-content
+        sequences rebuilt via :meth:`from_dict` share it too.  Computed
+        once and cached (sequences are immutable once recorded).
+        """
+        if self._content_token is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(
+                repr(
+                    (
+                        self.kind,
+                        self.path_key,
+                        tuple(self.planned),
+                        tuple(
+                            -1 if j is None else j for j in self.replays
+                        ),
+                    )
+                ).encode()
+            )
+            for k, frame in enumerate(self.frames):
+                if self.replays[k] is None:
+                    h.update(frame.content_digest())
+            self._content_token = h.digest()
+        return self._content_token
+
     # ------------------------------------------------------------------
     # Cross-frame memoisation
     # ------------------------------------------------------------------
@@ -214,6 +250,11 @@ class SequenceTrace:
         """A ``(key, compute)`` hook scoped under ``prefix`` (typically a
         frame index), handed to the simulator's encoding batches."""
         return lambda key, compute: self.memo(prefix + key, compute)
+
+    def memo_contains(self, key: Tuple) -> bool:
+        """Whether ``key`` is already memoised (the batched engine's
+        cold-plan heuristic probes stream warmth before building)."""
+        return key in self._memo
 
     # ------------------------------------------------------------------
     # Temporal diff pass

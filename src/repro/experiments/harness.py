@@ -61,6 +61,7 @@ def load_experiments() -> Dict[str, Tuple[str, Callable[[Workbench], Rows]]]:
     avoiding a circular import at package-import time.
     """
     from repro.experiments import (  # noqa: F401
+        cluster,
         extensions,
         gpu_sw,
         hwconfigs,

@@ -30,8 +30,25 @@ elastically as the tenant set changes.  The dataflow is::
 ``repro serve`` drives it from the command line (``--preemptive
 --quantum N``, ``--json`` for the machine-readable summary); the
 ``serve`` experiment prints the policy comparison table.
+
+Above the single box, :class:`~repro.serving.cluster.ClusterServer`
+shards tenants across a *fleet* of accelerators (``repro serve --shards
+N --router affinity``): content-affinity routing keeps twin and
+pose-overlapping tenants co-located so the sharing levers still fire,
+migrations hand temporal-cache state between shards, and spare
+accelerators join elastically under load.  A
+:class:`~repro.serving.cluster.ClusterReport` nests the per-shard
+reports under fleet-level utilisation/fairness/latency aggregates.
 """
 
+from repro.serving.cluster import (
+    ROUTER_NAMES,
+    ClusterReport,
+    ClusterServer,
+    Migration,
+    ShardUtilisation,
+    cluster_bench_summary,
+)
 from repro.serving.profiler import HotFunction, ServeProfile, profile_serve
 from repro.serving.policies import (
     ALL_POLICY_NAMES,
@@ -62,11 +79,15 @@ __all__ = [
     "DEFAULT_QUANTUM",
     "POLICY_NAMES",
     "PREEMPTIVE_POLICY_NAMES",
+    "ROUTER_NAMES",
     "ClientRequest",
     "ClientServeReport",
+    "ClusterReport",
+    "ClusterServer",
     "DeadlineAwarePolicy",
     "FIFOPolicy",
     "HotFunction",
+    "Migration",
     "PendingFrame",
     "PreemptiveDeadlinePolicy",
     "PreemptiveRoundRobinPolicy",
@@ -76,8 +97,10 @@ __all__ = [
     "SequenceServer",
     "ServeProfile",
     "ServeReport",
+    "ShardUtilisation",
     "WavefrontCostModel",
     "bench_summary",
+    "cluster_bench_summary",
     "jain_fairness",
     "make_policy",
     "profile_serve",

@@ -104,6 +104,10 @@ class ClientServeReport:
         aborted_frames: Frames cancelled by the client's departure
             (undelivered; at most one of them — the in-flight frame —
             contributed service cycles).
+        twin_deferrals: Scheduling decisions at which one of this
+            client's frames was deferred because its content was
+            mid-flight on another tenant (waiting to deliver as a
+            cross-client replay instead of executing fresh).
     """
 
     client_id: str
@@ -121,6 +125,7 @@ class ClientServeReport:
     deadline_misses: int = 0
     preemptions: int = 0
     aborted_frames: int = 0
+    twin_deferrals: int = 0
 
     @property
     def frames(self) -> int:
@@ -317,6 +322,7 @@ class ServeReport:
                     "deadline_misses": c.deadline_misses,
                     "preemptions": c.preemptions,
                     "aborted_frames": c.aborted_frames,
+                    "twin_deferrals": c.twin_deferrals,
                 }
                 for c in self.clients
             ],

@@ -58,6 +58,7 @@ deterministic for a fixed arrival order.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -83,6 +84,43 @@ from repro.serving.request import ClientRequest
 #: pre-calibration ordering and derived deadlines; every policy is
 #: deterministic for any choice).
 INITIAL_CYCLES_PER_POINT = 2.0
+
+
+class _LRUCache:
+    """Small bounded mapping with least-recently-used eviction.
+
+    The server's cross-run caches (pricing plans, scan-out prices) must
+    not grow without limit on a long-lived server that admits and
+    releases clients forever, so both are bounded; ``get`` refreshes
+    recency, ``__contains__`` deliberately does not (membership probes
+    are not uses).
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ConfigurationError("LRU cache size must be positive")
+        self.maxsize = maxsize
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class WavefrontCostModel:
@@ -145,7 +183,13 @@ class WavefrontCostModel:
 
 @dataclass
 class _Client:
-    """Admitted request plus its rendered sequence and schedule state."""
+    """Admitted request plus its rendered sequence and schedule state.
+
+    ``start_frame``/``end_frame`` bound the delivered window — a migrated
+    tenant serves only the tail of its sequence on the destination shard
+    (and only the head on the source).  ``cache_seed`` optionally carries
+    an exported temporal-cache state adopted at admission (the hand-off).
+    """
 
     request: ClientRequest
     trace: SequenceTrace
@@ -153,10 +197,24 @@ class _Client:
     pose_keys: List[bytes]
     order: int
     deadlines: List[Optional[int]] = field(default_factory=list)
+    start_frame: int = 0
+    end_frame: Optional[int] = None
+    cache_seed: Optional[Dict] = None
 
     @property
     def id(self) -> str:
         return self.request.client_id
+
+    @property
+    def end(self) -> int:
+        """Exclusive end of the delivered frame window."""
+        return (
+            len(self.items) if self.end_frame is None else self.end_frame
+        )
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        return (self.start_frame, self.end)
 
 
 class SequenceServer:
@@ -178,6 +236,14 @@ class SequenceServer:
             tenant (preemptive policies only; 0 = free switches).  The
             overhead is accounted *next to* per-client service cycles,
             never inside them, so conservation stays exact.
+        twin_defer_limit: Under preemptive policies, a frame whose
+            content is currently executing fresh on another tenant (a
+            mid-flight twin) is *deferred* until the leader's scan-out
+            commit — it then delivers as a cross-client replay instead
+            of double-charging the shared content.  The limit is the
+            starvation guard: after this many deferred scheduling
+            decisions the follower executes fresh regardless.  ``0``
+            disables deferral (the pre-fix behaviour).
 
     Example lifecycle::
 
@@ -187,6 +253,11 @@ class SequenceServer:
         report = server.serve("round_robin_preemptive")
     """
 
+    #: Bounds of the cross-run caches — generous for any realistic tenant
+    #: mix, small enough that a never-restarted server stays flat.
+    PLAN_CACHE_SIZE = 512
+    SCANOUT_MEMO_SIZE = 1024
+
     def __init__(
         self,
         accelerator: ASDRAccelerator,
@@ -194,28 +265,41 @@ class SequenceServer:
         temporal_capacity: Optional[int] = None,
         shared_content: bool = True,
         context_switch_cycles: int = 0,
+        twin_defer_limit: int = 256,
     ) -> None:
         if context_switch_cycles < 0:
             raise ConfigurationError("context_switch_cycles must be >= 0")
+        if twin_defer_limit < 0:
+            raise ConfigurationError("twin_defer_limit must be >= 0")
         self.accelerator = accelerator
         self.group_size = group_size
         self.temporal_capacity = temporal_capacity
         self.shared_content = shared_content
         self.context_switch_cycles = context_switch_cycles
+        self.twin_defer_limit = twin_defer_limit
         self._clients: List[_Client] = []
-        self._alone_cycles: Dict[str, int] = {}
-        self._scanout_memo: Dict[Tuple, int] = {}
-        # Batched pricing plans, content-addressed by (sequence identity,
-        # frame, temporal resident token).  A plan depends only on the
-        # frame trace, the accelerator, the pricing knobs (fixed per
+        self._order_counter = 0
+        self._alone_cycles: Dict[Tuple, int] = {}
+        self._scanout_memo = _LRUCache(self.SCANOUT_MEMO_SIZE)
+        # Batched pricing plans, content-addressed by (sequence content
+        # token, frame, temporal resident token).  A plan depends only on
+        # the frame trace, the accelerator, the pricing knobs (fixed per
         # server) and the temporal resident content; the token is the
-        # cache's commit/trim history, and for one shared sequence equal
-        # histories commit equal streams — so equal keys imply equal
-        # plans.  Keying by content (not client id) lets twin clients of
-        # popular sequences share builds, and entries survive across
-        # policies and serve() runs.  `FrameExecution.attach_plan`
-        # revalidates the token on every reuse regardless.
-        self._plan_cache: Dict[Tuple, FramePlan] = {}
+        # cache's commit/trim history, and for equal-content sequences
+        # equal histories commit equal streams — so equal keys imply
+        # equal plans.  Keying by *content* (never ``id()`` — CPython
+        # reuses object ids after garbage collection, which on a
+        # long-lived server serves a stale plan for the wrong trace) lets
+        # twin clients of popular sequences share builds, and entries
+        # survive across policies and serve() runs.
+        # `FrameExecution.attach_plan` revalidates the token on every
+        # reuse regardless.  Both caches are LRU-bounded.
+        self._plan_cache = _LRUCache(self.PLAN_CACHE_SIZE)
+        #: Per-tenant temporal partitions as they stood when each client
+        #: left the most recent serve() run (retired or aborted) — the
+        #: source side of a migration hand-off reads its exported state
+        #: from here.  Reset at the start of every run.
+        self.last_run_caches: Dict[str, TemporalVertexCache] = {}
 
     # ------------------------------------------------------------------
     # Admission
@@ -224,6 +308,9 @@ class SequenceServer:
         self,
         request: ClientRequest,
         sequence: Union[SequenceRender, SequenceTrace],
+        start_frame: int = 0,
+        end_frame: Optional[int] = None,
+        cache_seed: Optional[Dict] = None,
     ) -> None:
         """Admit one client with its rendered sequence.
 
@@ -233,10 +320,21 @@ class SequenceServer:
                 :class:`~repro.exec.sequence.SequenceRender` (as returned
                 by the Workbench) or its
                 :class:`~repro.exec.sequence.SequenceTrace` directly.
+            start_frame: First frame this server delivers (a migrated
+                tenant resumes mid-sequence; earlier frames were served
+                elsewhere).
+            end_frame: Exclusive end of the delivered window (``None`` =
+                the whole sequence) — the source side of a migration
+                serves only the head.
+            cache_seed: Exported temporal-cache state (see
+                :meth:`~repro.exec.scheduler.TemporalCachePartitions.
+                export_state`) adopted when the tenant's partition is
+                created — the migration hand-off.  ``None`` = cold.
 
         Raises:
-            ConfigurationError: On duplicate client ids or a sequence
-                whose frame count does not match the request's path.
+            ConfigurationError: On duplicate client ids, a sequence whose
+                frame count does not match the request's path, or an
+                invalid frame window.
         """
         trace = getattr(sequence, "trace", sequence)
         if not isinstance(trace, SequenceTrace):
@@ -254,15 +352,59 @@ class SequenceServer:
                 f"client {request.client_id!r}: path has {len(cameras)} "
                 f"frames but the sequence has {trace.num_frames}"
             )
+        end = trace.num_frames if end_frame is None else end_frame
+        if not 0 <= start_frame < end <= trace.num_frames:
+            raise ConfigurationError(
+                f"client {request.client_id!r}: invalid frame window "
+                f"[{start_frame}, {end}) for {trace.num_frames} frames"
+            )
         self._clients.append(
             _Client(
                 request=request,
                 trace=trace,
                 items=sequence_work_items(request.client_id, trace),
                 pose_keys=[pose_key(cam) for cam in cameras],
-                order=len(self._clients),
+                order=self._order_counter,
+                start_frame=start_frame,
+                end_frame=end_frame,
+                cache_seed=cache_seed,
             )
         )
+        self._order_counter += 1
+
+    def release(self, client_id: str) -> None:
+        """Forget an admitted client entirely.
+
+        After release the server holds no reference to the client's trace
+        — CPython may garbage-collect it and *reuse its* ``id()`` for a
+        later submission's trace, which is exactly why every server cache
+        is keyed by content, never by object identity.
+        """
+        client = self._find(client_id)
+        self._clients.remove(client)
+        for key in [k for k in self._alone_cycles if k[0] == client_id]:
+            del self._alone_cycles[key]
+        self.last_run_caches.pop(client_id, None)
+
+    def truncate_client(
+        self, client_id: str, end_frame: Optional[int]
+    ) -> None:
+        """Re-bound a client's delivered window (``None`` = full length).
+
+        The cluster layer truncates the source copy of a migrating tenant
+        at the migration frame — and un-truncates it afterwards so the
+        server stays re-entrant across cluster runs.
+        """
+        client = self._find(client_id)
+        if end_frame is not None and not (
+            client.start_frame < end_frame <= client.trace.num_frames
+        ):
+            raise ConfigurationError(
+                f"client {client_id!r}: invalid end_frame {end_frame} for "
+                f"window starting at {client.start_frame} with "
+                f"{client.trace.num_frames} frames"
+            )
+        client.end_frame = end_frame
 
     @property
     def num_clients(self) -> int:
@@ -272,13 +414,22 @@ class SequenceServer:
     # Reference costs
     # ------------------------------------------------------------------
     def alone_cycles(self, client_id: str) -> int:
-        """Cycles the client's sequence costs running alone on this
-        accelerator — the back-to-back reference and the slowdown
+        """Cycles the client's delivered window costs running alone on
+        this accelerator — the back-to-back reference and the slowdown
         denominator.  Alone means the *full* temporal-cache budget, so
         with a bounded ``temporal_capacity`` a served client (holding
-        only its partition) can legitimately cost more than this."""
-        if client_id not in self._alone_cycles:
-            client = self._find(client_id)
+        only its partition) can legitimately cost more than this.
+
+        For a windowed (migrated-tail) client, frames before
+        ``start_frame`` still execute to warm the temporal cache — the
+        reference assumes the hand-off carried the working set — but only
+        the window's frames count.  A cold restart therefore shows up as
+        extra measured slowdown, which is the point.
+        """
+        client = self._find(client_id)
+        memo_key = (client_id,) + client.window
+        if memo_key not in self._alone_cycles:
+            start, end = client.window
             # Equivalent to `accelerator.simulate_sequence(...)`, unrolled
             # so the per-frame batched pricing plans it builds seed the
             # server's plan cache: when a partition's resident token later
@@ -294,15 +445,19 @@ class SequenceServer:
                     temporal=cache,
                 )
             ):
-                key = (id(client.trace), k, cache.resident_token)
+                key = (client.trace.content_token(), k, cache.resident_token)
                 cached = self._plan_cache.get(key)
                 if cached is not None:
                     ex.attach_plan(cached)
-                total += ex.finish().total_cycles
+                cycles = ex.finish().total_cycles
+                if start <= k:
+                    total += cycles
                 if ex.plan is not None and key not in self._plan_cache:
-                    self._plan_cache[key] = ex.plan
-            self._alone_cycles[client_id] = total
-        return self._alone_cycles[client_id]
+                    self._plan_cache.put(key, ex.plan)
+                if k + 1 >= end:
+                    break
+            self._alone_cycles[memo_key] = total
+        return self._alone_cycles[memo_key]
 
     def back_to_back_cycles(self) -> int:
         """Sum of every admitted client's alone cycles — what the same
@@ -320,14 +475,19 @@ class SequenceServer:
     # ------------------------------------------------------------------
     def _scanout_cycles(self, trace: SequenceTrace, frame: int) -> int:
         """Exact cycles of delivering a frame by scan-out, priced by the
-        accelerator itself (memoised per frame trace) so the scheduler's
-        estimates stay definitionally equal to the eventual charge."""
-        key = (id(trace.frames[frame]), trace.frames[frame].rendered_pixels)
-        if key not in self._scanout_memo:
-            self._scanout_memo[key] = self.accelerator.simulate_scanout(
+        accelerator itself (memoised) so the scheduler's estimates stay
+        definitionally equal to the eventual charge.  Scan-out is a pure
+        function of the frame's rendered pixel count (one framebuffer bus
+        transfer plus fixed per-pixel energy), so that count *is* the
+        content key — no object identity involved."""
+        key = ("scanout", trace.frames[frame].rendered_pixels)
+        cached = self._scanout_memo.get(key)
+        if cached is None:
+            cached = self.accelerator.simulate_scanout(
                 trace.frames[frame]
             ).total_cycles
-        return self._scanout_memo[key]
+            self._scanout_memo.put(key, cached)
+        return cached
 
     def _prepare_plans(
         self,
@@ -336,6 +496,7 @@ class SequenceServer:
         item: FrameWorkItem,
         ready: List[_Client],
         hits: List[bool],
+        blocked: List[bool],
         items: Dict[str, List[FrameWorkItem]],
         next_frame: Dict[str, int],
         partitions: TemporalCachePartitions,
@@ -359,7 +520,7 @@ class SequenceServer:
             return
         to_build: List[Tuple[Tuple, FrameExecution]] = []
         key = (
-            id(client.trace),
+            client.trace.content_token(),
             k,
             partitions.cache_for(client.id).resident_token,
         )
@@ -372,9 +533,15 @@ class SequenceServer:
                 continue
             kc = next_frame[c.id]
             it = items[c.id][kc]
-            if it.started or it.mode == WORK_REPLAY or hits[i]:
+            if it.started or it.mode == WORK_REPLAY or hits[i] or blocked[i]:
+                # Blocked twins are deferred expecting a scan-out
+                # delivery — pre-pricing them would waste the build.
                 continue
-            key = (id(c.trace), kc, partitions.cache_for(c.id).resident_token)
+            key = (
+                c.trace.content_token(),
+                kc,
+                partitions.cache_for(c.id).resident_token,
+            )
             if key in self._plan_cache or key in queued:
                 continue
             ex = self.accelerator.frame_execution(
@@ -390,7 +557,7 @@ class SequenceServer:
             return
         plans = build_frame_plans([entry[1] for entry in to_build])
         for (key, _), plan in zip(to_build, plans):
-            self._plan_cache[key] = plan
+            self._plan_cache.put(key, plan)
 
     def _derive_deadlines(self) -> None:
         """Fix per-frame deadlines before the run starts.
@@ -402,17 +569,19 @@ class SequenceServer:
         """
         n = len(self._clients)
         for client in self._clients:
+            start, end = client.window
+            window_items = client.items[start:end]
             interval = client.request.frame_interval_cycles
             if interval is None:
                 est = sum(
                     self._scanout_cycles(client.trace, item.frame)
                     if item.mode == WORK_REPLAY
                     else item.cost_hint * INITIAL_CYCLES_PER_POINT
-                    for item in client.items
+                    for item in window_items
                 )
-                interval = max(1, math.ceil(est / len(client.items))) * n
+                interval = max(1, math.ceil(est / len(window_items))) * n
             client.deadlines = [
-                client.request.arrival_cycle + (k + 1) * interval
+                client.request.arrival_cycle + (k - start + 1) * interval
                 for k in range(len(client.items))
             ]
 
@@ -479,6 +648,14 @@ class SequenceServer:
         partitions = TemporalCachePartitions([], self.temporal_capacity)
         cost_model = WavefrontCostModel()
         executed: Set[Tuple] = set()
+        # Content currently executing *fresh* on some tenant: content id
+        # -> leader client id.  Under a preemptive policy an unstarted
+        # twin of an in-flight frame defers (bounded by the starvation
+        # guard) so it can deliver as a scan-out replay after the
+        # leader's commit instead of double-charging shared content.
+        in_flight_content: Dict[Tuple, str] = {}
+        defer_counts: Dict[Tuple[str, int], int] = {}
+        self.last_run_caches = {}
         reports = {
             c.id: ClientServeReport(
                 client_id=c.id,
@@ -489,7 +666,8 @@ class SequenceServer:
             )
             for c in self._clients
         }
-        next_frame = {c.id: 0 for c in self._clients}
+        next_frame = {c.id: c.start_frame for c in self._clients}
+        ends = {c.id: c.end for c in self._clients}
         finished: Set[str] = set()  # departed or fully served
         admitted: Set[str] = set()
         schedule: List[ScheduledFrame] = []
@@ -504,15 +682,22 @@ class SequenceServer:
         def unfinished() -> List[_Client]:
             return [
                 c for c in self._clients
-                if c.id not in finished and next_frame[c.id] < len(items[c.id])
+                if c.id not in finished and next_frame[c.id] < ends[c.id]
             ]
 
         def retire(client: _Client) -> None:
-            """Remove a finished/departed tenant from the elastic set."""
+            """Remove a finished/departed tenant from the elastic set.
+
+            The released partition is kept on ``last_run_caches`` so a
+            cluster can export the tenant's temporal state for a
+            migration hand-off after this run completes.
+            """
             nonlocal engine_owner
             finished.add(client.id)
             if client.id in partitions.tenants:
-                partitions.release(client.id)
+                self.last_run_caches[client.id] = partitions.release(
+                    client.id
+                )
             if engine_owner == client.id:
                 engine_owner = None
 
@@ -551,8 +736,14 @@ class SequenceServer:
             deadline = client.deadlines[k]
             if deadline is not None and clock > deadline:
                 rep.deadline_misses += 1
+            for cid_key in [
+                key
+                for key, owner in in_flight_content.items()
+                if owner == client.id
+            ]:
+                del in_flight_content[cid_key]
             next_frame[client.id] = k + 1
-            if next_frame[client.id] == len(items[client.id]):
+            if next_frame[client.id] == ends[client.id]:
                 retire(client)
 
         def abort(client: _Client) -> None:
@@ -561,7 +752,7 @@ class SequenceServer:
             the client — conservation), free the cache share."""
             rep = reports[client.id]
             head = next_frame[client.id]
-            pending_items = items[client.id][head:]
+            pending_items = items[client.id][head : ends[client.id]]
             rep.aborted_frames += len(pending_items)
             if pending_items and pending_items[0].in_flight:
                 item = pending_items[0]
@@ -581,6 +772,12 @@ class SequenceServer:
                         delivered=False,
                     )
                 )
+            for cid_key in [
+                key
+                for key, owner in in_flight_content.items()
+                if owner == client.id
+            ]:
+                del in_flight_content[cid_key]
             retire(client)
 
         while True:
@@ -603,16 +800,24 @@ class SequenceServer:
             #    partition; everyone present re-splits the budget.
             for c in ready:
                 if c.id not in admitted:
-                    partitions.admit(c.id)
+                    partitions.admit(c.id, seed=c.cache_seed)
                     admitted.add(c.id)
 
             # 3. Build the candidate set (one head frame per ready client).
+            #    A candidate is *blocked* when its content is mid-flight
+            #    on another tenant (the leader): deferring it lets the
+            #    leader's scan-out commit turn it into a replay.  The
+            #    per-frame defer count bounds the wait (starvation
+            #    guard); the leader itself is always selectable, so the
+            #    loop cannot stall.
             pending: List[PendingFrame] = []
             hits: List[bool] = []
+            blocked: List[bool] = []
             for c in ready:
                 k = next_frame[c.id]
                 item = items[c.id][k]
                 rep = reports[c.id]
+                blk = False
                 if item.started:
                     # Locked in as a fresh execution; estimate remaining.
                     hit = False
@@ -627,7 +832,18 @@ class SequenceServer:
                         est = float(self._scanout_cycles(c.trace, k))
                     else:
                         est = cost_model.estimate(item.cost_hint)
+                        if self.shared_content and self.twin_defer_limit > 0:
+                            leader = in_flight_content.get(seq_id)
+                            if leader is None and pose_id is not None:
+                                leader = in_flight_content.get(pose_id)
+                            blk = (
+                                leader is not None
+                                and leader != c.id
+                                and defer_counts.get((c.id, k), 0)
+                                < self.twin_defer_limit
+                            )
                 hits.append(hit)
+                blocked.append(blk)
                 pending.append(
                     PendingFrame(
                         item=item,
@@ -644,11 +860,34 @@ class SequenceServer:
                     )
                 )
 
-            chosen = policy.select(pending, clock)
-            if not 0 <= chosen < len(pending):
-                raise ConfigurationError(
-                    f"policy {policy.name!r} selected invalid index {chosen}"
-                )
+            selectable = (
+                [i for i, b in enumerate(blocked) if not b]
+                if any(blocked)
+                else None
+            )
+            if selectable:
+                for i, b in enumerate(blocked):
+                    if b:
+                        twin = ready[i]
+                        tk = (twin.id, next_frame[twin.id])
+                        defer_counts[tk] = defer_counts.get(tk, 0) + 1
+                        reports[twin.id].twin_deferrals += 1
+                sub = [pending[i] for i in selectable]
+                rel = policy.select(sub, clock)
+                if not 0 <= rel < len(sub):
+                    raise ConfigurationError(
+                        f"policy {policy.name!r} selected invalid index {rel}"
+                    )
+                chosen = selectable[rel]
+            else:
+                # No blocking (or — defensively — everything blocked, in
+                # which case deferral is waived rather than stalling).
+                chosen = policy.select(pending, clock)
+                if not 0 <= chosen < len(pending):
+                    raise ConfigurationError(
+                        f"policy {policy.name!r} selected invalid index "
+                        f"{chosen}"
+                    )
             client = ready[chosen]
             k = next_frame[client.id]
             item = items[client.id][k]
@@ -697,8 +936,17 @@ class SequenceServer:
                     temporal=partitions.cache_for(client.id),
                 )
                 item.start_cycle = clock
+                if self.shared_content:
+                    # This tenant now leads its content: unstarted twins
+                    # defer until the commit in `complete_frame` (or this
+                    # client's abort) clears the claim.
+                    seq_id, pose_id = self._content_ids(client, k)
+                    in_flight_content.setdefault(seq_id, client.id)
+                    if pose_id is not None:
+                        in_flight_content.setdefault(pose_id, client.id)
                 self._prepare_plans(
-                    client, k, item, ready, hits, items, next_frame, partitions
+                    client, k, item, ready, hits, blocked, items,
+                    next_frame, partitions,
                 )
 
             points_before = item.execution.points_done

@@ -48,6 +48,15 @@ class TestHarness:
     def test_format_empty(self):
         assert format_table([]) == "(no rows)"
 
+    def test_cluster_experiment_rows(self, wb):
+        """The registered fleet experiment: per-shard rows plus one fleet
+        aggregate row for each compared router."""
+        rows = run_experiment("cluster", wb, print_output=False)
+        assert {r["router"] for r in rows} == {"affinity", "random"}
+        for router in ("affinity", "random"):
+            shard_col = [r["shard"] for r in rows if r["router"] == router]
+            assert shard_col == ["shard0", "shard1", "(fleet)"]
+
 
 class TestWorkbench:
     def test_dataset_memoised(self, wb):

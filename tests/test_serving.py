@@ -45,7 +45,11 @@ from repro.serving.policies import (
 )
 from repro.serving.report import jain_fairness
 from repro.serving.request import ClientRequest
-from repro.serving.server import SequenceServer, WavefrontCostModel
+from repro.serving.server import (
+    SequenceServer,
+    WavefrontCostModel,
+    _LRUCache,
+)
 from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
 
 SIZE = 8
@@ -872,3 +876,139 @@ class TestWavefrontCostModel:
         assert len(observed) > len(preemptive.schedule), (
             "preemption should feed back more than once per frame"
         )
+
+
+# ----------------------------------------------------------------------
+# Content-keyed serving caches (the id()-reuse bug class)
+# ----------------------------------------------------------------------
+class TestLRUCache:
+    def test_eviction_is_least_recently_used(self):
+        cache = _LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)           # evicts "b", the LRU entry
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_membership_probe_does_not_refresh(self):
+        cache = _LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # a probe, not a use
+        cache.put("c", 3)    # still evicts "a"
+        assert "a" not in cache
+
+    def test_get_returns_default_on_miss(self):
+        assert _LRUCache(1).get("missing", 7) == 7
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            _LRUCache(0)
+
+
+class TestContentKeyedCaches:
+    def test_results_survive_object_reuse_after_release(self, accelerator):
+        """A long-lived server admits and releases tenants forever, and
+        CPython reuses a garbage-collected trace's memory address — so a
+        cache keyed on ``id(trace)`` can serve client A's cached plans or
+        scan-out prices against client B's different trace.  Every
+        re-admission must price exactly like a fresh server."""
+        import gc
+
+        longlived = SequenceServer(accelerator)
+        for path in _distinct_paths(3):
+            fresh = SequenceServer(accelerator)
+            fresh.submit(_request("tenant", path), synthetic_sequence(path))
+            reference = fresh.serve("fifo").to_dict()
+            trace = synthetic_sequence(path)
+            longlived.submit(_request("tenant", path), trace)
+            assert longlived.serve("fifo").to_dict() == reference
+            longlived.release("tenant")
+            del trace
+            gc.collect()  # invites id() reuse for the next iteration
+
+    def test_equal_content_shares_cache_entries(self, accelerator):
+        """Twins are *distinct objects* with equal content; content keying
+        collapses their plan and scan-out entries to one set (an
+        ``id()``-keyed cache would store every entry twice)."""
+        path = _distinct_paths(1)[0]
+        twins = SequenceServer(accelerator)
+        twins.submit(_request("a", path), synthetic_sequence(path))
+        twins.submit(_request("b", path), synthetic_sequence(path))
+        twins.serve("fifo")
+        solo = SequenceServer(accelerator)
+        solo.submit(_request("a", path), synthetic_sequence(path))
+        solo.serve("fifo")
+        assert len(twins._plan_cache) == len(solo._plan_cache)
+        # The follower's frames all ride scan-out; the memo holds one
+        # entry per distinct rendered content, not one per frame served.
+        trace = synthetic_sequence(path)
+        distinct = {
+            trace.frames[k].rendered_pixels for k in range(trace.num_frames)
+        }
+        assert len(twins._scanout_memo) == len(distinct)
+
+    def test_long_lived_caches_stay_bounded(self, accelerator, monkeypatch):
+        monkeypatch.setattr(SequenceServer, "PLAN_CACHE_SIZE", 4)
+        monkeypatch.setattr(SequenceServer, "SCANOUT_MEMO_SIZE", 4)
+        server = SequenceServer(accelerator)
+        for i, path in enumerate(_distinct_paths(4)):
+            server.submit(_request(f"c{i}", path), synthetic_sequence(path))
+        server.serve("fifo")
+        assert len(server._plan_cache) <= 4
+        assert len(server._scanout_memo) <= 4
+
+
+# ----------------------------------------------------------------------
+# Mid-flight twin deferral (preemptive duplicate-execution fix)
+# ----------------------------------------------------------------------
+class TestTwinDeferral:
+    def _twins(self):
+        shared = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.3)
+        return [_request("alpha", shared), _request("beta", shared)]
+
+    def test_deferral_avoids_duplicate_inflight_execution(self, accelerator):
+        """Under a preemptive policy a twin's frame used to start fresh
+        while its leader was suspended mid-flight (the scan-out copy was
+        not committed yet), executing popular content twice.  Deferring
+        the follower until the leader commits must not cost more than
+        executing both, and the follower's frames ride scan-out replay."""
+        policy = make_policy("round_robin_preemptive", quantum=1)
+        deferred = _server(accelerator, self._twins(), varied=True).serve(
+            policy
+        )
+        duplicated = _server(
+            accelerator, self._twins(), varied=True, twin_defer_limit=0
+        ).serve(policy)
+        assert deferred.total_frames == duplicated.total_frames
+        assert deferred.busy_cycles < duplicated.busy_cycles
+        follower = deferred.client("beta")
+        assert follower.twin_deferrals > 0
+        assert any(
+            s.cross_replay for s in deferred.schedule if s.client == "beta"
+        )
+
+    def test_starvation_guard_terminates_at_limit_one(self, accelerator):
+        server = _server(
+            accelerator, self._twins(), varied=True, twin_defer_limit=1
+        )
+        report = server.serve(make_policy("round_robin_preemptive", quantum=1))
+        assert report.total_frames == 2 * FRAMES
+
+    def test_atomic_frames_unaffected_by_deferral(self, accelerator):
+        """Non-preemptive frames complete atomically, so a leader is never
+        suspended mid-flight and the deferral path must be inert."""
+        on = _server(accelerator, self._twins(), varied=True)
+        off = _server(
+            accelerator, self._twins(), varied=True, twin_defer_limit=0
+        )
+        assert on.serve("round_robin").to_dict() == off.serve(
+            "round_robin"
+        ).to_dict()
+
+    def test_rejects_negative_limit(self, accelerator):
+        with pytest.raises(ConfigurationError):
+            SequenceServer(accelerator, twin_defer_limit=-1)
