@@ -478,6 +478,7 @@ class ASDRAccelerator:
         group_size: Optional[int] = None,
         temporal: Optional[TemporalVertexCache] = None,
         wavefront_log: Optional[List[Tuple[Tuple, int]]] = None,
+        recorder=None,
     ) -> FrameExecution:
         """A resumable execution cursor over one sequence frame.
 
@@ -487,6 +488,8 @@ class ASDRAccelerator:
         commit the cache at :meth:`~repro.exec.execution.FrameExecution.
         finish`, tagged with the frame index so memoised temporal hit
         masks stay keyed to the resident set they were computed against.
+        ``recorder`` (a :class:`~repro.obs.recorder.Recorder`) attaches
+        observer-only telemetry; it never affects the cycles priced.
         """
         if not 0 <= frame < sequence.num_frames:
             raise SimulationError(
@@ -495,7 +498,7 @@ class ASDRAccelerator:
             )
         trace = sequence.frames[frame]
         if sequence.replays[frame] is not None:
-            return FrameExecution(self, trace, scanout=True)
+            return FrameExecution(self, trace, scanout=True, recorder=recorder)
         return FrameExecution(
             self,
             trace,
@@ -504,6 +507,7 @@ class ASDRAccelerator:
             memo_scope=_SequenceMemoScope(sequence, frame),
             wavefront_log=wavefront_log,
             commit_tag=frame,
+            recorder=recorder,
         )
 
     def simulate_scanout(self, trace: FrameTrace) -> SimReport:

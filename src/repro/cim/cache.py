@@ -129,6 +129,12 @@ class TemporalVertexCache:
         self._resident_key: tuple = ()
         self._pending: Dict[int, list] = {}
         self.stats: Dict[int, CacheStats] = {}
+        #: Optional telemetry hook called as ``observer(level, accesses,
+        #: hits)`` after each :meth:`lookup` updates its stats.  Purely
+        #: observational — it receives the counts the cache computed
+        #: anyway and must never mutate cache state (the serving layer
+        #: installs per-tenant hooks when a recorder is enabled).
+        self.observer = None
 
     def resize(self, capacity_per_level: Optional[int]) -> None:
         """Change the per-level bound in place (elastic re-partitioning).
@@ -246,9 +252,13 @@ class TemporalVertexCache:
                 )
             else:
                 hits = compute()
+        accesses = int(len(hits))
+        hit_count = int(hits.sum())
         st = self.stats.setdefault(level, CacheStats())
-        st.accesses += int(len(hits))
-        st.hits += int(hits.sum())
+        st.accesses += accesses
+        st.hits += hit_count
+        if self.observer is not None:
+            self.observer(level, accesses, hit_count)
         return hits
 
     def record(

@@ -13,6 +13,13 @@ Commands:
 * ``serve [scene]`` — serve N concurrent clients' sequences on one
   simulated accelerator and report per-client latency, throughput and
   fairness for each scheduling policy (see ``repro serve --help``).
+  ``--dashboard`` renders the run's telemetry timeline; ``--events`` /
+  ``--trace`` export it as JSONL / Perfetto-loadable Chrome trace JSON.
+* ``timeline <events.jsonl>`` — re-render an exported telemetry log as
+  the terminal timeline dashboard, post hoc.
+* ``bench run-all [--smoke]`` — the AE harness: every benchmark suite in
+  one invocation, all ``BENCH_*.json`` snapshots plus a ``results/``
+  folder, schema-validated.
 * ``report [--out EXPERIMENTS.md]`` — regenerate the paper-vs-measured
   report.
 * ``scenes`` — list available scenes.
@@ -150,6 +157,37 @@ def _serve_policy_set(args) -> Optional[tuple]:
     return (name,)
 
 
+def _serve_recorder(args):
+    """A MemoryRecorder when any telemetry output was requested, else
+    ``None`` (the serving layers fall back to the no-op recorder)."""
+    if args.dashboard or args.events or args.trace:
+        from repro.obs import MemoryRecorder
+
+        return MemoryRecorder()
+    return None
+
+
+def _emit_telemetry(args, recorder, clock_hz) -> None:
+    """Render/export a recorded serving run per the telemetry flags."""
+    if recorder is None:
+        return
+    if args.dashboard:
+        from repro.obs import render_dashboard
+
+        print()
+        print(render_dashboard(recorder.events, clock_hz=clock_hz))
+    if args.events:
+        from repro.obs import write_events_jsonl
+
+        write_events_jsonl(args.events, recorder.events, clock_hz=clock_hz)
+        print(f"\nwrote {args.events} ({len(recorder.events)} events)")
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, recorder.events, clock_hz=clock_hz)
+        print(f"wrote {args.trace} (load in Perfetto / chrome://tracing)")
+
+
 def _serve_cluster(args, requests, policies, wb) -> int:
     """Fleet-mode ``repro serve``: route the client mix across
     ``--shards`` accelerators with the ``--router`` placement policy and
@@ -161,12 +199,14 @@ def _serve_cluster(args, requests, policies, wb) -> int:
     from repro.serving.cluster import ClusterServer, cluster_bench_summary
     from repro.serving.policies import PREEMPTIVE_POLICY_NAMES, make_policy
 
+    recorder = _serve_recorder(args)
     cluster = ClusterServer(
         [experiment_accelerator(args.scale) for _ in range(args.shards)],
         router=args.router,
         group_size=wb.group_size(),
         temporal_capacity=args.temporal_capacity,
         shared_content=not args.no_shared_content,
+        recorder=recorder,
     )
     for request in requests:
         cluster.submit(request, wb.client_sequence(request))
@@ -200,6 +240,11 @@ def _serve_cluster(args, requests, policies, wb) -> int:
             f"p50/p95 latency {rep.latency_percentile_ms(50):.3f}/"
             f"{rep.latency_percentile_ms(95):.3f} ms"
         )
+    _emit_telemetry(
+        args,
+        recorder,
+        cluster.shard(cluster.shard_names[0]).accelerator.config.clock_hz,
+    )
     if args.json is not None:
         with open(args.json, "w") as fh:
             json.dump(cluster_bench_summary(reports), fh, indent=2,
@@ -249,12 +294,14 @@ def _cmd_serve(args) -> int:
         size=args.size,
     )
     wb = Workbench()
+    profiling = args.profile or args.profile_json is not None
     if args.shards > 1:
-        if args.profile:
+        if profiling:
             print("--profile is per-shard work; run it without --shards",
                   file=sys.stderr)
             return 2
         return _serve_cluster(args, requests, policies, wb)
+    recorder = _serve_recorder(args)
     run = lambda: serve_reports(  # noqa: E731
         wb,
         requests,
@@ -263,9 +310,10 @@ def _cmd_serve(args) -> int:
         temporal_capacity=args.temporal_capacity,
         shared_content=not args.no_shared_content,
         quantum=args.quantum,
+        recorder=recorder,
     )
     profile = None
-    if args.profile:
+    if profiling:
         from repro.serving.profiler import profile_serve
 
         # Render every client sequence first so the profile attributes
@@ -297,11 +345,63 @@ def _cmd_serve(args) -> int:
     if profile is not None:
         print()
         print(profile.format_report())
+        if args.profile_json is not None:
+            with open(args.profile_json, "w") as fh:
+                json.dump(profile.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"\nwrote {args.profile_json}")
+    _emit_telemetry(
+        args, recorder, next(iter(reports.values())).clock_hz
+    )
     if args.json is not None:
         with open(args.json, "w") as fh:
             json.dump(bench_summary(reports), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.obs import read_events_jsonl, render_dashboard
+
+    try:
+        header, events = read_events_jsonl(args.events)
+    except (OSError, ConfigurationError, ValueError) as exc:
+        print(f"cannot read {args.events}: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"{args.events}: no events after the header", file=sys.stderr)
+        return 2
+    print(
+        render_dashboard(
+            events, width=args.width, clock_hz=header.get("clock_hz")
+        )
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs.bench import run_all
+
+    if args.action != "run-all":
+        print(f"unknown bench action {args.action!r} (try: run-all)",
+              file=sys.stderr)
+        return 2
+    manifest = run_all(out_dir=args.out_dir, smoke=args.smoke)
+    from repro.experiments.harness import format_table
+
+    print()
+    print(format_table(manifest["summary_rows"]))
+    print()
+    for name, path in sorted(manifest["artifacts"].items()):
+        print(f"wrote {path}")
+    if manifest["problems"]:
+        for path, errs in manifest["problems"].items():
+            for err in errs:
+                print(f"SCHEMA {path}: {err}", file=sys.stderr)
+        return 1
+    print("\nall artifacts schema-valid")
     return 0
 
 
@@ -387,6 +487,8 @@ examples:
   repro serve lego --json BENCH_serving.json    # machine-readable report
   repro serve palace --shards 2             # shard tenants across a fleet
   repro serve palace --shards 2 --router random   # placement-blind baseline
+  repro serve palace --dashboard            # telemetry timeline in the terminal
+  repro serve palace --events run.jsonl --trace run.trace.json
 """,
     )
     p_serve.add_argument("scene", nargs="?", default="palace")
@@ -436,7 +538,55 @@ examples:
                          help="also write a machine-readable summary "
                               "(p50/p95, throughput, context switches) to "
                               "PATH")
+    p_serve.add_argument("--profile-json", metavar="PATH", default=None,
+                         help="write the --profile result as JSON to PATH "
+                              "(implies --profile)")
+    p_serve.add_argument("--dashboard", action="store_true",
+                         help="render the run's telemetry timeline (per-"
+                              "tenant lanes, queue depth, engine "
+                              "utilisation) after the report")
+    p_serve.add_argument("--events", metavar="PATH", default=None,
+                         help="export the telemetry event stream as "
+                              "obs_events/v1 JSONL (re-render it later "
+                              "with `repro timeline PATH`)")
+    p_serve.add_argument("--trace", metavar="PATH", default=None,
+                         help="export a Chrome trace-event JSON timeline "
+                              "(load in Perfetto / chrome://tracing)")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_timeline = sub.add_parser(
+        "timeline",
+        help="render an exported telemetry JSONL log as a terminal "
+             "timeline dashboard",
+    )
+    p_timeline.add_argument("events", help="obs_events/v1 JSONL file "
+                                           "(from `repro serve --events`)")
+    p_timeline.add_argument("--width", type=int, default=64,
+                            help="timeline width in characters (default 64)")
+    p_timeline.set_defaults(fn=_cmd_timeline)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run benchmark suites (AE harness)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+examples:
+  repro bench run-all               # full scale, as committed snapshots
+  repro bench run-all --smoke       # CI scale (~a minute)
+  repro bench run-all --out-dir /tmp/ae
+""",
+    )
+    p_bench.add_argument("action", choices=("run-all",),
+                         help="'run-all': serving + engine + cluster "
+                              "benches, BENCH_*.json + results/ folder, "
+                              "schema-validated")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="CI scale: tiny scene, two frames, one "
+                              "timing round")
+    p_bench.add_argument("--out-dir", default=".",
+                         help="where BENCH_*.json and results/ land "
+                              "(default: current directory)")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("--out", default="EXPERIMENTS.md")

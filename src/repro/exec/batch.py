@@ -136,6 +136,16 @@ def build_frame_plans(
     plans = [_assemble_plan(ex, pricing) for ex, pricing in zip(executions, pricings)]
     for ex, plan in zip(executions, plans):
         ex._set_plan(plan)
+        if ex._recorder is not None:
+            from repro.obs.events import EV_PLAN_BUILD
+
+            ex._recorder.emit(
+                EV_PLAN_BUILD,
+                ex.report.total_cycles,
+                steps=len(plan.steps),
+                points=plan.total_points,
+                batch_size=len(executions),
+            )
     return plans
 
 

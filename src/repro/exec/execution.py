@@ -51,10 +51,16 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.events import (
+    EV_EXEC_BATCH,
+    EV_EXEC_STEP,
+    EV_FRAME_FINISH,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.accelerator import ASDRAccelerator, SimReport
     from repro.exec.batch import FramePlan
+    from repro.obs.recorder import Recorder
 
 
 #: Sentinel distinguishing "commit with tag None" from "do not commit".
@@ -182,6 +188,7 @@ class FrameExecution:
         wavefront_log: Optional[List[Tuple[Tuple, int]]] = None,
         scanout: bool = False,
         commit_tag=_NO_COMMIT,
+        recorder: Optional["Recorder"] = None,
     ) -> None:
         # Engines and batch types live under repro.arch, which imports this
         # module back through the accelerator; resolve them lazily so the
@@ -208,6 +215,13 @@ class FrameExecution:
         self._plan: Optional["FramePlan"] = None
         self._plan_record_idx = 0
         self._plan_choice: Optional[bool] = None
+        # Telemetry is observer-only: a disabled recorder is normalised to
+        # None here so every hot-path hook is one identity check, and the
+        # emitted fields are values the engine computed anyway — the
+        # cycle accounting above this line never depends on the recorder.
+        self._recorder = (
+            recorder if recorder is not None and recorder.enabled else None
+        )
 
         if scanout:
             self._slices: List = []
@@ -314,6 +328,14 @@ class FrameExecution:
             charge = self._adaptive_tail_step()
         self._cursor += 1
         self.report.total_cycles += charge
+        if self._recorder is not None:
+            self._recorder.emit(
+                EV_EXEC_STEP,
+                self.report.total_cycles,
+                step=self._cursor - 1,
+                cycles=charge,
+                scanout=self._scanout,
+            )
         return charge
 
     def run(self, max_steps: Optional[int] = None) -> int:
@@ -410,6 +432,14 @@ class FrameExecution:
         # ids equal global point indices, so fast-forward the counter.
         self._encoding_engine.skip_requests(points)
         self._apply_plan_records()
+        if self._recorder is not None:
+            self._recorder.emit(
+                EV_EXEC_BATCH,
+                self.report.total_cycles,
+                steps=steps,
+                cycles=charged,
+                points=points,
+            )
         return charged
 
     def attach_plan(self, plan: "FramePlan") -> bool:
@@ -556,6 +586,19 @@ class FrameExecution:
             # computed against — a serving schedule that skips a frame the
             # alone run executed must not inherit the alone run's masks.
             self._temporal.commit_frame(tag=self._commit_tag)
+        if self._recorder is not None:
+            self._recorder.emit(
+                EV_FRAME_FINISH,
+                self.report.total_cycles,
+                total_cycles=self.report.total_cycles,
+                encoding_cycles=self.report.encoding.cycles,
+                mlp_cycles=self.report.mlp.cycles,
+                render_cycles=self.report.render.cycles,
+                stall_cycles=self.report.buffer_stall_cycles,
+                bus_cycles=self.report.bus_cycles,
+                energy_joules=self.report.energy_joules,
+                scanout=self._scanout,
+            )
         return self.report
 
     def abandon(self) -> "SimReport":

@@ -79,12 +79,16 @@ def serve_reports(
     temporal_capacity: Optional[int] = None,
     shared_content: bool = True,
     quantum: Optional[int] = None,
+    recorder=None,
 ) -> Dict[str, ServeReport]:
     """``{policy: ServeReport}`` for one client mix (the benchmark's entry
     point).  One server runs every policy — ``serve`` is re-entrant — so
     the policies share the memoised client traces *and* the per-client
     alone-cycles references.  ``quantum`` (wavefront steps) applies to
-    the preemptive policies only; non-preemptive frames stay atomic."""
+    the preemptive policies only; non-preemptive frames stay atomic.
+    ``recorder`` (a :class:`~repro.obs.recorder.Recorder`) captures the
+    telemetry stream of every policy's run back-to-back — observer-only,
+    the reports are identical with or without it."""
     requests = list(requests) if requests is not None else default_client_mix()
     group = wb.group_size() if group_size is None else group_size
     server = SequenceServer(
@@ -92,6 +96,7 @@ def serve_reports(
         group_size=group,
         temporal_capacity=temporal_capacity,
         shared_content=shared_content,
+        recorder=recorder,
     )
     for request in requests:
         server.submit(request, wb.client_sequence(request))

@@ -1,0 +1,222 @@
+"""The AE-style ``repro bench run-all`` harness.
+
+One invocation reproduces every machine-readable benchmark snapshot this
+repo publishes — the artifact-evaluation workflow of one command in,
+one ``results/`` folder out:
+
+* ``BENCH_serving.json`` (``serving_bench/v1``) — the policy comparison,
+  recorded **with telemetry on**, so the same run also yields
+* ``results/obs_events.jsonl`` (``obs_events/v1``) and
+  ``results/trace_events.json`` (Perfetto-loadable) — the serving
+  timeline of every policy run, plus ``results/metrics.json`` (the
+  folded metrics registry);
+* ``BENCH_engine.json`` (``engine_bench/v1``) — scalar vs batched
+  engine, bit-identity gated;
+* ``BENCH_cluster.json`` (``cluster_bench/v1``) — router comparison,
+  single-shard identity gated;
+* ``results/summary.json`` + a printed closing table — the headline
+  numbers of all three.
+
+Every artefact is validated through :mod:`repro.obs.schemas` before the
+harness reports success, so a run that emits a malformed snapshot fails
+loudly.  ``--smoke`` shrinks every dimension to the CI scale (tiny
+scene, two frames, one timing round); defaults match the committed
+full-scale snapshots.
+
+The engine and cluster payload builders live in ``benchmarks/`` (they
+are also pytest modules); they are loaded by file path, so the harness
+works from a source checkout without installing anything.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.export import write_chrome_trace, write_events_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import MemoryRecorder
+from repro.obs.schemas import validate_file
+
+#: Repo root (``src/repro/obs/bench.py`` → three parents up).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Full-scale defaults — match the committed BENCH_*.json snapshots.
+FULL_PRESET = dict(
+    scene="palace",
+    size=16,
+    frames=4,
+    serving_clients=3,
+    engine_clients=6,
+    cluster_clients=6,
+    shards=2,
+    quantum=2,
+    rounds=3,
+)
+
+#: CI smoke scale — the same shapes the per-bench smoke jobs use.
+SMOKE_PRESET = dict(
+    scene="lego",
+    size=8,
+    frames=2,
+    serving_clients=2,
+    engine_clients=2,
+    cluster_clients=6,
+    shards=2,
+    quantum=2,
+    rounds=1,
+)
+
+
+def _load_benchmark(name: str):
+    """Import a ``benchmarks/`` module by path (they are not a package)."""
+    path = REPO_ROOT / "benchmarks" / f"{name}.py"
+    if not path.exists():
+        raise ConfigurationError(f"benchmark module not found: {path}")
+    spec = importlib.util.spec_from_file_location(f"bench_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_json(path: Path, payload: Dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def run_all(
+    out_dir=".",
+    smoke: bool = False,
+    progress: Optional[Callable[[str], None]] = print,
+) -> Dict[str, object]:
+    """Run the serving, engine and cluster benchmark suites end to end.
+
+    Writes the three ``BENCH_*.json`` snapshots into ``out_dir`` and the
+    telemetry/summary artefacts into ``out_dir/results/``, validates all
+    of them, and returns a manifest ``{"artifacts": {name: path},
+    "problems": {path: [...]}, "summary_rows": [...]}`` — empty
+    ``problems`` means every schema checked out.
+    """
+    say = progress if progress is not None else (lambda _msg: None)
+    preset = SMOKE_PRESET if smoke else FULL_PRESET
+    out = Path(out_dir)
+    results = out / "results"
+    results.mkdir(parents=True, exist_ok=True)
+    artifacts: Dict[str, Path] = {}
+    payloads: Dict[str, Dict] = {}
+
+    # ------------------------------------------------------------------
+    # 1. Serving policy comparison, with telemetry on.
+    # ------------------------------------------------------------------
+    from repro.experiments.serving import default_client_mix, serve_reports
+    from repro.experiments.workbench import Workbench
+    from repro.serving.policies import ALL_POLICY_NAMES
+    from repro.serving.report import bench_summary, bench_table_rows
+
+    say(f"[1/3] serving bench ({'smoke' if smoke else 'full'} scale)")
+    wb = Workbench()
+    requests = default_client_mix(
+        scene=preset["scene"],
+        clients=preset["serving_clients"],
+        frames=preset["frames"],
+        size=preset["size"],
+    )
+    policies = (
+        ("round_robin", "round_robin_preemptive") if smoke
+        else tuple(ALL_POLICY_NAMES)
+    )
+    metrics = MetricsRegistry()
+    recorder = MemoryRecorder(metrics=metrics)
+    reports = serve_reports(
+        wb,
+        requests,
+        policies=policies,
+        quantum=preset["quantum"],
+        recorder=recorder,
+    )
+    payloads["serving"] = bench_summary(reports)
+    artifacts["serving"] = out / "BENCH_serving.json"
+    _write_json(artifacts["serving"], payloads["serving"])
+
+    clock_hz = next(iter(reports.values())).clock_hz
+    artifacts["events"] = results / "obs_events.jsonl"
+    write_events_jsonl(
+        artifacts["events"],
+        recorder.events,
+        clock_hz=clock_hz,
+        meta={"suite": "serving", "policies": list(policies), **preset},
+    )
+    artifacts["trace"] = results / "trace_events.json"
+    write_chrome_trace(artifacts["trace"], recorder.events, clock_hz=clock_hz)
+    artifacts["metrics"] = results / "metrics.json"
+    _write_json(artifacts["metrics"], metrics.to_dict())
+    say(
+        f"      {len(recorder.events)} events -> "
+        f"{artifacts['events'].name}, {artifacts['trace'].name}"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Engine throughput (scalar vs batched, identity gated).
+    # ------------------------------------------------------------------
+    say("[2/3] engine bench")
+    engine = _load_benchmark("test_engine_throughput")
+    payloads["engine"] = engine.engine_bench_payload(
+        scene=preset["scene"],
+        clients=preset["engine_clients"],
+        frames=preset["frames"],
+        size=preset["size"],
+        quantum=preset["quantum"],
+        rounds=preset["rounds"],
+    )
+    artifacts["engine"] = out / "BENCH_engine.json"
+    _write_json(artifacts["engine"], payloads["engine"])
+
+    # ------------------------------------------------------------------
+    # 3. Cluster serving (router comparison, identity gated).
+    # ------------------------------------------------------------------
+    say("[3/3] cluster bench")
+    cluster = _load_benchmark("test_cluster_serving")
+    payloads["cluster"] = cluster.cluster_bench_payload(
+        scene=preset["scene"],
+        clients=preset["cluster_clients"],
+        frames=preset["frames"],
+        size=preset["size"],
+        shards=preset["shards"],
+        rounds=preset["rounds"],
+    )
+    artifacts["cluster"] = out / "BENCH_cluster.json"
+    _write_json(artifacts["cluster"], payloads["cluster"])
+
+    # ------------------------------------------------------------------
+    # Summary table + one-validator pass over everything written.
+    # ------------------------------------------------------------------
+    summary_rows = bench_table_rows(payloads)
+    artifacts["summary"] = results / "summary.json"
+    _write_json(
+        artifacts["summary"],
+        {
+            "schema": "bench_runall/v1",
+            "preset": dict(preset),
+            "smoke": smoke,
+            "rows": summary_rows,
+            "artifacts": {
+                name: str(path) for name, path in artifacts.items()
+            },
+        },
+    )
+
+    problems: Dict[str, List[str]] = {}
+    for name in ("serving", "engine", "cluster", "events", "trace"):
+        errs = validate_file(artifacts[name])
+        if errs:
+            problems[str(artifacts[name])] = errs
+    return {
+        "artifacts": {n: str(p) for n, p in artifacts.items()},
+        "problems": problems,
+        "summary_rows": summary_rows,
+    }

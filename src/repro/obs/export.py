@@ -1,0 +1,300 @@
+"""Exporters for the telemetry event stream: JSONL and Chrome trace JSON.
+
+Two serialised forms of the same :class:`~repro.obs.events.Event` list:
+
+* **JSONL** (``obs_events/v1``) — one header line carrying the schema
+  tag, the virtual clock rate and free-form run metadata, then one JSON
+  object per event.  The lossless archival form: ``repro timeline`` and
+  :meth:`~repro.obs.metrics.MetricsRegistry.from_events` both rebuild
+  their views from it.
+* **Chrome trace-event JSON** — loadable in Perfetto or
+  ``chrome://tracing``.  Shards map to processes, tenants to threads;
+  quantum and scan-out charges become duration ("X") events, scheduler
+  queue depth becomes a counter ("C") track and lifecycle events
+  (admission, departure, preemption, deferral, routing, migration)
+  become instants ("i").  Virtual cycles are written as microsecond
+  timestamps — the UI's time axis reads directly in kilocycles/ms.
+
+Only *serving-domain* events (server virtual clock) are placed on the
+trace timeline.  Execution-domain events (``exec_step``, ``exec_batch``,
+``plan_build``, ``frame_finish``) carry frame-local cycle counts in a
+different clock domain; they stay in the JSONL stream but are skipped by
+the trace builder rather than plotted against the wrong axis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    EV_ADMISSION,
+    EV_DEPARTURE,
+    EV_EXEC_BATCH,
+    EV_EXEC_STEP,
+    EV_FRAME_ABORT,
+    EV_FRAME_COMPLETE,
+    EV_FRAME_FINISH,
+    EV_MIGRATION,
+    EV_PLAN_BUILD,
+    EV_PLAN_CACHE,
+    EV_PREEMPTION,
+    EV_QUANTUM,
+    EV_ROUTE,
+    EV_SCALE_OUT,
+    EV_SCANOUT,
+    EV_SCHED,
+    EV_SERVE_END,
+    EV_SERVE_START,
+    EV_TWIN_DEFER,
+    OBS_EVENTS_SCHEMA,
+    Event,
+)
+
+#: Event kinds whose ``clock`` is frame-local (the execution engine's
+#: per-frame cycle counter), not the server's virtual clock.  The trace
+#: builder keeps them off the serving timeline.
+EXEC_DOMAIN_KINDS = frozenset(
+    {EV_EXEC_STEP, EV_EXEC_BATCH, EV_PLAN_BUILD, EV_FRAME_FINISH}
+)
+
+#: Kinds rendered as duration ("X") trace events: (kind, display name).
+_DURATION_KINDS = {EV_QUANTUM: "quantum", EV_SCANOUT: "scanout"}
+
+#: Kinds rendered as instant ("i") events on the owning client's thread.
+_CLIENT_INSTANT_KINDS = {
+    EV_ADMISSION: "admission",
+    EV_DEPARTURE: "departure",
+    EV_FRAME_ABORT: "frame_abort",
+    EV_TWIN_DEFER: "twin_defer",
+    EV_FRAME_COMPLETE: "frame_complete",
+}
+
+#: Kinds rendered as instants on the shard's scheduler thread (tid 0).
+_SCHED_INSTANT_KINDS = {
+    EV_SERVE_START: "serve_start",
+    EV_SERVE_END: "serve_end",
+    EV_PREEMPTION: "preemption",
+    EV_ROUTE: "route",
+    EV_SCALE_OUT: "scale_out",
+    EV_MIGRATION: "migration",
+    EV_PLAN_CACHE: "plan_cache",
+}
+
+
+# ----------------------------------------------------------------------
+# JSONL (obs_events/v1)
+# ----------------------------------------------------------------------
+def events_header(
+    clock_hz: Optional[float] = None, meta: Optional[Dict] = None
+) -> Dict:
+    """The ``obs_events/v1`` header object (the JSONL file's first line)."""
+    return {
+        "schema": OBS_EVENTS_SCHEMA,
+        "clock_hz": clock_hz,
+        "meta": dict(meta or {}),
+    }
+
+
+def write_events_jsonl(
+    path,
+    events: Sequence[Event],
+    clock_hz: Optional[float] = None,
+    meta: Optional[Dict] = None,
+) -> None:
+    """Write a header line plus one compact JSON object per event."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(events_header(clock_hz, meta), sort_keys=True) + "\n"
+        )
+        for ev in events:
+            fh.write(json.dumps(ev.to_json_obj(), sort_keys=True) + "\n")
+
+
+def read_events_jsonl(path) -> Tuple[Dict, List[Event]]:
+    """Load ``(header, events)`` back from :func:`write_events_jsonl`.
+
+    Raises:
+        ConfigurationError: When the file is empty or its header does not
+            carry the ``obs_events/v1`` schema tag.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise ConfigurationError(f"{path}: empty event log")
+    header = json.loads(lines[0])
+    if header.get("schema") != OBS_EVENTS_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: expected schema {OBS_EVENTS_SCHEMA!r}, got "
+            f"{header.get('schema')!r}"
+        )
+    return header, [Event.from_json_obj(json.loads(l)) for l in lines[1:]]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+class _TrackIds:
+    """Stable shard→pid / (shard, client)→tid numbering.
+
+    Ids are assigned in first-appearance order, so the same event stream
+    always serialises to the same trace — the golden schema test depends
+    on it.  tid 0 on every process is the shard's scheduler track.
+    """
+
+    def __init__(self) -> None:
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[str, str], int] = {}
+
+    def pid(self, shard: str) -> int:
+        if shard not in self._pids:
+            self._pids[shard] = len(self._pids) + 1
+        return self._pids[shard]
+
+    def tid(self, shard: str, client: str) -> int:
+        key = (shard, client)
+        if key not in self._tids:
+            self._tids[key] = (
+                sum(1 for (s, _) in self._tids if s == shard) + 1
+            )
+        return self._tids[key]
+
+    def metadata_events(self) -> List[Dict]:
+        out: List[Dict] = []
+        for shard, pid in self._pids.items():
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"shard {shard}"},
+                }
+            )
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": "scheduler"},
+                }
+            )
+        for (shard, client), tid in self._tids.items():
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": self.pid(shard),
+                    "tid": tid,
+                    "args": {"name": f"client {client}"},
+                }
+            )
+        return out
+
+
+def chrome_trace(
+    events: Iterable[Event], clock_hz: Optional[float] = None
+) -> Dict:
+    """Build a Chrome trace-event object from serving-domain events.
+
+    Virtual cycles map 1:1 to microsecond timestamps (``ts``/``dur``),
+    so Perfetto's axis reads in virtual kilocycles per millisecond.
+    Execution-domain events are skipped (different clock domain — see
+    the module docstring).
+    """
+    tracks = _TrackIds()
+    trace_events: List[Dict] = []
+    for ev in events:
+        if ev.kind in EXEC_DOMAIN_KINDS:
+            continue
+        shard = str(ev.fields.get("shard", "server"))
+        pid = tracks.pid(shard)
+        if ev.kind in _DURATION_KINDS:
+            client = str(ev.fields.get("client", "?"))
+            args = {
+                k: v
+                for k, v in ev.fields.items()
+                if k not in ("shard", "client")
+            }
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": "{} f{}".format(
+                        _DURATION_KINDS[ev.kind], ev.fields.get("frame", "?")
+                    ),
+                    "cat": ev.kind,
+                    "pid": pid,
+                    "tid": tracks.tid(shard, client),
+                    "ts": int(ev.clock),
+                    "dur": max(1, int(ev.fields.get("cycles", 1))),
+                    "args": args,
+                }
+            )
+        elif ev.kind == EV_SCHED:
+            trace_events.append(
+                {
+                    "ph": "C",
+                    "name": "queue depth",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": int(ev.clock),
+                    "args": {
+                        "ready": int(ev.fields.get("ready", 0)),
+                        "blocked": int(ev.fields.get("blocked", 0)),
+                        "waiting": int(ev.fields.get("waiting", 0)),
+                    },
+                }
+            )
+        elif ev.kind in _CLIENT_INSTANT_KINDS:
+            client = str(ev.fields.get("client", "?"))
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "name": _CLIENT_INSTANT_KINDS[ev.kind],
+                    "cat": ev.kind,
+                    "pid": pid,
+                    "tid": tracks.tid(shard, client),
+                    "ts": int(ev.clock),
+                    "s": "t",
+                    "args": {
+                        k: v for k, v in ev.fields.items() if k != "shard"
+                    },
+                }
+            )
+        elif ev.kind in _SCHED_INSTANT_KINDS:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "name": _SCHED_INSTANT_KINDS[ev.kind],
+                    "cat": ev.kind,
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": int(ev.clock),
+                    "s": "p",
+                    "args": {
+                        k: v for k, v in ev.fields.items() if k != "shard"
+                    },
+                }
+            )
+        # Remaining kinds (e.g. per-lookup temporal_cache) are high-rate
+        # and carry no duration — they stay in the JSONL stream only.
+    return {
+        "traceEvents": tracks.metadata_events() + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "clock_hz": clock_hz,
+            "time_unit": "1us == 1 virtual cycle",
+        },
+    }
+
+
+def write_chrome_trace(
+    path, events: Iterable[Event], clock_hz: Optional[float] = None
+) -> None:
+    """Serialise :func:`chrome_trace` to ``path`` (Perfetto-loadable)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events, clock_hz=clock_hz), fh, indent=None)
+        fh.write("\n")

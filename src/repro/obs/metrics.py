@@ -1,0 +1,212 @@
+"""Labelled metrics: counters, gauges and histograms over telemetry.
+
+The registry is the aggregate face of the event stream: where
+:class:`~repro.obs.recorder.MemoryRecorder` keeps every observation, a
+:class:`MetricsRegistry` keeps the running totals a dashboard or a CI
+check wants — event counts by kind, quantum-size distribution, delivered
+frames per client — keyed by ``(metric name, sorted labels)`` so the same
+name with different labels is a different time series, Prometheus-style.
+
+All three instrument types are plain Python accumulation (no numpy, no
+locks — the simulator is single-threaded) and serialise through
+:meth:`MetricsRegistry.to_dict` into the ``results/`` summary the
+``repro bench run-all`` harness writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs import events as ev
+
+#: Default histogram bucket upper bounds, in cycles — spans scan-out
+#: deliveries (~1e2) through full-frame executions (~1e5) at smoke scale.
+DEFAULT_BUCKETS = (100, 300, 1000, 3000, 10000, 30000, 100000)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only increase")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (plus the extremes seen)."""
+
+    value: float = 0.0
+    min_seen: Optional[float] = None
+    max_seen: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min_seen = value if self.min_seen is None else min(self.min_seen, value)
+        self.max_seen = value if self.max_seen is None else max(self.max_seen, value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with count/sum (cumulative bucket counts).
+
+    ``buckets`` are upper bounds; an implicit ``+inf`` bucket catches the
+    tail, so ``bucket_counts`` has ``len(buckets) + 1`` entries.
+    """
+
+    buckets: Sequence[float] = DEFAULT_BUCKETS
+    bucket_counts: List[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if list(self.buckets) != sorted(self.buckets):
+            raise ConfigurationError("histogram buckets must be ascending")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Registry of labelled counters/gauges/histograms.
+
+    Example:
+        >>> reg = MetricsRegistry()
+        >>> reg.counter("frames_delivered", client="c0").inc()
+        >>> reg.counter("frames_delivered", client="c0").inc()
+        >>> reg.counter("frames_delivered", client="c0").value
+        2.0
+        >>> reg.gauge("queue_depth", shard="shard0").set(3)
+        >>> reg.histogram("quantum_cycles").observe(250)
+        >>> sorted(reg.to_dict())
+        ['counters', 'gauges', 'histograms']
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+
+    # -- instrument accessors (create on first use) --------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        if key not in self._counters:
+            self._counters[key] = Counter()
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        if key not in self._gauges:
+            self._gauges[key] = Gauge()
+        return self._gauges[key]
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(buckets=tuple(buckets))
+        return self._histograms[key]
+
+    # -- event feed ----------------------------------------------------
+    def observe_event(self, kind: str, fields: Dict[str, object]) -> None:
+        """Fold one telemetry event into the standard aggregates.
+
+        Called by :class:`~repro.obs.recorder.MemoryRecorder` on every
+        emit; also usable post-hoc via :meth:`from_events`.
+        """
+        shard = fields.get("shard", "")
+        self.counter("obs_events_total", kind=kind, shard=shard).inc()
+        if kind in (ev.EV_QUANTUM, ev.EV_SCANOUT):
+            self.histogram("quantum_cycles", shard=shard).observe(
+                float(fields.get("cycles", 0))  # type: ignore[arg-type]
+            )
+        elif kind == ev.EV_FRAME_COMPLETE:
+            self.counter(
+                "frames_delivered",
+                shard=shard,
+                client=fields.get("client", ""),
+                mode=fields.get("mode", ""),
+            ).inc()
+        elif kind == ev.EV_SCHED:
+            self.gauge("queue_depth", shard=shard).set(
+                float(fields.get("ready", 0))  # type: ignore[arg-type]
+            )
+        elif kind == ev.EV_PLAN_CACHE:
+            outcome = str(fields.get("outcome", "miss"))
+            self.counter("plan_cache_total", shard=shard, outcome=outcome).inc()
+        elif kind == ev.EV_TEMPORAL_CACHE:
+            self.counter("temporal_accesses_total", shard=shard).inc(
+                float(fields.get("accesses", 0))  # type: ignore[arg-type]
+            )
+            self.counter("temporal_hits_total", shard=shard).inc(
+                float(fields.get("hits", 0))  # type: ignore[arg-type]
+            )
+
+    @classmethod
+    def from_events(cls, events) -> "MetricsRegistry":
+        """Aggregate an event list (e.g. a read-back JSONL log)."""
+        reg = cls()
+        for event in events:
+            reg.observe_event(event.kind, event.fields)
+        return reg
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, List[Dict[str, object]]]:
+        """JSON-style dump: one row per labelled series, sorted."""
+
+        def label_dict(key: _LabelKey) -> Dict[str, str]:
+            return {k: v for k, v in key}
+
+        counters = [
+            {"name": name, "labels": label_dict(lk), "value": c.value}
+            for (name, lk), c in sorted(self._counters.items())
+        ]
+        gauges = [
+            {
+                "name": name,
+                "labels": label_dict(lk),
+                "value": g.value,
+                "min": g.min_seen,
+                "max": g.max_seen,
+            }
+            for (name, lk), g in sorted(self._gauges.items())
+        ]
+        histograms = [
+            {
+                "name": name,
+                "labels": label_dict(lk),
+                "buckets": list(h.buckets),
+                "bucket_counts": list(h.bucket_counts),
+                "count": h.count,
+                "sum": h.sum,
+                "mean": h.mean,
+            }
+            for (name, lk), h in sorted(self._histograms.items())
+        ]
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}

@@ -1,0 +1,222 @@
+"""One validator for every machine-readable artefact this repo emits.
+
+The CI smoke jobs, ``tools/validate_bench.py`` and the ``repro bench
+run-all`` harness all validate through these functions, so a schema
+change has exactly one place to go stale.  Each ``validate_*`` returns a
+list of problem strings — empty means valid — mirroring the
+``tools/check_docs.py`` idiom (callers print the problems and exit
+non-zero).
+
+Covered schemas:
+
+* ``serving_bench/v1`` — :func:`repro.serving.report.bench_summary`
+* ``engine_bench/v1``  — ``benchmarks/test_engine_throughput.py``
+* ``cluster_bench/v1`` — ``benchmarks/test_cluster_serving.py``
+* ``obs_events/v1``    — :mod:`repro.obs.export` JSONL logs
+* Chrome trace-event JSON — :func:`repro.obs.export.chrome_trace`
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.obs.events import EVENT_KINDS, OBS_EVENTS_SCHEMA
+
+#: Per-policy keys every ``serving_bench/v1`` entry must carry (the
+#: former serve-smoke inline check).
+SERVING_POLICY_KEYS = (
+    "p50_ms",
+    "p95_ms",
+    "throughput_fps",
+    "fairness",
+    "context_switches",
+    "busy_cycles",
+    "back_to_back_cycles",
+)
+
+#: Per-router keys every ``cluster_bench/v1`` entry must carry.
+CLUSTER_ROUTER_KEYS = (
+    "router",
+    "policy",
+    "shards",
+    "total_busy_cycles",
+    "total_frames",
+    "fairness",
+    "p50_ms",
+    "p95_ms",
+    "migrations",
+    "utilisation",
+)
+
+#: Chrome trace-event phases the exporter emits.
+TRACE_PHASES = ("X", "M", "C", "i")
+
+
+def validate_serving_bench(data: Dict) -> List[str]:
+    """``serving_bench/v1``: schema tag, per-policy keys, preemptive
+    coverage."""
+    problems: List[str] = []
+    if data.get("schema") != "serving_bench/v1":
+        return [f"schema is {data.get('schema')!r}, want 'serving_bench/v1'"]
+    policies = data.get("policies")
+    if not isinstance(policies, dict) or not policies:
+        return ["'policies' missing or empty"]
+    for name, rep in policies.items():
+        for key in SERVING_POLICY_KEYS:
+            if key not in rep:
+                problems.append(f"policy {name!r} missing {key!r}")
+    if not any(n.endswith("_preemptive") for n in policies):
+        problems.append("no *_preemptive policy in the run")
+    return problems
+
+
+def validate_engine_bench(data: Dict) -> List[str]:
+    """``engine_bench/v1``: bit-identity gates true, timing keys present."""
+    problems: List[str] = []
+    if data.get("schema") != "engine_bench/v1":
+        return [f"schema is {data.get('schema')!r}, want 'engine_bench/v1'"]
+    serve = data.get("serve", {})
+    if serve.get("identical_rows") is not True:
+        problems.append("serve.identical_rows is not True")
+    if data.get("frame_micro", {}).get("identical_reports") is not True:
+        problems.append("frame_micro.identical_reports is not True")
+    for key in ("scalar_seconds", "batched_seconds", "speedup"):
+        if key not in serve:
+            problems.append(f"serve missing {key!r}")
+    return problems
+
+
+def validate_cluster_bench(data: Dict) -> List[str]:
+    """``cluster_bench/v1``: identity gate, router set, per-router keys
+    and the affinity-beats-random ordering (the former inline check)."""
+    problems: List[str] = []
+    if data.get("schema") != "cluster_bench/v1":
+        return [f"schema is {data.get('schema')!r}, want 'cluster_bench/v1'"]
+    if data.get("single_shard_identical") is not True:
+        problems.append("single_shard_identical is not True")
+    routers = data.get("routers")
+    if not isinstance(routers, dict):
+        return problems + ["'routers' missing"]
+    if set(routers) != {"affinity", "random"}:
+        problems.append(
+            f"routers are {sorted(routers)}, want ['affinity', 'random']"
+        )
+    for name, rep in routers.items():
+        for key in CLUSTER_ROUTER_KEYS:
+            if key not in rep:
+                problems.append(f"router {name!r} missing {key!r}")
+    aff, rnd = routers.get("affinity"), routers.get("random")
+    if aff and rnd:
+        if aff.get("total_frames") != rnd.get("total_frames"):
+            problems.append("affinity/random delivered frame counts differ")
+        if aff.get("total_busy_cycles", 0) > rnd.get("total_busy_cycles", 0):
+            problems.append(
+                "affinity routing costs more fleet cycles than random"
+            )
+    if "affinity_over_random_cycles" not in data:
+        problems.append("missing 'affinity_over_random_cycles'")
+    return problems
+
+
+def validate_obs_events(header: Dict, events: List[Dict]) -> List[str]:
+    """``obs_events/v1``: header tag plus per-event shape.
+
+    ``events`` are the parsed JSONL objects (``{"kind", "clock",
+    "fields"}``), not :class:`~repro.obs.events.Event` instances.
+    """
+    problems: List[str] = []
+    if header.get("schema") != OBS_EVENTS_SCHEMA:
+        return [
+            f"header schema is {header.get('schema')!r}, "
+            f"want {OBS_EVENTS_SCHEMA!r}"
+        ]
+    for i, obj in enumerate(events):
+        kind = obj.get("kind")
+        if kind not in EVENT_KINDS:
+            problems.append(f"event {i}: unknown kind {kind!r}")
+        clock = obj.get("clock")
+        if not isinstance(clock, int) or clock < 0:
+            problems.append(f"event {i}: clock {clock!r} not a non-negative int")
+        if not isinstance(obj.get("fields"), dict):
+            problems.append(f"event {i}: 'fields' is not an object")
+    return problems
+
+
+def validate_trace_events(data: Dict) -> List[str]:
+    """Chrome trace-event JSON as the exporter writes it (and as
+    Perfetto requires it): known phases, integer pids/tids, ``ts``/
+    ``dur`` on duration events, named metadata."""
+    problems: List[str] = []
+    trace = data.get("traceEvents")
+    if not isinstance(trace, list) or not trace:
+        return ["'traceEvents' missing or empty"]
+    for i, ev in enumerate(trace):
+        ph = ev.get("ph")
+        if ph not in TRACE_PHASES:
+            problems.append(f"traceEvents[{i}]: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"traceEvents[{i}]: pid is not an int")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"traceEvents[{i}]: missing name")
+        if ph in ("X", "C", "i") and not isinstance(ev.get("ts"), int):
+            problems.append(f"traceEvents[{i}]: ts is not an int")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur <= 0:
+                problems.append(
+                    f"traceEvents[{i}]: dur {dur!r} not a positive int"
+                )
+        if ph == "M" and "name" not in ev.get("args", {}):
+            problems.append(f"traceEvents[{i}]: metadata without args.name")
+    if not any(ev.get("ph") == "X" for ev in trace):
+        problems.append("no duration ('X') events — empty timeline")
+    return problems
+
+
+#: ``schema`` tag → validator for the JSON-object artefacts.
+SCHEMA_VALIDATORS = {
+    "serving_bench/v1": validate_serving_bench,
+    "engine_bench/v1": validate_engine_bench,
+    "cluster_bench/v1": validate_cluster_bench,
+}
+
+
+def validate_payload(data: Dict) -> List[str]:
+    """Dispatch a parsed JSON object to its schema's validator.
+
+    Trace-event files carry no ``schema`` tag; they are recognised by
+    their ``traceEvents`` key.
+    """
+    if "traceEvents" in data:
+        return validate_trace_events(data)
+    tag = data.get("schema")
+    validator = SCHEMA_VALIDATORS.get(tag)
+    if validator is None:
+        return [
+            f"unknown schema {tag!r}; known: "
+            + ", ".join(sorted(SCHEMA_VALIDATORS) + [OBS_EVENTS_SCHEMA])
+        ]
+    return validator(data)
+
+
+def validate_file(path) -> List[str]:
+    """Validate one artefact file (``.jsonl`` = event log, else JSON)."""
+    text = open(path, "r", encoding="utf-8").read()
+    if str(path).endswith(".jsonl"):
+        lines = [l for l in text.splitlines() if l.strip()]
+        if not lines:
+            return ["empty event log"]
+        try:
+            objs = [json.loads(l) for l in lines]
+        except json.JSONDecodeError as exc:
+            return [f"bad JSONL: {exc}"]
+        return validate_obs_events(objs[0], objs[1:])
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"bad JSON: {exc}"]
+    if not isinstance(data, dict):
+        return ["top-level JSON value is not an object"]
+    return validate_payload(data)

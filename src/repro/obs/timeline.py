@@ -1,0 +1,188 @@
+"""Terminal timeline dashboard rendered from the telemetry event stream.
+
+Pure post-processing of recorded :class:`~repro.obs.events.Event`\\ s —
+nothing here touches the simulator.  The renderer draws, over virtual
+time:
+
+* one lane per (shard, tenant) showing when its frames executed —
+  ``#`` for fresh wavefront quanta, ``=`` for scan-out deliveries,
+  ``!`` marking the quantum after which the tenant was preempted;
+* one queue-depth lane per shard (digits, from scheduler decisions);
+* per-engine busy percentages (encoding / MLP / render / bus) folded
+  from frame-completion engine splits.
+
+``repro serve --dashboard`` prints this after a run; ``repro timeline
+events.jsonl`` renders it post-hoc from an exported JSONL log (one
+section per ``serve_start`` — a multi-policy comparison file renders as
+stacked dashboards).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import (
+    EV_FRAME_COMPLETE,
+    EV_PREEMPTION,
+    EV_QUANTUM,
+    EV_SCANOUT,
+    EV_SCHED,
+    EV_SERVE_END,
+    EV_SERVE_START,
+    Event,
+)
+
+#: Lane glyphs: fresh execution quantum / scan-out delivery / idle.
+GLYPH_QUANTUM = "#"
+GLYPH_SCANOUT = "="
+GLYPH_PREEMPT = "!"
+GLYPH_IDLE = "."
+
+
+def split_runs(events: Sequence[Event]) -> List[List[Event]]:
+    """Split a recorded stream into per-``serve()`` runs.
+
+    Every ``serve_start`` opens a new segment; events before the first
+    one (e.g. cluster routing, which happens at admission) attach to the
+    first segment.  A stream with no ``serve_start`` is one segment.
+    """
+    runs: List[List[Event]] = []
+    current: List[Event] = []
+    for ev in events:
+        if ev.kind == EV_SERVE_START and any(
+            e.kind == EV_SERVE_START for e in current
+        ):
+            runs.append(current)
+            current = []
+        current.append(ev)
+    if current:
+        runs.append(current)
+    return runs
+
+
+def _lane_key(ev: Event) -> Tuple[str, str]:
+    return (
+        str(ev.fields.get("shard", "server")),
+        str(ev.fields.get("client", "?")),
+    )
+
+
+def _bucket(clock: int, makespan: int, width: int) -> int:
+    return min(width - 1, (clock * width) // max(1, makespan))
+
+
+def render_timeline(
+    events: Sequence[Event],
+    width: int = 64,
+    clock_hz: Optional[float] = None,
+) -> str:
+    """Render one serving run's events as a fixed-width ASCII dashboard.
+
+    Deterministic for a fixed event list (lanes sort by shard then
+    tenant), so the output is safe to pin in tests.
+    """
+    quanta = [e for e in events if e.kind in (EV_QUANTUM, EV_SCANOUT)]
+    starts = [e for e in events if e.kind == EV_SERVE_START]
+    ends = [e for e in events if e.kind == EV_SERVE_END]
+    header = "timeline"
+    if starts:
+        f = starts[0].fields
+        header += " policy={}".format(f.get("policy", "?"))
+        if f.get("quantum") is not None:
+            header += " quantum={}".format(f["quantum"])
+    if not quanta:
+        return header + "\n  (no executable events in this run)"
+    makespan = max(int(e.clock) + int(e.fields.get("cycles", 0)) for e in quanta)
+    if ends:
+        makespan = max(makespan, int(ends[-1].clock))
+    header += f" makespan={makespan} cycles"
+    if clock_hz:
+        header += f" ({makespan / clock_hz * 1e3:.3f} ms @ {clock_hz:.0f} Hz)"
+
+    # Per-tenant execution lanes.
+    lanes: Dict[Tuple[str, str], List[str]] = {}
+    busy: Dict[Tuple[str, str], int] = {}
+    frames: Dict[Tuple[str, str], int] = {}
+    for ev in quanta:
+        key = _lane_key(ev)
+        lane = lanes.setdefault(key, [GLYPH_IDLE] * width)
+        cycles = int(ev.fields.get("cycles", 0))
+        busy[key] = busy.get(key, 0) + cycles
+        lo = _bucket(int(ev.clock), makespan, width)
+        hi = _bucket(int(ev.clock) + max(0, cycles - 1), makespan, width)
+        glyph = GLYPH_QUANTUM if ev.kind == EV_QUANTUM else GLYPH_SCANOUT
+        for i in range(lo, hi + 1):
+            lane[i] = glyph
+    for ev in events:
+        if ev.kind == EV_FRAME_COMPLETE:
+            key = _lane_key(ev)
+            frames[key] = frames.get(key, 0) + 1
+        elif ev.kind == EV_PREEMPTION:
+            key = (
+                str(ev.fields.get("shard", "server")),
+                str(ev.fields.get("preempted", "?")),
+            )
+            if key in lanes:
+                lanes[key][_bucket(int(ev.clock), makespan, width)] = (
+                    GLYPH_PREEMPT
+                )
+
+    lines = [header]
+    label_w = max(len(f"{s}/{c}") for s, c in lanes)
+    for key in sorted(lanes):
+        shard, client = key
+        label = f"{shard}/{client}".ljust(label_w)
+        pct = 100.0 * busy.get(key, 0) / makespan if makespan else 0.0
+        lines.append(
+            "  {} |{}| {:5.1f}% busy, {} frames".format(
+                label, "".join(lanes[key]), pct, frames.get(key, 0)
+            )
+        )
+
+    # Queue-depth lane(s) from scheduler decisions (latest sample wins
+    # within a bucket — the lane reads like a downsampled counter track).
+    scheds = [e for e in events if e.kind == EV_SCHED]
+    by_shard: Dict[str, List[Event]] = {}
+    for ev in scheds:
+        by_shard.setdefault(str(ev.fields.get("shard", "server")), []).append(ev)
+    for shard in sorted(by_shard):
+        lane = [" "] * width
+        for ev in by_shard[shard]:
+            depth = int(ev.fields.get("ready", 0)) + int(
+                ev.fields.get("waiting", 0)
+            )
+            lane[_bucket(int(ev.clock), makespan, width)] = str(min(depth, 9))
+        lines.append(
+            "  {} |{}| queue depth".format(
+                f"{shard}/queue".ljust(label_w), "".join(lane)
+            )
+        )
+
+    # Per-engine utilisation folded from frame-completion splits.
+    engines = {"encoding": 0, "mlp": 0, "render": 0, "bus": 0}
+    for ev in events:
+        if ev.kind == EV_FRAME_COMPLETE:
+            for name in engines:
+                engines[name] += int(ev.fields.get(f"{name}_cycles", 0))
+    if makespan and any(engines.values()):
+        lines.append(
+            "  engines: "
+            + "  ".join(
+                "{} {:.1f}%".format(name, 100.0 * cyc / makespan)
+                for name, cyc in engines.items()
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_dashboard(
+    events: Sequence[Event],
+    width: int = 64,
+    clock_hz: Optional[float] = None,
+) -> str:
+    """Render every serving run in the stream, stacked in order."""
+    sections = [
+        render_timeline(run, width=width, clock_hz=clock_hz)
+        for run in split_runs(events)
+    ]
+    return "\n\n".join(sections)

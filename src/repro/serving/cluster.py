@@ -58,6 +58,8 @@ import numpy as np
 from repro.arch.accelerator import ASDRAccelerator
 from repro.errors import ConfigurationError
 from repro.exec.sequence import SequenceRender, SequenceTrace, pose_key
+from repro.obs.events import EV_MIGRATION, EV_ROUTE, EV_SCALE_OUT
+from repro.obs.recorder import NULL_RECORDER, Recorder, ScopedRecorder
 from repro.serving.policies import SchedulingPolicy
 from repro.serving.report import ServeReport, jain_fairness
 from repro.serving.request import ClientRequest
@@ -331,6 +333,11 @@ class ClusterServer:
         scale_out_threshold: Estimated density-MLP points of queued fresh
             work on the routed shard above which a spare is activated
             *instead* (``None`` disables scale-out).
+        recorder: Optional :class:`~repro.obs.recorder.Recorder` for the
+            fleet's telemetry stream.  Routing/scale-out/migration events
+            are emitted at the cluster layer; every shard's serving loop
+            emits through a per-shard scoped view (``shard=<name>``).
+            Observer-only: reports are bit-identical with or without it.
 
     Example lifecycle::
 
@@ -353,6 +360,7 @@ class ClusterServer:
         twin_defer_limit: int = 256,
         spare_accelerators: Sequence[ASDRAccelerator] = (),
         scale_out_threshold: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         accelerators = list(accelerators)
         if not accelerators:
@@ -364,6 +372,13 @@ class ClusterServer:
         if scale_out_threshold is not None and scale_out_threshold <= 0:
             raise ConfigurationError("scale_out_threshold must be positive")
         self.router = router
+        #: Fleet-level telemetry sink (see :mod:`repro.obs`).  Routing,
+        #: scale-out and migration events are emitted here directly;
+        #: each shard's serving loop gets a
+        #: :class:`~repro.obs.recorder.ScopedRecorder` view tagging its
+        #: events with ``shard=<name>``.  Observer-only by contract.
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        self._rec = self.recorder if self.recorder.enabled else None
         self._server_kwargs = dict(
             group_size=group_size,
             temporal_capacity=temporal_capacity,
@@ -404,7 +419,15 @@ class ClusterServer:
         if name in self._names:
             raise ConfigurationError(f"duplicate shard name {name!r}")
         self._shards.append(
-            SequenceServer(accelerator, **self._server_kwargs)
+            SequenceServer(
+                accelerator,
+                recorder=(
+                    None
+                    if self._rec is None
+                    else ScopedRecorder(self._rec, shard=name)
+                ),
+                **self._server_kwargs,
+            )
         )
         self._names.append(name)
         return len(self._shards) - 1
@@ -549,6 +572,25 @@ class ClusterServer:
                     "shard": self._names[idx],
                     "trigger_points": int(marginal),
                 }
+            )
+            if self._rec is not None:
+                self._rec.emit(
+                    EV_SCALE_OUT,
+                    0,
+                    client=request.client_id,
+                    shard=self._names[idx],
+                    trigger_points=int(marginal),
+                    fleet_size=len(self._shards),
+                )
+        if self._rec is not None:
+            # Routing happens at admission time, before any shard's
+            # virtual clock starts — cluster events carry clock 0.
+            self._rec.emit(
+                EV_ROUTE,
+                0,
+                client=request.client_id,
+                shard=self._names[idx],
+                reason=reason,
             )
         self._shards[idx].submit(request, trace)
         self._placements[request.client_id] = idx
@@ -734,6 +776,16 @@ class ClusterServer:
                             "tail_arrival_cycle": int(arrival),
                         }
                     )
+                    if self._rec is not None:
+                        self._rec.emit(
+                            EV_MIGRATION,
+                            int(arrival),
+                            client=m.client_id,
+                            src=self._names[idx],
+                            dst=m.to_shard,
+                            after_frame=m.after_frame,
+                            handoff=bool(m.handoff and seed is not None),
+                        )
             report = ClusterReport(
                 router=self.router,
                 policy=next(iter(reports.values())).policy

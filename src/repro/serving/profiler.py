@@ -105,6 +105,42 @@ class ServeProfile:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (``repro serve --profile-json PATH``).
+
+        Round-trips through :meth:`from_dict`, so a committed profile
+        snapshot can be reloaded and re-rendered with
+        :meth:`format_report`.
+        """
+        return {
+            "schema": "serve_profile/v1",
+            "total_seconds": self.total_seconds,
+            "phase_seconds": {
+                phase: self.phase_seconds.get(phase, 0.0) for phase in PHASES
+            },
+            "hot_functions": [
+                {
+                    "location": fn.location,
+                    "calls": fn.calls,
+                    "tottime": fn.tottime,
+                    "cumtime": fn.cumtime,
+                    "phase": fn.phase,
+                }
+                for fn in self.hot_functions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ServeProfile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        return cls(
+            total_seconds=data["total_seconds"],
+            phase_seconds=dict(data["phase_seconds"]),
+            hot_functions=[
+                HotFunction(**row) for row in data["hot_functions"]
+            ],
+        )
+
 
 def profile_serve(
     fn: Callable[[], T], top: int = 15

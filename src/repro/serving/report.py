@@ -369,3 +369,78 @@ def bench_summary(reports: Dict[str, "ServeReport"]) -> Dict:
             },
         }
     return out
+
+
+def bench_table_rows(payloads: Dict[str, Dict]) -> List[Dict[str, str]]:
+    """Flatten run-all bench payloads into one headline summary table.
+
+    ``payloads`` maps snapshot name (``serving`` / ``engine`` /
+    ``cluster``) to its parsed ``BENCH_*.json`` document; unknown names
+    are skipped, so partial runs still summarise.  One row per headline
+    metric — the shape ``repro bench run-all`` writes to
+    ``results/summary.json`` and prints as its closing table.
+    """
+    rows: List[Dict[str, str]] = []
+    serving = payloads.get("serving")
+    if serving:
+        for name in sorted(serving.get("policies", {})):
+            rep = serving["policies"][name]
+            rows.append(
+                {
+                    "bench": "serving",
+                    "case": name,
+                    "metric": "p95_ms / fairness",
+                    "value": "{:.3f} / {:.3f}".format(
+                        rep["p95_ms"], rep["fairness"]
+                    ),
+                    "cycles": str(rep["busy_cycles"]),
+                }
+            )
+    engine = payloads.get("engine")
+    if engine:
+        rows.append(
+            {
+                "bench": "engine",
+                "case": "serve scalar→batched",
+                "metric": "speedup",
+                "value": f"{engine['serve']['speedup']}x",
+                "cycles": "identical" if engine["serve"]["identical_rows"]
+                else "DIVERGED",
+            }
+        )
+        rows.append(
+            {
+                "bench": "engine",
+                "case": "frame micro",
+                "metric": "speedup",
+                "value": f"{engine['frame_micro']['speedup']}x",
+                "cycles": "identical"
+                if engine["frame_micro"]["identical_reports"]
+                else "DIVERGED",
+            }
+        )
+    cluster = payloads.get("cluster")
+    if cluster:
+        for name in sorted(cluster.get("routers", {})):
+            rep = cluster["routers"][name]
+            rows.append(
+                {
+                    "bench": "cluster",
+                    "case": f"router {name}",
+                    "metric": "fleet busy cycles",
+                    "value": str(rep["total_busy_cycles"]),
+                    "cycles": "{} frames".format(rep["total_frames"]),
+                }
+            )
+        rows.append(
+            {
+                "bench": "cluster",
+                "case": "affinity/random",
+                "metric": "cycle ratio",
+                "value": str(cluster.get("affinity_over_random_cycles")),
+                "cycles": "identity ok"
+                if cluster.get("single_shard_identical")
+                else "IDENTITY BROKEN",
+            }
+        )
+    return rows

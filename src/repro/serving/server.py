@@ -75,6 +75,22 @@ from repro.exec.scheduler import (
     sequence_work_items,
 )
 from repro.exec.sequence import SequenceRender, SequenceTrace, pose_key
+from repro.obs.events import (
+    EV_ADMISSION,
+    EV_DEPARTURE,
+    EV_FRAME_ABORT,
+    EV_FRAME_COMPLETE,
+    EV_PLAN_CACHE,
+    EV_PREEMPTION,
+    EV_QUANTUM,
+    EV_SCANOUT,
+    EV_SCHED,
+    EV_SERVE_END,
+    EV_SERVE_START,
+    EV_TEMPORAL_CACHE,
+    EV_TWIN_DEFER,
+)
+from repro.obs.recorder import NULL_RECORDER, Recorder, ScopedRecorder
 from repro.serving.policies import PendingFrame, SchedulingPolicy, make_policy
 from repro.serving.report import ClientServeReport, ScheduledFrame, ServeReport
 from repro.serving.request import ClientRequest
@@ -244,6 +260,12 @@ class SequenceServer:
             starvation guard: after this many deferred scheduling
             decisions the follower executes fresh regardless.  ``0``
             disables deferral (the pre-fix behaviour).
+        recorder: Optional :class:`~repro.obs.recorder.Recorder` that
+            receives the serving event stream (quantum/scan-out charges,
+            admission, preemption, cache outcomes — see
+            :mod:`repro.obs.events`).  Observer-only by contract: it can
+            never change the cycles priced.  ``None`` = the no-op
+            :data:`~repro.obs.recorder.NULL_RECORDER`.
 
     Example lifecycle::
 
@@ -266,12 +288,20 @@ class SequenceServer:
         shared_content: bool = True,
         context_switch_cycles: int = 0,
         twin_defer_limit: int = 256,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if context_switch_cycles < 0:
             raise ConfigurationError("context_switch_cycles must be >= 0")
         if twin_defer_limit < 0:
             raise ConfigurationError("twin_defer_limit must be >= 0")
         self.accelerator = accelerator
+        #: Telemetry sink for the serving event loop (see
+        #: :mod:`repro.obs`).  Observer-only: every event carries values
+        #: the loop computed anyway, and with the default
+        #: :data:`~repro.obs.recorder.NULL_RECORDER` each emit site is a
+        #: single hoisted ``None`` check — reports are bit-identical with
+        #: telemetry on or off.
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         self.group_size = group_size
         self.temporal_capacity = temporal_capacity
         self.shared_content = shared_content
@@ -500,6 +530,8 @@ class SequenceServer:
         items: Dict[str, List[FrameWorkItem]],
         next_frame: Dict[str, int],
         partitions: TemporalCachePartitions,
+        rec: Optional[Recorder] = None,
+        clock: int = 0,
     ) -> None:
         """The cross-tenant batching seam of the serving loop.
 
@@ -527,6 +559,14 @@ class SequenceServer:
         cached = self._plan_cache.get(key)
         if cached is None or not item.execution.attach_plan(cached):
             to_build.append((key, item.execution))
+        if rec is not None:
+            rec.emit(
+                EV_PLAN_CACHE,
+                clock,
+                client=client.id,
+                frame=k,
+                outcome="miss" if to_build else "hit",
+            )
         queued = {entry[0] for entry in to_build}
         for i, c in enumerate(ready):
             if c.id == client.id:
@@ -656,6 +696,11 @@ class SequenceServer:
         in_flight_content: Dict[Tuple, str] = {}
         defer_counts: Dict[Tuple[str, int], int] = {}
         self.last_run_caches = {}
+        # Telemetry: a disabled recorder is normalised to None once, so
+        # every emit site below costs one identity check on the hot path.
+        # Events only *read* values the loop computed anyway — nothing
+        # below may feed back into pricing or scheduling.
+        rec = self.recorder if self.recorder.enabled else None
         reports = {
             c.id: ClientServeReport(
                 client_id=c.id,
@@ -678,6 +723,16 @@ class SequenceServer:
         # away from it while its frame is in flight is a context switch
         # (scan-out deliveries ride the bus and disturb no engine state).
         engine_owner: Optional[str] = None
+        if rec is not None:
+            rec.emit(
+                EV_SERVE_START,
+                clock,
+                policy=policy.name,
+                clients=len(self._clients),
+                quantum=policy.quantum if policy.preemptive else None,
+                preemptive=policy.preemptive,
+                shared_content=self.shared_content,
+            )
 
         def unfinished() -> List[_Client]:
             return [
@@ -695,9 +750,12 @@ class SequenceServer:
             nonlocal engine_owner
             finished.add(client.id)
             if client.id in partitions.tenants:
-                self.last_run_caches[client.id] = partitions.release(
-                    client.id
-                )
+                cache = partitions.release(client.id)
+                # Drop the telemetry hook with the run that owned it — a
+                # retired partition may outlive this serve() call (it is
+                # the migration export source).
+                cache.observer = None
+                self.last_run_caches[client.id] = cache
             if engine_owner == client.id:
                 engine_owner = None
 
@@ -736,6 +794,27 @@ class SequenceServer:
             deadline = client.deadlines[k]
             if deadline is not None and clock > deadline:
                 rep.deadline_misses += 1
+            if rec is not None:
+                rec.emit(
+                    EV_FRAME_COMPLETE,
+                    clock,
+                    client=client.id,
+                    frame=k,
+                    mode=item.mode,
+                    cross=cross,
+                    start=item.start_cycle,
+                    cycles=item.service_cycles,
+                    preemptions=item.preemptions,
+                    encoding_cycles=frame_report.encoding.cycles,
+                    mlp_cycles=frame_report.mlp.cycles,
+                    render_cycles=frame_report.render.cycles,
+                    bus_cycles=frame_report.bus_cycles,
+                    stall_cycles=frame_report.buffer_stall_cycles,
+                    energy_joules=frame_report.energy_joules,
+                    deadline_missed=(
+                        deadline is not None and clock > deadline
+                    ),
+                )
             for cid_key in [
                 key
                 for key, owner in in_flight_content.items()
@@ -754,8 +833,25 @@ class SequenceServer:
             head = next_frame[client.id]
             pending_items = items[client.id][head : ends[client.id]]
             rep.aborted_frames += len(pending_items)
+            if rec is not None:
+                rec.emit(
+                    EV_DEPARTURE,
+                    clock,
+                    client=client.id,
+                    aborted=len(pending_items),
+                    delivered=head - client.start_frame,
+                )
             if pending_items and pending_items[0].in_flight:
                 item = pending_items[0]
+                if rec is not None:
+                    rec.emit(
+                        EV_FRAME_ABORT,
+                        clock,
+                        client=client.id,
+                        frame=item.frame,
+                        cycles=item.service_cycles,
+                        start=item.start_cycle,
+                    )
                 partial = item.execution.abandon()
                 rep.service_cycles += item.service_cycles
                 rep.energy_joules += partial.energy_joules
@@ -802,6 +898,31 @@ class SequenceServer:
                 if c.id not in admitted:
                     partitions.admit(c.id, seed=c.cache_seed)
                     admitted.add(c.id)
+                    if rec is not None:
+                        rec.emit(
+                            EV_ADMISSION,
+                            clock,
+                            client=c.id,
+                            tenants=len(partitions.tenants),
+                            warm=c.cache_seed is not None,
+                            frames=ends[c.id] - c.start_frame,
+                        )
+                        # Per-lookup temporal-cache telemetry, attributed
+                        # to the tenant.  The hook reads `clock` from this
+                        # scope at call time, so events carry the start of
+                        # the quantum whose lookups they are.
+                        partitions.cache_for(c.id).observer = (
+                            lambda level, accesses, hits, _cid=c.id: (
+                                rec.emit(
+                                    EV_TEMPORAL_CACHE,
+                                    clock,
+                                    client=_cid,
+                                    level=level,
+                                    accesses=accesses,
+                                    hits=hits,
+                                )
+                            )
+                        )
 
             # 3. Build the candidate set (one head frame per ready client).
             #    A candidate is *blocked* when its content is mid-flight
@@ -865,6 +986,14 @@ class SequenceServer:
                 if any(blocked)
                 else None
             )
+            if rec is not None:
+                rec.emit(
+                    EV_SCHED,
+                    clock,
+                    ready=len(ready),
+                    blocked=sum(blocked),
+                    waiting=len(remaining) - len(ready),
+                )
             if selectable:
                 for i, b in enumerate(blocked):
                     if b:
@@ -872,6 +1001,14 @@ class SequenceServer:
                         tk = (twin.id, next_frame[twin.id])
                         defer_counts[tk] = defer_counts.get(tk, 0) + 1
                         reports[twin.id].twin_deferrals += 1
+                        if rec is not None:
+                            rec.emit(
+                                EV_TWIN_DEFER,
+                                clock,
+                                client=twin.id,
+                                frame=next_frame[twin.id],
+                                deferrals=defer_counts[tk],
+                            )
                 sub = [pending[i] for i in selectable]
                 rel = policy.select(sub, clock)
                 if not 0 <= rel < len(sub):
@@ -901,6 +1038,15 @@ class SequenceServer:
                 item.start_cycle = clock
                 item.service_cycles = frame_report.total_cycles
                 clock += frame_report.total_cycles
+                if rec is not None:
+                    rec.emit(
+                        EV_SCANOUT,
+                        item.start_cycle,
+                        client=client.id,
+                        frame=k,
+                        cycles=frame_report.total_cycles,
+                        cross=hits[chosen] and item.mode != WORK_REPLAY,
+                    )
                 complete_frame(
                     client, item, frame_report,
                     cross=hits[chosen] and item.mode != WORK_REPLAY,
@@ -925,6 +1071,14 @@ class SequenceServer:
                     owner_items[owner_head].preemptions += 1
                     reports[engine_owner].preemptions += 1
                     context_switches += 1
+                    if rec is not None:
+                        rec.emit(
+                            EV_PREEMPTION,
+                            clock,
+                            preempted=engine_owner,
+                            by=client.id,
+                            overhead=self.context_switch_cycles,
+                        )
                     clock += self.context_switch_cycles
                     context_switch_cycles += self.context_switch_cycles
             engine_owner = client.id
@@ -934,6 +1088,11 @@ class SequenceServer:
                     k,
                     group_size=self.group_size,
                     temporal=partitions.cache_for(client.id),
+                    recorder=(
+                        None
+                        if rec is None
+                        else ScopedRecorder(rec, client=client.id, frame=k)
+                    ),
                 )
                 item.start_cycle = clock
                 if self.shared_content:
@@ -946,10 +1105,11 @@ class SequenceServer:
                         in_flight_content.setdefault(pose_id, client.id)
                 self._prepare_plans(
                     client, k, item, ready, hits, blocked, items,
-                    next_frame, partitions,
+                    next_frame, partitions, rec=rec, clock=clock,
                 )
 
             points_before = item.execution.points_done
+            quantum_start = clock
             charged = item.execution.run(
                 max_steps=policy.quantum if policy.preemptive else None
             )
@@ -958,12 +1118,34 @@ class SequenceServer:
             )
             item.service_cycles += charged
             clock += charged
+            if rec is not None:
+                rec.emit(
+                    EV_QUANTUM,
+                    quantum_start,
+                    client=client.id,
+                    frame=k,
+                    cycles=charged,
+                    points=item.execution.points_done - points_before,
+                    mode=item.mode,
+                    done=item.execution.done,
+                )
             if item.execution.done:
                 frame_report = item.execution.finish()
                 complete_frame(client, item, frame_report, cross=False)
             # else: suspended — the cursor (and its engines) wait on the
             # work item for the policy's next decision.
 
+        if rec is not None:
+            rec.emit(
+                EV_SERVE_END,
+                clock,
+                policy=policy.name,
+                makespan=clock,
+                context_switches=context_switches,
+                frames_delivered=sum(
+                    1 for s in schedule if s.delivered
+                ),
+            )
         return ServeReport(
             policy=policy.name,
             clock_hz=self.accelerator.config.clock_hz,

@@ -1,0 +1,570 @@
+"""Observability layer: neutrality, schemas, exporters, tools.
+
+The headline invariant is **zero perturbation**: serving with a live
+recorder produces bit-identical reports to serving with the default
+no-op recorder — across scalar and batched engines, frame-atomic and
+preemptive policies, single servers and clusters.  It is pinned here
+the same way stepped-vs-monolithic execution is pinned in
+``tests/test_execution.py``: full ``to_dict()`` equality.
+
+The ``obs_events/v1`` record shape and the Chrome trace-event structure
+are pinned against ``tests/golden/obs_schema.json`` — field *names*
+per event kind, not cycle values, so pricing changes do not churn the
+golden while schema drift still fails loudly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.arch.accelerator import ASDRAccelerator
+from repro.arch.config import ArchConfig
+from repro.errors import ConfigurationError
+from repro.exec.execution import scalar_engine
+from repro.obs import (
+    EVENT_KINDS,
+    Event,
+    MemoryRecorder,
+    MetricsRegistry,
+    NullRecorder,
+    ScopedRecorder,
+    chrome_trace,
+    read_events_jsonl,
+    render_dashboard,
+    render_timeline,
+    split_runs,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.events import (
+    EV_MIGRATION,
+    EV_QUANTUM,
+    EV_ROUTE,
+    EV_SCALE_OUT,
+    EV_SCHED,
+    EV_SERVE_START,
+)
+from repro.obs.schemas import (
+    validate_cluster_bench,
+    validate_engine_bench,
+    validate_file,
+    validate_obs_events,
+    validate_serving_bench,
+    validate_trace_events,
+)
+from repro.serving.cluster import ClusterServer, Migration
+from repro.serving.policies import make_policy
+from repro.serving.profiler import ServeProfile, profile_serve
+from repro.serving.report import bench_table_rows
+from repro.serving.server import SequenceServer
+from repro.scenes.cameras import camera_path
+from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
+from tests.test_serving import (
+    _distinct_paths,
+    _request,
+    synthetic_sequence,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN = REPO_ROOT / "tests" / "golden" / "obs_schema.json"
+
+SIZE = 8
+FRAMES = 4
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return ASDRAccelerator(
+        ArchConfig.server(),
+        TEST_GRID,
+        TEST_MODEL_CONFIG.density_mlp_config,
+        TEST_MODEL_CONFIG.color_mlp_config,
+    )
+
+
+def _mixed_requests():
+    """Twins + a departing client + a distinct orbit: every serving
+    event kind short of the cluster ones fires under preemption."""
+    twin_path = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.3)
+    other = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.6)
+    quitter = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.9)
+    return [
+        _request("orig", twin_path),
+        _request("twin", twin_path),
+        _request("other", other),
+        _request("quit", quitter, departure_cycle=40),
+    ]
+
+
+def _server(accelerator, requests, recorder=None, varied=True):
+    server = SequenceServer(accelerator, recorder=recorder)
+    for request in requests:
+        server.submit(
+            request, synthetic_sequence(request.path, varied=varied)
+        )
+    return server
+
+
+def _serve_events(accelerator, policy="round_robin_preemptive"):
+    rec = MemoryRecorder()
+    _server(accelerator, _mixed_requests(), recorder=rec).serve(policy)
+    return rec.events
+
+
+def _abort_events(accelerator):
+    """A departure timed to land mid-frame under a 1-step quantum, so the
+    in-flight ``frame_abort`` path fires (same setup as
+    ``test_departure_abandons_in_flight_execution``)."""
+    paths = _distinct_paths(2)
+    quit_seq = synthetic_sequence(paths[1], varied=True)
+    first_cycles = (
+        SequenceServer(accelerator)
+        .accelerator.simulate_sequence_frame(quit_seq, 0)
+        .total_cycles
+    )
+    rec = MemoryRecorder()
+    server = SequenceServer(accelerator, shared_content=False, recorder=rec)
+    server.submit(
+        _request("stay", paths[0]),
+        synthetic_sequence(paths[0], varied=True),
+    )
+    server.submit(
+        _request(
+            "quit", paths[1], departure_cycle=max(2, first_cycles // 4)
+        ),
+        quit_seq,
+    )
+    server.serve(make_policy("round_robin_preemptive", quantum=1))
+    return rec.events
+
+
+def _cluster_events(accelerator):
+    """A two-shard fleet with a spare, a scale-out and a migration."""
+    rec = MemoryRecorder()
+    cluster = ClusterServer(
+        [accelerator, accelerator],
+        router="affinity",
+        spare_accelerators=[accelerator],
+        scale_out_threshold=1,
+        recorder=rec,
+    )
+    for request in _mixed_requests()[:3]:
+        cluster.submit(
+            request, synthetic_sequence(request.path, varied=True)
+        )
+    home = cluster.placement_of("other")
+    away = next(n for n in cluster.shard_names if n != home)
+    cluster.serve(
+        "round_robin_preemptive",
+        migrations=[
+            Migration(client_id="other", after_frame=2, to_shard=away)
+        ],
+    )
+    return rec.events
+
+
+# ----------------------------------------------------------------------
+# The headline invariant: telemetry never changes a report
+# ----------------------------------------------------------------------
+class TestNeutrality:
+    @pytest.mark.parametrize("policy", ["fifo", "round_robin",
+                                        "round_robin_preemptive",
+                                        "deadline_preemptive"])
+    def test_serve_reports_bit_identical(self, accelerator, policy):
+        requests = _mixed_requests()
+        off = _server(accelerator, requests).serve(policy)
+        rec = MemoryRecorder(metrics=MetricsRegistry())
+        on = _server(accelerator, requests, recorder=rec).serve(policy)
+        assert on.to_dict() == off.to_dict()
+        assert rec.events, "an enabled recorder must actually record"
+
+    def test_null_recorder_equals_no_recorder(self, accelerator):
+        requests = _mixed_requests()
+        off = _server(accelerator, requests).serve("round_robin")
+        null = SequenceServer(accelerator, recorder=NullRecorder())
+        for request in requests:
+            null.submit(request, synthetic_sequence(request.path, varied=True))
+        assert null.serve("round_robin").to_dict() == off.to_dict()
+
+    def test_scalar_engine_bit_identical(self, accelerator):
+        requests = _mixed_requests()
+        with scalar_engine():
+            off = _server(accelerator, requests).serve(
+                "round_robin_preemptive"
+            )
+            on = _server(
+                accelerator, requests, recorder=MemoryRecorder()
+            ).serve("round_robin_preemptive")
+        assert on.to_dict() == off.to_dict()
+
+    def test_cluster_reports_bit_identical(self, accelerator):
+        def run(recorder):
+            cluster = ClusterServer(
+                [accelerator, accelerator],
+                router="affinity",
+                recorder=recorder,
+            )
+            for request in _mixed_requests():
+                cluster.submit(
+                    request, synthetic_sequence(request.path, varied=True)
+                )
+            return cluster.serve("round_robin_preemptive").to_dict()
+
+        assert run(MemoryRecorder()) == run(None)
+
+    def test_recorder_sees_exec_and_serving_domains(self, accelerator):
+        kinds = {e.kind for e in _serve_events(accelerator)}
+        assert "quantum" in kinds and "serve_start" in kinds
+        assert "exec_batch" in kinds or "exec_step" in kinds
+
+
+# ----------------------------------------------------------------------
+# Recorder contract
+# ----------------------------------------------------------------------
+class TestRecorder:
+    def test_null_recorder_is_disabled_noop(self):
+        rec = NullRecorder()
+        assert rec.enabled is False
+        rec.emit("quantum", 1, cycles=2)  # must not raise, must not store
+
+    def test_memory_recorder_records_and_folds_metrics(self):
+        metrics = MetricsRegistry()
+        rec = MemoryRecorder(metrics=metrics)
+        rec.emit(EV_QUANTUM, 10, client="a", frame=0, cycles=120)
+        rec.emit(EV_QUANTUM, 130, client="a", frame=0, cycles=80)
+        assert len(rec) == 2
+        assert rec.events[0].clock == 10
+        hist = metrics.histogram("quantum_cycles", shard="")
+        assert hist.count == 2
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_scoped_recorder_merges_labels(self):
+        base = MemoryRecorder()
+        scoped = ScopedRecorder(base, shard="s0")
+        scoped.emit(EV_QUANTUM, 5, client="a", cycles=3)
+        assert base.events[0].fields["shard"] == "s0"
+        assert base.events[0].fields["client"] == "a"
+        # Event fields win over scope labels on collision.
+        ScopedRecorder(base, client="scope").emit(EV_QUANTUM, 6, client="ev")
+        assert base.events[1].fields["client"] == "ev"
+
+    def test_scoped_recorder_inherits_disabled(self):
+        assert ScopedRecorder(NullRecorder(), shard="x").enabled is False
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        m = MetricsRegistry()
+        m.counter("frames", client="a").inc()
+        m.counter("frames", client="a").inc(2)
+        assert m.counter("frames", client="a").value == 3
+        g = m.gauge("depth")
+        g.set(5)
+        g.set(2)
+        assert (g.value, g.min_seen, g.max_seen) == (2, 2, 5)
+        h = m.histogram("lat", buckets=(10, 100))
+        for v in (5, 50, 500):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.mean == pytest.approx(185.0)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_from_events_and_to_dict(self, accelerator):
+        m = MetricsRegistry.from_events(_serve_events(accelerator))
+        d = m.to_dict()
+        assert set(d) == {"counters", "gauges", "histograms"}
+        totals = [
+            row for row in d["counters"] if row["name"] == "obs_events_total"
+        ]
+        assert totals and all(r["value"] > 0 for r in totals)
+
+
+# ----------------------------------------------------------------------
+# Exporters and the golden schema
+# ----------------------------------------------------------------------
+class TestExport:
+    def test_jsonl_round_trip(self, accelerator, tmp_path):
+        events = _serve_events(accelerator)
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(path, events, clock_hz=1e9, meta={"run": "t"})
+        header, loaded = read_events_jsonl(path)
+        assert header["clock_hz"] == 1e9
+        assert header["meta"] == {"run": "t"}
+        assert loaded == events
+        assert validate_file(path) == []
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "nope/v1"}\n', encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            read_events_jsonl(bad)
+
+    def test_chrome_trace_valid_and_deterministic(self, accelerator, tmp_path):
+        events = _serve_events(accelerator)
+        trace = chrome_trace(events, clock_hz=1e9)
+        assert validate_trace_events(trace) == []
+        assert trace == chrome_trace(events, clock_hz=1e9)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, events, clock_hz=1e9)
+        assert validate_file(path) == []
+
+    def test_golden_event_and_trace_schema(self, accelerator):
+        """Field names per event kind and trace-event key structure are
+        pinned — values are free to change with pricing, shapes are not."""
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        batched = _serve_events(accelerator)
+        with scalar_engine():
+            scalar = _serve_events(accelerator)
+        cluster = _cluster_events(accelerator)
+        aborts = _abort_events(accelerator)
+        seen = {}
+        for ev in batched + scalar + cluster + aborts:
+            fields = {k for k in ev.fields if k != "shard"}
+            seen.setdefault(ev.kind, set()).update(fields)
+        assert set(seen) == set(EVENT_KINDS), (
+            "reference runs must exercise every event kind; missing: "
+            f"{sorted(set(EVENT_KINDS) - set(seen))}"
+        )
+        assert {k: sorted(v) for k, v in seen.items()} == golden["events"]
+        trace = chrome_trace(batched + cluster)
+        shapes = {}
+        for tev in trace["traceEvents"]:
+            shapes.setdefault(tev["ph"], set()).update(tev.keys())
+        assert {ph: sorted(keys) for ph, keys in shapes.items()} == (
+            golden["trace"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Timeline dashboard
+# ----------------------------------------------------------------------
+class TestTimeline:
+    def test_split_runs_per_policy(self, accelerator):
+        rec = MemoryRecorder()
+        server = _server(accelerator, _mixed_requests(), recorder=rec)
+        server.serve("round_robin")
+        server.serve("round_robin_preemptive")
+        runs = split_runs(rec.events)
+        assert len(runs) == 2
+        assert all(
+            any(e.kind == EV_SERVE_START for e in run) for run in runs
+        )
+
+    def test_render_contains_lanes_and_engines(self, accelerator):
+        events = _serve_events(accelerator)
+        out = render_timeline(events, width=40)
+        assert "policy=round_robin_preemptive" in out
+        for client in ("orig", "twin", "other"):
+            assert f"server/{client}" in out
+        assert "queue depth" in out and "engines:" in out
+        assert render_timeline(events, width=40) == out  # deterministic
+
+    def test_render_dashboard_stacks_runs(self, accelerator):
+        rec = MemoryRecorder()
+        server = _server(accelerator, _mixed_requests(), recorder=rec)
+        server.serve("fifo")
+        server.serve("round_robin")
+        out = render_dashboard(rec.events, width=40)
+        assert out.count("timeline policy=") == 2
+
+    def test_empty_run_renders_placeholder(self):
+        out = render_timeline([Event(EV_SCHED, 0, {"ready": 1})])
+        assert "no executable events" in out
+
+
+# ----------------------------------------------------------------------
+# Schema validators (shared with tools/validate_bench.py and run-all)
+# ----------------------------------------------------------------------
+class TestSchemas:
+    def test_serving_bench_checks(self):
+        ok = {
+            "schema": "serving_bench/v1",
+            "policies": {
+                "round_robin_preemptive": {
+                    k: 1
+                    for k in (
+                        "p50_ms", "p95_ms", "throughput_fps", "fairness",
+                        "context_switches", "busy_cycles",
+                        "back_to_back_cycles",
+                    )
+                }
+            },
+        }
+        assert validate_serving_bench(ok) == []
+        assert validate_serving_bench({"schema": "nope"}) != []
+        missing = json.loads(json.dumps(ok))
+        del missing["policies"]["round_robin_preemptive"]["fairness"]
+        assert any("fairness" in p for p in validate_serving_bench(missing))
+        atomic_only = json.loads(json.dumps(ok))
+        atomic_only["policies"] = {
+            "fifo": atomic_only["policies"]["round_robin_preemptive"]
+        }
+        assert validate_serving_bench(atomic_only) != []
+
+    def test_engine_bench_checks(self):
+        ok = {
+            "schema": "engine_bench/v1",
+            "serve": {
+                "identical_rows": True,
+                "scalar_seconds": 1,
+                "batched_seconds": 1,
+                "speedup": 1,
+            },
+            "frame_micro": {"identical_reports": True},
+        }
+        assert validate_engine_bench(ok) == []
+        diverged = json.loads(json.dumps(ok))
+        diverged["serve"]["identical_rows"] = False
+        assert any(
+            "identical_rows" in p for p in validate_engine_bench(diverged)
+        )
+
+    def test_cluster_bench_checks(self):
+        router = {
+            k: 1
+            for k in (
+                "router", "policy", "shards", "total_busy_cycles",
+                "total_frames", "fairness", "p50_ms", "p95_ms",
+                "migrations", "utilisation",
+            )
+        }
+        ok = {
+            "schema": "cluster_bench/v1",
+            "single_shard_identical": True,
+            "routers": {"affinity": dict(router), "random": dict(router)},
+            "affinity_over_random_cycles": 1.0,
+        }
+        assert validate_cluster_bench(ok) == []
+        worse = json.loads(json.dumps(ok))
+        worse["routers"]["affinity"]["total_busy_cycles"] = 2
+        assert any("more fleet cycles" in p
+                   for p in validate_cluster_bench(worse))
+        broken = json.loads(json.dumps(ok))
+        broken["single_shard_identical"] = False
+        assert validate_cluster_bench(broken) != []
+
+    def test_obs_events_checks(self):
+        header = {"schema": "obs_events/v1", "clock_hz": 1e9, "meta": {}}
+        good = [{"kind": "quantum", "clock": 3, "fields": {}}]
+        assert validate_obs_events(header, good) == []
+        assert validate_obs_events({"schema": "x"}, good) != []
+        assert validate_obs_events(
+            header, [{"kind": "martian", "clock": 1, "fields": {}}]
+        ) != []
+        assert validate_obs_events(
+            header, [{"kind": "quantum", "clock": -1, "fields": {}}]
+        ) != []
+
+    def test_bench_table_rows_partial_payloads(self):
+        rows = bench_table_rows(
+            {
+                "engine": {
+                    "serve": {"speedup": 10.5, "identical_rows": True},
+                    "frame_micro": {"speedup": 2.0,
+                                    "identical_reports": True},
+                }
+            }
+        )
+        assert len(rows) == 2
+        assert rows[0]["value"] == "10.5x"
+        assert bench_table_rows({}) == []
+
+
+# ----------------------------------------------------------------------
+# Profiler JSON (repro serve --profile-json)
+# ----------------------------------------------------------------------
+class TestProfileJson:
+    def test_to_dict_round_trips(self):
+        _, profile = profile_serve(lambda: sum(range(2000)))
+        data = json.loads(json.dumps(profile.to_dict()))
+        assert data["schema"] == "serve_profile/v1"
+        rebuilt = ServeProfile.from_dict(data)
+        assert rebuilt.to_dict() == profile.to_dict()
+        assert rebuilt.format_report() == profile.format_report()
+
+    def test_cli_exposes_profile_json_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--profile-json", "p.json"]
+        )
+        assert args.profile_json == "p.json"
+        args = build_parser().parse_args(["timeline", "ev.jsonl"])
+        assert args.events == "ev.jsonl"
+        args = build_parser().parse_args(["bench", "run-all", "--smoke"])
+        assert args.smoke is True
+
+
+# ----------------------------------------------------------------------
+# The tools (negative-tested like tools/check_docs.py)
+# ----------------------------------------------------------------------
+def _load_tool(name):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestValidateBenchTool:
+    def test_passes_valid_artifacts(self, accelerator, tmp_path, capsys):
+        tool = _load_tool("validate_bench")
+        events = _serve_events(accelerator)
+        jsonl = tmp_path / "events.jsonl"
+        write_events_jsonl(jsonl, events, clock_hz=1e9)
+        trace = tmp_path / "trace.json"
+        write_chrome_trace(trace, events)
+        assert tool.main([str(jsonl), str(trace)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_catches_planted_breakage(self, tmp_path, capsys):
+        tool = _load_tool("validate_bench")
+        bad = tmp_path / "BENCH_serving.json"
+        bad.write_text(
+            json.dumps({"schema": "serving_bench/v1", "policies": {
+                "fifo": {"p50_ms": 1}
+            }}),
+            encoding="utf-8",
+        )
+        missing = tmp_path / "gone.json"
+        assert tool.main([str(bad), str(missing)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out and "does not exist" in out
+
+
+class TestBenchHistoryTool:
+    def test_walks_committed_revisions(self, capsys):
+        tool = _load_tool("bench_history")
+        assert tool.main(["--root", str(REPO_ROOT), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == set(tool.BENCH_FILES)
+
+    def test_fails_outside_git(self, tmp_path, capsys):
+        tool = _load_tool("bench_history")
+        assert tool.main(["--root", str(tmp_path)]) == 1
+
+
+# ----------------------------------------------------------------------
+# Cluster event coverage
+# ----------------------------------------------------------------------
+class TestClusterEvents:
+    def test_route_scale_out_and_migration_events(self, accelerator):
+        events = _cluster_events(accelerator)
+        kinds = {e.kind for e in events}
+        assert {EV_ROUTE, EV_SCALE_OUT, EV_MIGRATION} <= kinds
+        shards = {
+            e.fields["shard"] for e in events if "shard" in e.fields
+        }
+        assert len(shards) >= 2, "per-shard scoping must tag events"
