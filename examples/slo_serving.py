@@ -1,0 +1,130 @@
+"""SLO study: serving classes under overload, control loops armed.
+
+The overload sibling of ``multi_tenant_serving.py``: seven tenants in
+three service classes — one ``interactive`` viewer paced faster than it
+could render alone at full quality, one ``standard`` stream, four
+``batch`` renders, plus a seventh batch tenant whose only job is to trip
+the admission cap — are offered to one simulated server accelerator.
+
+The same calibrated mix is served twice on identical deadlines:
+
+* **baseline** — everything admitted, nothing controlled: the
+  interactive tenant queues behind batch work and misses its cadence;
+* **armed** — admission control rejects the overflow tenant, load
+  shedding drops batch head frames that can no longer make their
+  deadlines, and degraded-quality mode serves plan-reuse frames at a
+  reduced sampling budget behind a PSNR guard.  The interactive class
+  recovers its SLO at *lower* fleet cycles.
+
+A closing run swaps the fixed preemption quantum for the online
+auto-tuner (``quantum="auto"``).
+
+Usage::
+
+    python examples/slo_serving.py [scene]
+"""
+
+import sys
+
+from repro.experiments.slo import (
+    BASELINE_POLICY,
+    SLO_POLICY,
+    calibrate_deadlines,
+    degrade_psnr_map,
+    overload_mix,
+)
+from repro.experiments.workbench import Workbench, experiment_accelerator
+from repro.obs.recorder import MemoryRecorder
+from repro.serving.policies import make_policy
+from repro.serving.server import SequenceServer
+from repro.serving.slo import AUTO_QUANTUM, AdmissionError, SLOConfig
+
+FRAMES = 4
+SIZE = 8
+
+
+def attainment_line(report):
+    classes = report.slo_attainment
+    return ", ".join(f"{cls} {val:.2f}" for cls, val in sorted(classes.items()))
+
+
+def main() -> None:
+    scene = sys.argv[1] if len(sys.argv) > 1 else "palace"
+    wb = Workbench()
+    admitted, overflow = overload_mix(scene=scene, frames=FRAMES, size=SIZE)
+    # Deadlines come from each tenant's measured share of a fair serve,
+    # scaled per class — the interactive cadence lands *between* the
+    # degraded pace and the full-quality solo pace, so only the control
+    # loops can meet it.
+    calibrated = calibrate_deadlines(wb, list(admitted) + [overflow])
+    admitted, overflow = calibrated[:-1], calibrated[-1]
+    print(f"Scene: {scene}, {len(admitted)} admitted tenants "
+          f"({FRAMES} frames at {SIZE}x{SIZE}) + 1 overflow tenant")
+    for request in admitted:
+        print(f"  {request.client_id:6s} {request.slo_class:12s} "
+              f"interval {request.frame_interval_cycles} cycles")
+
+    # Baseline: everything admitted, nothing controlled.
+    baseline = SequenceServer(
+        experiment_accelerator("server"), group_size=wb.group_size()
+    )
+    for request in admitted:
+        baseline.submit(request, wb.client_sequence(request))
+    cap = int(baseline.projected_backlog_cycles()) + 1
+    baseline.submit(overflow, wb.client_sequence(overflow))
+    base_report = baseline.serve(BASELINE_POLICY)
+    print(f"\nbaseline ({BASELINE_POLICY}, everything admitted):")
+    print(f"  attainment: {attainment_line(base_report)}")
+    print(f"  busy {base_report.busy_cycles / 1e3:.1f} kcycles")
+
+    # Armed run: admission cap just above the admitted backlog, shedding
+    # and PSNR-guarded degrade on.
+    config = SLOConfig(
+        admit_cycles=cap,
+        shed=True,
+        degrade=True,
+        degrade_fraction=0.5,
+        degrade_min_psnr=18.0,
+        degrade_psnr=degrade_psnr_map(wb, admitted, fraction=0.5),
+    )
+    recorder = MemoryRecorder()
+    armed = SequenceServer(
+        experiment_accelerator("server"),
+        group_size=wb.group_size(),
+        slo=config,
+        recorder=recorder,
+    )
+    for request in admitted:
+        armed.submit(request, wb.client_sequence(request))
+    try:
+        armed.submit(overflow, wb.client_sequence(overflow))
+    except AdmissionError as exc:
+        print(f"\nadmission control: {exc}")
+    slo_report = armed.serve(SLO_POLICY)
+    print(f"\narmed ({SLO_POLICY}, admission + shed + degrade):")
+    print(f"  attainment: {attainment_line(slo_report)}")
+    print(f"  busy {slo_report.busy_cycles / 1e3:.1f} kcycles "
+          f"({slo_report.busy_cycles / base_report.busy_cycles:.2f}x baseline)")
+    shed = sum(c.shed_frames for c in slo_report.clients)
+    degraded = [d for c in slo_report.clients for d in c.degraded]
+    print(f"  shed {shed} batch frames; degraded {len(degraded)} frames "
+          f"(PSNR floor {config.degrade_min_psnr} dB):")
+    for client in slo_report.clients:
+        for entry in client.degraded:
+            print(f"    {client.client_id} frame {entry['frame']}: "
+                  f"{entry['fraction']:.0%} budget, "
+                  f"{entry['psnr']:.1f} dB vs full quality")
+
+    # Auto-tuned quantum: same mix, the tuner resizes the preemption
+    # quantum toward the measured p95 wavefront-step cost.
+    auto_report = armed.serve(make_policy(SLO_POLICY, quantum=AUTO_QUANTUM))
+    tunes = [e for e in recorder.events if e.kind == "quantum_tune"]
+    print(f"\nauto quantum ({len(tunes)} resizes): "
+          f"attainment {attainment_line(auto_report)}")
+    for event in tunes:
+        print(f"  quantum -> {event.fields['quantum']} "
+              f"(p95 step {event.fields['p95_step_cycles']} cycles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -188,7 +188,7 @@ def _emit_telemetry(args, recorder, clock_hz) -> None:
         print(f"wrote {args.trace} (load in Perfetto / chrome://tracing)")
 
 
-def _serve_cluster(args, requests, policies, wb) -> int:
+def _serve_cluster(args, requests, policies, wb, slo=None) -> int:
     """Fleet-mode ``repro serve``: route the client mix across
     ``--shards`` accelerators with the ``--router`` placement policy and
     serve each scheduling policy on the resulting placement."""
@@ -197,7 +197,11 @@ def _serve_cluster(args, requests, policies, wb) -> int:
     from repro.experiments.harness import format_table
     from repro.experiments.workbench import experiment_accelerator
     from repro.serving.cluster import ClusterServer, cluster_bench_summary
-    from repro.serving.policies import PREEMPTIVE_POLICY_NAMES, make_policy
+    from repro.serving.policies import (
+        DEADLINE_POLICY_NAMES,
+        PREEMPTIVE_POLICY_NAMES,
+        make_policy,
+    )
 
     recorder = _serve_recorder(args)
     cluster = ClusterServer(
@@ -206,6 +210,7 @@ def _serve_cluster(args, requests, policies, wb) -> int:
         group_size=wb.group_size(),
         temporal_capacity=args.temporal_capacity,
         shared_content=not args.no_shared_content,
+        slo=slo,
         recorder=recorder,
     )
     for request in requests:
@@ -217,6 +222,11 @@ def _serve_cluster(args, requests, policies, wb) -> int:
                 quantum=(
                     args.quantum
                     if policy in PREEMPTIVE_POLICY_NAMES
+                    else None
+                ),
+                best_effort_slack=(
+                    args.best_effort_slack
+                    if policy in DEADLINE_POLICY_NAMES
                     else None
                 ),
             )
@@ -274,9 +284,18 @@ def _cmd_serve(args) -> int:
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
-    if args.quantum is not None and args.quantum < 1:
-        print("--quantum must be >= 1 wavefront step", file=sys.stderr)
-        return 2
+    from repro.serving.slo import AUTO_QUANTUM
+
+    if args.quantum is not None and args.quantum != AUTO_QUANTUM:
+        try:
+            args.quantum = int(args.quantum)
+        except ValueError:
+            print(f"--quantum must be an integer or '{AUTO_QUANTUM}'",
+                  file=sys.stderr)
+            return 2
+        if args.quantum < 1:
+            print("--quantum must be >= 1 wavefront step", file=sys.stderr)
+            return 2
     policies = _serve_policy_set(args)
     if policies is None:
         return 2
@@ -287,20 +306,41 @@ def _cmd_serve(args) -> int:
               "--preemptive or pick a *_preemptive --policy",
               file=sys.stderr)
         return 2
-    requests = default_client_mix(
-        scene=args.scene,
-        clients=args.clients,
-        frames=args.frames,
-        size=args.size,
-    )
+    from repro.serving.policies import DEADLINE_POLICY_NAMES
+
+    if args.best_effort_slack is not None and not any(
+        p in DEADLINE_POLICY_NAMES for p in policies
+    ):
+        print("--best-effort-slack only applies to the deadline policies; "
+              "pick a deadline* --policy", file=sys.stderr)
+        return 2
     wb = Workbench()
+    slo_config = None
+    if args.slo_mix is not None:
+        from repro.experiments.slo import slo_mix
+
+        requests, slo_config = slo_mix(
+            wb,
+            preset=args.slo_mix,
+            scene=args.scene,
+            frames=args.frames,
+            size=args.size,
+            scale=args.scale,
+        )
+    else:
+        requests = default_client_mix(
+            scene=args.scene,
+            clients=args.clients,
+            frames=args.frames,
+            size=args.size,
+        )
     profiling = args.profile or args.profile_json is not None
     if args.shards > 1:
         if profiling:
             print("--profile is per-shard work; run it without --shards",
                   file=sys.stderr)
             return 2
-        return _serve_cluster(args, requests, policies, wb)
+        return _serve_cluster(args, requests, policies, wb, slo=slo_config)
     recorder = _serve_recorder(args)
     run = lambda: serve_reports(  # noqa: E731
         wb,
@@ -310,6 +350,8 @@ def _cmd_serve(args) -> int:
         temporal_capacity=args.temporal_capacity,
         shared_content=not args.no_shared_content,
         quantum=args.quantum,
+        best_effort_slack=args.best_effort_slack,
+        slo=slo_config,
         recorder=recorder,
     )
     profile = None
@@ -342,6 +384,15 @@ def _cmd_serve(args) -> int:
             f"fairness {rep.fairness:.3f}, "
             f"throughput {rep.throughput_fps:.1f} fps{preempt}"
         )
+        if slo_config is not None:
+            attain = ", ".join(
+                f"{cls} {val:.2f}"
+                for cls, val in sorted(rep.slo_attainment.items())
+            )
+            shed = sum(c.shed_frames for c in rep.clients)
+            degraded = sum(len(c.degraded) for c in rep.clients)
+            print(f"  SLO attainment: {attain}; "
+                  f"shed {shed}, degraded {degraded}")
     if profile is not None:
         print()
         print(profile.format_report())
@@ -482,6 +533,9 @@ examples:
   repro serve lego --clients 5 --frames 6
   repro serve palace --policy round_robin   # one policy only
   repro serve palace --preemptive --quantum 4   # wavefront preemption
+  repro serve palace --preemptive --quantum auto    # p95-sized quanta
+  repro serve palace --slo-mix overload --preemptive    # armed overload demo
+  repro serve palace --policy deadline --best-effort-slack 5000
   repro serve palace --no-shared-content    # price every client as unique
   repro serve palace --profile              # hot functions + phase breakdown
   repro serve lego --json BENCH_serving.json    # machine-readable report
@@ -506,9 +560,23 @@ examples:
                          help="wavefront-granularity preemption: run the "
                               "preemptive policy variants (with --policy "
                               "all, each next to its frame-atomic twin)")
-    p_serve.add_argument("--quantum", type=int, default=None,
-                         help="preemption quantum in wavefront steps "
-                              "(default 4; preemptive policies only)")
+    p_serve.add_argument("--quantum", default=None,
+                         help="preemption quantum in wavefront steps, or "
+                              "'auto' to size each quantum from the "
+                              "measured cycles-per-step p95 (default 4; "
+                              "preemptive policies only)")
+    p_serve.add_argument("--best-effort-slack", type=float, default=None,
+                         help="slack assigned to deadline-less frames by "
+                              "the deadline policies (default inf: best-"
+                              "effort frames always yield; deadline "
+                              "policies only)")
+    from repro.experiments.slo import SLO_MIX_PRESETS
+
+    p_serve.add_argument("--slo-mix", choices=SLO_MIX_PRESETS, default=None,
+                         help="replace the default client mix with a "
+                              "calibrated SLO overload preset and arm "
+                              "shedding + PSNR-guarded degrade "
+                              "(--clients is ignored)")
     p_serve.add_argument("--temporal-capacity", type=int, default=None,
                          help="combined temporal vertex-cache budget, "
                               "elastically partitioned among the tenants "

@@ -284,6 +284,58 @@ class FrameTrace:
             wavefronts=wavefronts,
         )
 
+    def with_budget_cap(self, fraction: float) -> "FrameTrace":
+        """A reduced-sampling copy of this trace for degraded serving.
+
+        Every marched ray keeps its first ``max(1, floor(used * fraction))``
+        samples (misses stay at zero); ``color_used`` is clamped to the new
+        march depth and the ray-major ``points`` stream is masked to
+        match, so the copy prices through the ordinary engines with no
+        special-casing.  Ray coverage is untouched — every pixel the full
+        trace rendered is still rendered (at least one sample), so
+        :attr:`rendered_pixels` and therefore scan-out bus cost are
+        identical; only the compute/bandwidth *per ray* shrinks.  The
+        copy shares no caches with the original.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise SimulationError(
+                f"budget-cap fraction must be in (0, 1), got {fraction}"
+            )
+        capped: List[TraceWavefront] = []
+        for wf in self.wavefronts:
+            new_used = np.where(
+                wf.used > 0,
+                np.maximum(1, (wf.used * fraction).astype(np.int64)),
+                0,
+            ).astype(np.int64)
+            if wf.num_points:
+                starts = wf.offsets[:-1]
+                within = np.arange(wf.num_points, dtype=np.int64) - np.repeat(
+                    starts, wf.used
+                )
+                points = wf.points[within < np.repeat(new_used, wf.used)]
+            else:
+                points = wf.points
+            capped.append(
+                TraceWavefront(
+                    phase=wf.phase,
+                    budget=wf.budget,
+                    ray_ids=wf.ray_ids,
+                    hit=wf.hit,
+                    used=new_used,
+                    color_used=np.minimum(wf.color_used, new_used),
+                    points=points,
+                )
+            )
+        return FrameTrace(
+            num_pixels=self.num_pixels,
+            full_budget=self.full_budget,
+            kind=self.kind,
+            group_size=self.group_size,
+            difficulty_evals=self.difficulty_evals,
+            wavefronts=capped,
+        )
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------

@@ -137,6 +137,9 @@ class FrameWorkItem:
         service_cycles: Accelerator cycles charged to this frame so far.
         preemptions: Times this frame was suspended with work remaining
             while another tenant's wavefronts ran.
+        budget_fraction: Sampling-budget fraction this frame actually ran
+            at (``None`` = full quality; set by the server's
+            degraded-quality mode before the first wavefront).
     """
 
     client: str
@@ -149,6 +152,7 @@ class FrameWorkItem:
     start_cycle: int = field(default=-1, compare=False)
     service_cycles: int = field(default=0, compare=False)
     preemptions: int = field(default=0, compare=False)
+    budget_fraction: Optional[float] = field(default=None, compare=False)
 
     @property
     def started(self) -> bool:
@@ -163,7 +167,12 @@ class FrameWorkItem:
     def fresh(self) -> "FrameWorkItem":
         """A copy with pristine runtime state (one per serving run)."""
         return replace(
-            self, execution=None, start_cycle=-1, service_cycles=0, preemptions=0
+            self,
+            execution=None,
+            start_cycle=-1,
+            service_cycles=0,
+            preemptions=0,
+            budget_fraction=None,
         )
 
 

@@ -14,13 +14,14 @@ and undercuts it whenever clients overlap.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.experiments.harness import register
 from repro.experiments.workbench import Workbench, experiment_accelerator
 from repro.scenes.cameras import camera_path
 from repro.serving.policies import (
     ALL_POLICY_NAMES,
+    DEADLINE_POLICY_NAMES,
     POLICY_NAMES,
     PREEMPTIVE_POLICY_NAMES,
     make_policy,
@@ -28,6 +29,7 @@ from repro.serving.policies import (
 from repro.serving.report import ServeReport
 from repro.serving.request import ClientRequest
 from repro.serving.server import SequenceServer
+from repro.serving.slo import SLOConfig
 
 #: Acceptance-scale defaults: three clients on palace, short 16x16 paths.
 DEFAULT_SCENE = "palace"
@@ -78,17 +80,23 @@ def serve_reports(
     group_size: Optional[int] = None,
     temporal_capacity: Optional[int] = None,
     shared_content: bool = True,
-    quantum: Optional[int] = None,
+    quantum: Optional[Union[int, str]] = None,
+    best_effort_slack: Optional[float] = None,
+    slo: Optional[SLOConfig] = None,
     recorder=None,
 ) -> Dict[str, ServeReport]:
     """``{policy: ServeReport}`` for one client mix (the benchmark's entry
     point).  One server runs every policy — ``serve`` is re-entrant — so
     the policies share the memoised client traces *and* the per-client
-    alone-cycles references.  ``quantum`` (wavefront steps) applies to
-    the preemptive policies only; non-preemptive frames stay atomic.
-    ``recorder`` (a :class:`~repro.obs.recorder.Recorder`) captures the
-    telemetry stream of every policy's run back-to-back — observer-only,
-    the reports are identical with or without it."""
+    alone-cycles references.  ``quantum`` (wavefront steps, or ``"auto"``
+    for measured-latency sizing) applies to the preemptive policies only;
+    non-preemptive frames stay atomic.  ``best_effort_slack`` applies to
+    the deadline-aware policies only (slack assigned to deadline-less
+    frames).  ``slo`` (an :class:`~repro.serving.slo.SLOConfig`) arms the
+    server's overload responses for every policy's run.  ``recorder`` (a
+    :class:`~repro.obs.recorder.Recorder`) captures the telemetry stream
+    of every policy's run back-to-back — observer-only, the reports are
+    identical with or without it."""
     requests = list(requests) if requests is not None else default_client_mix()
     group = wb.group_size() if group_size is None else group_size
     server = SequenceServer(
@@ -96,6 +104,7 @@ def serve_reports(
         group_size=group,
         temporal_capacity=temporal_capacity,
         shared_content=shared_content,
+        slo=slo,
         recorder=recorder,
     )
     for request in requests:
@@ -105,6 +114,11 @@ def serve_reports(
             make_policy(
                 policy,
                 quantum=quantum if policy in PREEMPTIVE_POLICY_NAMES else None,
+                best_effort_slack=(
+                    best_effort_slack
+                    if policy in DEADLINE_POLICY_NAMES
+                    else None
+                ),
             )
         )
         for policy in policies
@@ -118,7 +132,9 @@ def serving_rows(
     policies: Sequence[str] = POLICY_NAMES,
     temporal_capacity: Optional[int] = None,
     shared_content: bool = True,
-    quantum: Optional[int] = None,
+    quantum: Optional[Union[int, str]] = None,
+    best_effort_slack: Optional[float] = None,
+    slo: Optional[SLOConfig] = None,
 ) -> List[Dict[str, object]]:
     """Policy-comparison table: per-client rows plus one aggregate row
     per policy (fairness, throughput, busy vs back-to-back cycles)."""
@@ -130,6 +146,8 @@ def serving_rows(
         temporal_capacity=temporal_capacity,
         shared_content=shared_content,
         quantum=quantum,
+        best_effort_slack=best_effort_slack,
+        slo=slo,
     )
     rows: List[Dict[str, object]] = []
     for policy in policies:

@@ -14,8 +14,10 @@ one ``results/`` folder out:
   engine, bit-identity gated;
 * ``BENCH_cluster.json`` (``cluster_bench/v1``) — router comparison,
   single-shard identity gated;
+* ``BENCH_slo.json`` (``slo_bench/v1``) — overload control (admission,
+  shedding, PSNR-guarded degrade), attainment gated;
 * ``results/summary.json`` + a printed closing table — the headline
-  numbers of all three.
+  numbers of all four.
 
 Every artefact is validated through :mod:`repro.obs.schemas` before the
 harness reports success, so a run that emits a malformed snapshot fails
@@ -55,6 +57,7 @@ FULL_PRESET = dict(
     shards=2,
     quantum=2,
     rounds=3,
+    slo_size=16,
 )
 
 #: CI smoke scale — the same shapes the per-bench smoke jobs use.
@@ -68,6 +71,7 @@ SMOKE_PRESET = dict(
     shards=2,
     quantum=2,
     rounds=1,
+    slo_size=8,
 )
 
 
@@ -94,9 +98,10 @@ def run_all(
     smoke: bool = False,
     progress: Optional[Callable[[str], None]] = print,
 ) -> Dict[str, object]:
-    """Run the serving, engine and cluster benchmark suites end to end.
+    """Run the serving, engine, cluster and SLO benchmark suites end to
+    end.
 
-    Writes the three ``BENCH_*.json`` snapshots into ``out_dir`` and the
+    Writes the four ``BENCH_*.json`` snapshots into ``out_dir`` and the
     telemetry/summary artefacts into ``out_dir/results/``, validates all
     of them, and returns a manifest ``{"artifacts": {name: path},
     "problems": {path: [...]}, "summary_rows": [...]}`` — empty
@@ -118,7 +123,7 @@ def run_all(
     from repro.serving.policies import ALL_POLICY_NAMES
     from repro.serving.report import bench_summary, bench_table_rows
 
-    say(f"[1/3] serving bench ({'smoke' if smoke else 'full'} scale)")
+    say(f"[1/4] serving bench ({'smoke' if smoke else 'full'} scale)")
     wb = Workbench()
     requests = default_client_mix(
         scene=preset["scene"],
@@ -163,7 +168,7 @@ def run_all(
     # ------------------------------------------------------------------
     # 2. Engine throughput (scalar vs batched, identity gated).
     # ------------------------------------------------------------------
-    say("[2/3] engine bench")
+    say("[2/4] engine bench")
     engine = _load_benchmark("test_engine_throughput")
     payloads["engine"] = engine.engine_bench_payload(
         scene=preset["scene"],
@@ -179,7 +184,7 @@ def run_all(
     # ------------------------------------------------------------------
     # 3. Cluster serving (router comparison, identity gated).
     # ------------------------------------------------------------------
-    say("[3/3] cluster bench")
+    say("[3/4] cluster bench")
     cluster = _load_benchmark("test_cluster_serving")
     payloads["cluster"] = cluster.cluster_bench_payload(
         scene=preset["scene"],
@@ -191,6 +196,21 @@ def run_all(
     )
     artifacts["cluster"] = out / "BENCH_cluster.json"
     _write_json(artifacts["cluster"], payloads["cluster"])
+
+    # ------------------------------------------------------------------
+    # 4. SLO overload control (attainment gated).  The mix is calibrated
+    #    on the palace scene at 4 frames — the shape the gates were
+    #    tuned against — so only the resolution follows the preset.
+    # ------------------------------------------------------------------
+    say("[4/4] slo bench")
+    slo = _load_benchmark("test_slo_serving")
+    payloads["slo"] = slo.timed_payload(
+        scene="palace",
+        frames=4,
+        size=preset["slo_size"],
+    )
+    artifacts["slo"] = out / "BENCH_slo.json"
+    _write_json(artifacts["slo"], payloads["slo"])
 
     # ------------------------------------------------------------------
     # Summary table + one-validator pass over everything written.
@@ -211,7 +231,7 @@ def run_all(
     )
 
     problems: Dict[str, List[str]] = {}
-    for name in ("serving", "engine", "cluster", "events", "trace"):
+    for name in ("serving", "engine", "cluster", "slo", "events", "trace"):
         errs = validate_file(artifacts[name])
         if errs:
             problems[str(artifacts[name])] = errs

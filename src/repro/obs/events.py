@@ -44,6 +44,14 @@ EV_TWIN_DEFER = "twin_defer"  #: frame deferred behind its content leader
 EV_PLAN_CACHE = "plan_cache"  #: batched-plan cache consulted (hit/miss)
 EV_TEMPORAL_CACHE = "temporal_cache"  #: per-quantum vertex-cache delta
 
+# --- SLO / overload-control events (server virtual clock; admission
+# rejection happens at submit time, before the clock starts, so it is
+# stamped 0 like the cluster admission-order events) --------------------
+EV_ADMISSION_REJECT = "admission_reject"  #: submit refused (backlog cap)
+EV_SHED = "shed"  #: batch-class frame dropped under overload
+EV_DEGRADE = "degrade"  #: frame served at reduced sampling budget
+EV_QUANTUM_TUNE = "quantum_tune"  #: auto-tuner resized the quantum
+
 # --- cluster events (admission/serve wall order, no single clock) -----
 EV_ROUTE = "route"  #: request placed on a shard (reason attached)
 EV_SCALE_OUT = "scale_out"  #: spare accelerator joined the fleet
@@ -70,6 +78,10 @@ EVENT_KINDS = (
     EV_TWIN_DEFER,
     EV_PLAN_CACHE,
     EV_TEMPORAL_CACHE,
+    EV_ADMISSION_REJECT,
+    EV_SHED,
+    EV_DEGRADE,
+    EV_QUANTUM_TUNE,
     EV_ROUTE,
     EV_SCALE_OUT,
     EV_MIGRATION,

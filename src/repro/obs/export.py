@@ -30,6 +30,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.obs.events import (
     EV_ADMISSION,
+    EV_ADMISSION_REJECT,
+    EV_DEGRADE,
     EV_DEPARTURE,
     EV_EXEC_BATCH,
     EV_EXEC_STEP,
@@ -41,12 +43,14 @@ from repro.obs.events import (
     EV_PLAN_CACHE,
     EV_PREEMPTION,
     EV_QUANTUM,
+    EV_QUANTUM_TUNE,
     EV_ROUTE,
     EV_SCALE_OUT,
     EV_SCANOUT,
     EV_SCHED,
     EV_SERVE_END,
     EV_SERVE_START,
+    EV_SHED,
     EV_TWIN_DEFER,
     OBS_EVENTS_SCHEMA,
     Event,
@@ -65,10 +69,13 @@ _DURATION_KINDS = {EV_QUANTUM: "quantum", EV_SCANOUT: "scanout"}
 #: Kinds rendered as instant ("i") events on the owning client's thread.
 _CLIENT_INSTANT_KINDS = {
     EV_ADMISSION: "admission",
+    EV_ADMISSION_REJECT: "admission_reject",
     EV_DEPARTURE: "departure",
     EV_FRAME_ABORT: "frame_abort",
     EV_TWIN_DEFER: "twin_defer",
     EV_FRAME_COMPLETE: "frame_complete",
+    EV_SHED: "shed",
+    EV_DEGRADE: "degrade",
 }
 
 #: Kinds rendered as instants on the shard's scheduler thread (tid 0).
@@ -80,6 +87,7 @@ _SCHED_INSTANT_KINDS = {
     EV_SCALE_OUT: "scale_out",
     EV_MIGRATION: "migration",
     EV_PLAN_CACHE: "plan_cache",
+    EV_QUANTUM_TUNE: "quantum_tune",
 }
 
 

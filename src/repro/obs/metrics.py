@@ -166,6 +166,28 @@ class MetricsRegistry:
             self.counter("temporal_hits_total", shard=shard).inc(
                 float(fields.get("hits", 0))  # type: ignore[arg-type]
             )
+        elif kind == ev.EV_ADMISSION_REJECT:
+            self.counter(
+                "admission_rejects_total",
+                shard=shard,
+                slo_class=fields.get("slo_class", ""),
+            ).inc()
+        elif kind == ev.EV_SHED:
+            self.counter(
+                "shed_frames_total",
+                shard=shard,
+                client=fields.get("client", ""),
+            ).inc()
+        elif kind == ev.EV_DEGRADE:
+            self.counter(
+                "degraded_frames_total",
+                shard=shard,
+                client=fields.get("client", ""),
+            ).inc()
+        elif kind == ev.EV_QUANTUM_TUNE:
+            self.gauge("quantum_steps", shard=shard).set(
+                float(fields.get("quantum", 0))  # type: ignore[arg-type]
+            )
 
     @classmethod
     def from_events(cls, events) -> "MetricsRegistry":

@@ -12,6 +12,7 @@ Covered schemas:
 * ``serving_bench/v1`` — :func:`repro.serving.report.bench_summary`
 * ``engine_bench/v1``  — ``benchmarks/test_engine_throughput.py``
 * ``cluster_bench/v1`` — ``benchmarks/test_cluster_serving.py``
+* ``slo_bench/v1``     — ``benchmarks/test_slo_serving.py``
 * ``obs_events/v1``    — :mod:`repro.obs.export` JSONL logs
 * Chrome trace-event JSON — :func:`repro.obs.export.chrome_trace`
 """
@@ -51,6 +52,24 @@ CLUSTER_ROUTER_KEYS = (
 
 #: Chrome trace-event phases the exporter emits.
 TRACE_PHASES = ("X", "M", "C", "i")
+
+#: Keys both the baseline and the SLO run of an ``slo_bench/v1``
+#: payload must carry.
+SLO_RUN_KEYS = (
+    "policy",
+    "slo_attainment",
+    "busy_cycles",
+    "total_frames",
+    "shed_frames",
+    "degraded_frames",
+)
+
+#: The ``slo_bench/v1`` acceptance gates (also asserted inline by
+#: ``benchmarks/test_slo_serving.py``): the SLO machinery must lift
+#: interactive attainment to at least this …
+SLO_INTERACTIVE_FLOOR = 0.95
+#: … on an overload mix where the no-SLO baseline attains less than this.
+SLO_BASELINE_CEILING = 0.7
 
 
 def validate_serving_bench(data: Dict) -> List[str]:
@@ -119,6 +138,71 @@ def validate_cluster_bench(data: Dict) -> List[str]:
     return problems
 
 
+def validate_slo_bench(data: Dict) -> List[str]:
+    """``slo_bench/v1``: the overload-control acceptance gates.
+
+    The payload compares the same overload client mix served twice —
+    ``baseline`` (no SLO machinery) and ``slo`` (admission control +
+    shedding + degrade armed) — and the gates encode the PR's claim:
+    interactive attainment ≥ :data:`SLO_INTERACTIVE_FLOOR` with the
+    machinery on, < :data:`SLO_BASELINE_CEILING` without it, at equal or
+    lower fleet cycles, with every degraded frame's PSNR at or above the
+    configured guard and the control loops demonstrably exercised.
+    """
+    problems: List[str] = []
+    if data.get("schema") != "slo_bench/v1":
+        return [f"schema is {data.get('schema')!r}, want 'slo_bench/v1'"]
+    for run_name in ("baseline", "slo"):
+        run = data.get(run_name)
+        if not isinstance(run, dict):
+            problems.append(f"{run_name!r} run missing")
+            continue
+        for key in SLO_RUN_KEYS:
+            if key not in run:
+                problems.append(f"run {run_name!r} missing {key!r}")
+    if problems:
+        return problems
+    baseline, slo = data["baseline"], data["slo"]
+    base_int = baseline["slo_attainment"].get("interactive")
+    slo_int = slo["slo_attainment"].get("interactive")
+    if base_int is None or slo_int is None:
+        return ["runs carry no 'interactive' class attainment"]
+    if not base_int < SLO_BASELINE_CEILING:
+        problems.append(
+            f"baseline interactive attainment {base_int:.3f} is not an "
+            f"overload (want < {SLO_BASELINE_CEILING})"
+        )
+    if not slo_int >= SLO_INTERACTIVE_FLOOR:
+        problems.append(
+            f"slo interactive attainment {slo_int:.3f} misses the "
+            f"{SLO_INTERACTIVE_FLOOR} floor"
+        )
+    if slo["busy_cycles"] > baseline["busy_cycles"]:
+        problems.append(
+            "slo run burns more fleet cycles than the baseline "
+            f"({slo['busy_cycles']} > {baseline['busy_cycles']})"
+        )
+    if not slo["shed_frames"] > 0:
+        problems.append("slo run shed no frames (machinery not exercised)")
+    if not data.get("admission_rejects", 0) > 0:
+        problems.append("no admission rejects (machinery not exercised)")
+    degraded = slo.get("degraded", [])
+    if not degraded:
+        problems.append("slo run degraded no frames (machinery not exercised)")
+    guard = data.get("degrade_min_psnr")
+    if guard is None:
+        problems.append("missing 'degrade_min_psnr' guard")
+    else:
+        for i, d in enumerate(degraded):
+            psnr = d.get("psnr")
+            if psnr is None or psnr < guard:
+                problems.append(
+                    f"degraded[{i}] psnr {psnr!r} below the "
+                    f"{guard} dB guard"
+                )
+    return problems
+
+
 def validate_obs_events(header: Dict, events: List[Dict]) -> List[str]:
     """``obs_events/v1``: header tag plus per-event shape.
 
@@ -180,6 +264,7 @@ SCHEMA_VALIDATORS = {
     "serving_bench/v1": validate_serving_bench,
     "engine_bench/v1": validate_engine_bench,
     "cluster_bench/v1": validate_cluster_bench,
+    "slo_bench/v1": validate_slo_bench,
 }
 
 

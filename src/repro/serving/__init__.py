@@ -31,6 +31,15 @@ elastically as the tenant set changes.  The dataflow is::
 --quantum N``, ``--json`` for the machine-readable summary); the
 ``serve`` experiment prints the policy comparison table.
 
+Requests carry an **SLO class** (``interactive`` / ``standard`` /
+``batch``; see :mod:`repro.serving.slo`): deadline multipliers and
+priority weights feed the deadline-aware policies' slack computation,
+and an optional :class:`~repro.serving.slo.SLOConfig` arms overload
+control — admission rejection at submit time, batch-class load shedding,
+degraded-quality delivery with a PSNR guard, and (with ``quantum="auto"``)
+p95-latency-targeted quantum auto-tuning.  Reports expose per-class SLO
+attainment next to Jain fairness.
+
 Above the single box, :class:`~repro.serving.cluster.ClusterServer`
 shards tenants across a *fleet* of accelerators (``repro serve --shards
 N --router affinity``): content-affinity routing keeps twin and
@@ -52,6 +61,7 @@ from repro.serving.cluster import (
 from repro.serving.profiler import HotFunction, ServeProfile, profile_serve
 from repro.serving.policies import (
     ALL_POLICY_NAMES,
+    DEADLINE_POLICY_NAMES,
     DEFAULT_QUANTUM,
     POLICY_NAMES,
     PREEMPTIVE_POLICY_NAMES,
@@ -73,13 +83,33 @@ from repro.serving.report import (
 )
 from repro.serving.request import ClientRequest
 from repro.serving.server import SequenceServer, WavefrontCostModel
+from repro.serving.slo import (
+    AUTO_QUANTUM,
+    DEFAULT_SLO_CLASS,
+    KEYFRAME_GRACE_INTERVALS,
+    SLO_CLASSES,
+    SLO_DEADLINE_MULTIPLIER,
+    SLO_PRIORITY_WEIGHT,
+    AdmissionError,
+    QuantumAutoTuner,
+    SLOConfig,
+    weighted_slack,
+)
 
 __all__ = [
     "ALL_POLICY_NAMES",
+    "AUTO_QUANTUM",
+    "DEADLINE_POLICY_NAMES",
     "DEFAULT_QUANTUM",
+    "DEFAULT_SLO_CLASS",
+    "KEYFRAME_GRACE_INTERVALS",
     "POLICY_NAMES",
     "PREEMPTIVE_POLICY_NAMES",
     "ROUTER_NAMES",
+    "SLO_CLASSES",
+    "SLO_DEADLINE_MULTIPLIER",
+    "SLO_PRIORITY_WEIGHT",
+    "AdmissionError",
     "ClientRequest",
     "ClientServeReport",
     "ClusterReport",
@@ -91,7 +121,9 @@ __all__ = [
     "PendingFrame",
     "PreemptiveDeadlinePolicy",
     "PreemptiveRoundRobinPolicy",
+    "QuantumAutoTuner",
     "RoundRobinPolicy",
+    "SLOConfig",
     "ScheduledFrame",
     "SchedulingPolicy",
     "SequenceServer",
@@ -104,4 +136,5 @@ __all__ = [
     "jain_fairness",
     "make_policy",
     "profile_serve",
+    "weighted_slack",
 ]

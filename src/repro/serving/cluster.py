@@ -64,6 +64,7 @@ from repro.serving.policies import SchedulingPolicy
 from repro.serving.report import ServeReport, jain_fairness
 from repro.serving.request import ClientRequest
 from repro.serving.server import SequenceServer
+from repro.serving.slo import SLOConfig
 
 #: Router policy names (the ``--router`` choices).
 ROUTER_AFFINITY = "affinity"
@@ -200,6 +201,29 @@ class ClusterReport:
         """Jain's index over merged per-tenant slowdowns."""
         return jain_fairness(list(self.client_slowdowns().values()))
 
+    @property
+    def slo_attainment(self) -> Dict[str, float]:
+        """Fleet-wide per-class SLO attainment.
+
+        Attained and expected frame counts merge across shards before the
+        ratio is taken (a migrated tenant's head and tail both count), so
+        the fleet number is frame-weighted, not a mean of shard ratios.
+        """
+        attained: Dict[str, int] = {}
+        expected: Dict[str, int] = {}
+        for shard in self.shards:
+            for c in shard.clients:
+                attained[c.slo_class] = (
+                    attained.get(c.slo_class, 0) + c.slo_attained_frames
+                )
+                expected[c.slo_class] = (
+                    expected.get(c.slo_class, 0) + c.slo_expected_frames
+                )
+        return {
+            cls: (attained[cls] / expected[cls]) if expected[cls] else 1.0
+            for cls in sorted(expected)
+        }
+
     def latency_percentile_ms(self, q: float) -> float:
         """Cross-shard latency percentile in milliseconds (per-shard
         cycles convert at that shard's clock before merging)."""
@@ -267,6 +291,7 @@ class ClusterReport:
             "total_busy_cycles": int(self.total_busy_cycles),
             "total_frames": int(self.total_frames),
             "fairness": self.fairness,
+            "slo_attainment": self.slo_attainment,
             "p50_ms": self.latency_percentile_ms(50),
             "p95_ms": self.latency_percentile_ms(95),
             "shards": [s.to_dict() for s in self.shards],
@@ -290,6 +315,7 @@ def cluster_bench_summary(reports: Dict[str, "ClusterReport"]) -> Dict:
             "total_frames": int(report.total_frames),
             "makespan_seconds": report.makespan_seconds,
             "fairness": report.fairness,
+            "slo_attainment": report.slo_attainment,
             "p50_ms": report.latency_percentile_ms(50),
             "p95_ms": report.latency_percentile_ms(95),
             "migrations": report.num_migrations,
@@ -326,8 +352,11 @@ class ClusterServer:
             ``random`` hashes the client id (the placement-blind
             baseline).
         group_size / temporal_capacity / shared_content /
-        context_switch_cycles / twin_defer_limit: Forwarded to every
-            shard's :class:`~repro.serving.server.SequenceServer`.
+        context_switch_cycles / twin_defer_limit / slo: Forwarded to
+            every shard's :class:`~repro.serving.server.SequenceServer`
+            (the SLO/overload config applies per shard — each box guards
+            its own backlog, exactly as a fleet of independent admission
+            controllers would).
         spare_accelerators: Reserve design points that join the fleet on
             demand (elastic scale-out).
         scale_out_threshold: Estimated density-MLP points of queued fresh
@@ -361,6 +390,7 @@ class ClusterServer:
         spare_accelerators: Sequence[ASDRAccelerator] = (),
         scale_out_threshold: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        slo: Optional[SLOConfig] = None,
     ) -> None:
         accelerators = list(accelerators)
         if not accelerators:
@@ -385,6 +415,7 @@ class ClusterServer:
             shared_content=shared_content,
             context_switch_cycles=context_switch_cycles,
             twin_defer_limit=twin_defer_limit,
+            slo=slo,
         )
         self.shared_content = shared_content
         self._spares = list(spare_accelerators)
@@ -539,6 +570,14 @@ class ClusterServer:
         Returns the chosen shard's name.  Routing happens at admission —
         the placement is recorded and visible via :meth:`placement_of`
         before :meth:`serve` runs, exactly like a front-end dispatcher.
+
+        Raises:
+            AdmissionError: When the fleet runs with an
+                :class:`~repro.serving.slo.SLOConfig` admission cap and
+                the routed shard's projected backlog would exceed it.
+                The request was routed (an ``admission_reject`` event is
+                on the stream) but no placement is recorded — the caller
+                may retry later or against a bigger fleet.
         """
         trace = getattr(sequence, "trace", sequence)
         if not isinstance(trace, SequenceTrace):

@@ -45,10 +45,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.exec.scheduler import FrameWorkItem
+from repro.serving.slo import AUTO_QUANTUM, DEFAULT_SLO_CLASS, weighted_slack
 
 #: Non-preemptive policy names (frames are atomic).
 POLICY_NAMES = ("fifo", "round_robin", "deadline")
@@ -59,10 +60,24 @@ PREEMPTIVE_POLICY_NAMES = ("round_robin_preemptive", "deadline_preemptive")
 #: Every policy name accepted by :func:`make_policy` (and ``repro serve``).
 ALL_POLICY_NAMES = POLICY_NAMES + PREEMPTIVE_POLICY_NAMES
 
+#: Policies with a slack computation (accept ``best_effort_slack``).
+DEADLINE_POLICY_NAMES = ("deadline", "deadline_preemptive")
+
 #: Default preemption quantum, in wavefront steps.  Small enough that a
 #: cheap frame waits at most a few wavefronts behind an expensive probe,
 #: large enough that scheduling decisions stay rare next to real work.
 DEFAULT_QUANTUM = 4
+
+
+def _validate_quantum(quantum: Union[int, str]) -> Union[int, str]:
+    """A preemption quantum is a positive step count or ``"auto"``."""
+    if quantum == AUTO_QUANTUM:
+        return quantum
+    if not isinstance(quantum, int) or quantum < 1:
+        raise ConfigurationError(
+            f"quantum must be >= 1 wavefront step or {AUTO_QUANTUM!r}"
+        )
+    return quantum
 
 
 @dataclass(frozen=True)
@@ -84,6 +99,10 @@ class PendingFrame:
         client_service_cycles: Accelerator cycles the client has received
             so far, delivered and in-flight — what preemptive fair share
             equalises.
+        slo_class: The owning request's service class; the deadline
+            policies weight slack by it (see
+            :func:`~repro.serving.slo.weighted_slack`) and the server
+            sheds ``batch``-class frames first under overload.
     """
 
     item: FrameWorkItem
@@ -95,6 +114,7 @@ class PendingFrame:
     deadline_cycle: Optional[float] = None
     started: bool = False
     client_service_cycles: int = 0
+    slo_class: str = DEFAULT_SLO_CLASS
 
 
 class SchedulingPolicy(ABC):
@@ -105,12 +125,14 @@ class SchedulingPolicy(ABC):
             most :attr:`quantum` wavefront steps before the next
             decision; when False the frame runs to completion.
         quantum: Preemption quantum in wavefront steps (ignored for
-            non-preemptive policies).
+            non-preemptive policies), or the string ``"auto"`` to let the
+            server size each quantum from the measured cycles-per-step
+            distribution (:class:`~repro.serving.slo.QuantumAutoTuner`).
     """
 
     name: str = "abstract"
     preemptive: bool = False
-    quantum: Optional[int] = None
+    quantum: Optional[Union[int, str]] = None
 
     @abstractmethod
     def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
@@ -156,11 +178,15 @@ class RoundRobinPolicy(SchedulingPolicy):
 class DeadlineAwarePolicy(SchedulingPolicy):
     """Earliest slack first; cheap (replay / plan-reuse) frames wait.
 
-    Slack is ``deadline - clock - est_cycles``: a frame that is cheap to
+    Slack is ``deadline - clock - est_cycles``, weighted by the frame's
+    SLO class (:func:`~repro.serving.slo.weighted_slack` — the default
+    ``standard`` class is the identity): a frame that is cheap to
     produce keeps most of its window as slack, so expensive probes with
-    the same deadline preempt it.  Frames with no deadline run only when
-    every deadlined frame has more slack than :attr:`best_effort_slack`.
-    Equal slacks break deterministically by client id.
+    the same deadline preempt it, and an ``interactive`` frame outranks a
+    ``batch`` frame with the same raw slack.  Frames with no deadline run
+    only when every deadlined frame has more slack than
+    :attr:`best_effort_slack`.  Equal slacks break deterministically by
+    client id.
     """
 
     name = "deadline"
@@ -171,7 +197,9 @@ class DeadlineAwarePolicy(SchedulingPolicy):
     def _slack(self, p: PendingFrame, clock: int) -> float:
         if p.deadline_cycle is None:
             return self.best_effort_slack
-        return p.deadline_cycle - clock - p.est_cycles
+        return weighted_slack(
+            p.deadline_cycle - clock - p.est_cycles, p.slo_class
+        )
 
     def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
         return min(
@@ -193,10 +221,8 @@ class PreemptiveRoundRobinPolicy(SchedulingPolicy):
     name = "round_robin_preemptive"
     preemptive = True
 
-    def __init__(self, quantum: int = DEFAULT_QUANTUM) -> None:
-        if quantum < 1:
-            raise ConfigurationError("quantum must be >= 1 wavefront step")
-        self.quantum = quantum
+    def __init__(self, quantum: Union[int, str] = DEFAULT_QUANTUM) -> None:
+        self.quantum = _validate_quantum(quantum)
 
     def select(self, pending: Sequence[PendingFrame], clock: int) -> int:
         return min(
@@ -226,23 +252,31 @@ class PreemptiveDeadlinePolicy(DeadlineAwarePolicy):
 
     def __init__(
         self,
-        quantum: int = DEFAULT_QUANTUM,
+        quantum: Union[int, str] = DEFAULT_QUANTUM,
         best_effort_slack: float = float("inf"),
     ) -> None:
         super().__init__(best_effort_slack=best_effort_slack)
-        if quantum < 1:
-            raise ConfigurationError("quantum must be >= 1 wavefront step")
-        self.quantum = quantum
+        self.quantum = _validate_quantum(quantum)
 
 
-def make_policy(name: str, quantum: Optional[int] = None) -> SchedulingPolicy:
+def make_policy(
+    name: str,
+    quantum: Optional[Union[int, str]] = None,
+    best_effort_slack: Optional[float] = None,
+) -> SchedulingPolicy:
     """Build a policy by name (one of :data:`ALL_POLICY_NAMES`).
 
     Args:
         name: Policy name.
         quantum: Preemption quantum in wavefront steps for the preemptive
-            policies (``None`` = :data:`DEFAULT_QUANTUM`); rejected for
-            non-preemptive policies, whose frames are atomic.
+            policies (``None`` = :data:`DEFAULT_QUANTUM`), or ``"auto"``
+            for measured-latency sizing; rejected for non-preemptive
+            policies, whose frames are atomic.
+        best_effort_slack: Slack assigned to deadline-less frames by the
+            deadline-aware policies (``None`` keeps the default of
+            ``inf``, i.e. best-effort frames always yield to deadlined
+            ones); rejected for the other policies, which never look at
+            slack.
     """
     factories = {
         "fifo": FIFOPolicy,
@@ -257,10 +291,18 @@ def make_policy(name: str, quantum: Optional[int] = None) -> SchedulingPolicy:
         raise ConfigurationError(
             f"unknown scheduling policy {name!r}; choose from {ALL_POLICY_NAMES}"
         ) from None
+    kwargs = {}
     if quantum is not None:
         if name not in PREEMPTIVE_POLICY_NAMES:
             raise ConfigurationError(
                 f"policy {name!r} is non-preemptive; quantum does not apply"
             )
-        return factory(quantum=quantum)
-    return factory()
+        kwargs["quantum"] = quantum
+    if best_effort_slack is not None:
+        if name not in DEADLINE_POLICY_NAMES:
+            raise ConfigurationError(
+                f"policy {name!r} has no slack computation; "
+                "best_effort_slack does not apply"
+            )
+        kwargs["best_effort_slack"] = best_effort_slack
+    return factory(**kwargs)

@@ -27,7 +27,7 @@ invariant reads ``busy == sum(service)`` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -108,6 +108,14 @@ class ClientServeReport:
             client's frames was deferred because its content was
             mid-flight on another tenant (waiting to deliver as a
             cross-client replay instead of executing fresh).
+        slo_class: The request's service class (``interactive`` /
+            ``standard`` / ``batch``) — the key per-class SLO attainment
+            aggregates by.
+        shed_frames: Frames dropped by overload shedding (undelivered,
+            zero cycles; they count against SLO attainment).
+        degraded: One entry per frame served at reduced sampling budget
+            (``{"frame", "fraction", "psnr"}`` — ``psnr`` is the measured
+            degraded-vs-full quality when known, else ``None``).
     """
 
     client_id: str
@@ -126,6 +134,9 @@ class ClientServeReport:
     preemptions: int = 0
     aborted_frames: int = 0
     twin_deferrals: int = 0
+    slo_class: str = "standard"
+    shed_frames: int = 0
+    degraded: List[Dict] = field(default_factory=list)
 
     @property
     def frames(self) -> int:
@@ -150,6 +161,26 @@ class ClientServeReport:
         if not self.latencies_cycles:
             return 0.0
         return float(np.percentile(np.asarray(self.latencies_cycles), q))
+
+    @property
+    def slo_expected_frames(self) -> int:
+        """Frames the SLO holds the server to: delivered plus aborted
+        plus shed (a frame the server dropped still disappoints the
+        client it was promised to)."""
+        return self.frames + self.aborted_frames + self.shed_frames
+
+    @property
+    def slo_attained_frames(self) -> int:
+        """Frames delivered on time (deadline-less deliveries count —
+        there was no promise to break)."""
+        return self.frames - self.deadline_misses
+
+    @property
+    def slo_attainment(self) -> float:
+        """On-time fraction of this client's expected frames (1.0 for an
+        empty window)."""
+        expected = self.slo_expected_frames
+        return self.slo_attained_frames / expected if expected else 1.0
 
     @property
     def mode_mix(self) -> str:
@@ -181,8 +212,9 @@ class ServeReport:
             switches (the server's ``context_switch_cycles`` each) —
             accounted separately from per-client service so conservation
             stays exact.
-        quantum: Preemption quantum in wavefront steps (``None`` for
-            non-preemptive policies).
+        quantum: Preemption quantum in wavefront steps, the string
+            ``"auto"`` when the run was auto-tuned, or ``None`` for
+            non-preemptive policies.
     """
 
     policy: str
@@ -193,7 +225,7 @@ class ServeReport:
     back_to_back_cycles: int = 0
     context_switches: int = 0
     context_switch_cycles: int = 0
-    quantum: Optional[int] = None
+    quantum: Optional[Union[int, str]] = None
 
     @property
     def busy_cycles(self) -> int:
@@ -229,6 +261,26 @@ class ServeReport:
     def fairness(self) -> float:
         """Jain's index over per-client slowdowns (1.0 = perfectly fair)."""
         return jain_fairness([c.slowdown for c in self.clients])
+
+    @property
+    def slo_attainment(self) -> Dict[str, float]:
+        """Per-class on-time fraction: delivered-on-time frames over
+        expected frames (delivered + aborted + shed), aggregated over
+        every client of the class.  Only classes present in the run
+        appear; a class whose clients expected no frames reads 1.0."""
+        attained: Dict[str, int] = {}
+        expected: Dict[str, int] = {}
+        for c in self.clients:
+            attained[c.slo_class] = (
+                attained.get(c.slo_class, 0) + c.slo_attained_frames
+            )
+            expected[c.slo_class] = (
+                expected.get(c.slo_class, 0) + c.slo_expected_frames
+            )
+        return {
+            cls: (attained[cls] / expected[cls] if expected[cls] else 1.0)
+            for cls in sorted(expected)
+        }
 
     @property
     def sharing_saving(self) -> float:
@@ -306,6 +358,7 @@ class ServeReport:
             "context_switches": int(self.context_switches),
             "context_switch_cycles": int(self.context_switch_cycles),
             "fairness": self.fairness,
+            "slo_attainment": self.slo_attainment,
             "schedule": [
                 (s.client, s.frame, s.mode, s.cross_replay, s.start_cycle,
                  s.cycles, s.preemptions, s.delivered)
@@ -323,6 +376,9 @@ class ServeReport:
                     "preemptions": c.preemptions,
                     "aborted_frames": c.aborted_frames,
                     "twin_deferrals": c.twin_deferrals,
+                    "slo_class": c.slo_class,
+                    "shed_frames": c.shed_frames,
+                    "degraded": [dict(d) for d in c.degraded],
                 }
                 for c in self.clients
             ],
@@ -354,6 +410,7 @@ def bench_summary(reports: Dict[str, "ServeReport"]) -> Dict:
             "back_to_back_cycles": int(report.back_to_back_cycles),
             "sharing_saving": report.sharing_saving,
             "total_frames": report.total_frames,
+            "slo_attainment": report.slo_attainment,
             "clients": {
                 c.client_id: {
                     "frames": c.frames,
@@ -364,6 +421,9 @@ def bench_summary(reports: Dict[str, "ServeReport"]) -> Dict:
                     "deadline_misses": c.deadline_misses,
                     "preemptions": c.preemptions,
                     "aborted_frames": c.aborted_frames,
+                    "slo_class": c.slo_class,
+                    "shed_frames": c.shed_frames,
+                    "degraded": [dict(d) for d in c.degraded],
                 }
                 for c in report.clients
             },
@@ -374,9 +434,9 @@ def bench_summary(reports: Dict[str, "ServeReport"]) -> Dict:
 def bench_table_rows(payloads: Dict[str, Dict]) -> List[Dict[str, str]]:
     """Flatten run-all bench payloads into one headline summary table.
 
-    ``payloads`` maps snapshot name (``serving`` / ``engine`` /
-    ``cluster``) to its parsed ``BENCH_*.json`` document; unknown names
-    are skipped, so partial runs still summarise.  One row per headline
+    ``payloads`` maps snapshot name (``serving`` / ``engine`` / ``slo``
+    / ``cluster``) to its parsed ``BENCH_*.json`` document; unknown
+    names are skipped, so partial runs still summarise.  One row per headline
     metric — the shape ``repro bench run-all`` writes to
     ``results/summary.json`` and prints as its closing table.
     """
@@ -419,6 +479,26 @@ def bench_table_rows(payloads: Dict[str, Dict]) -> List[Dict[str, str]]:
                 else "DIVERGED",
             }
         )
+    slo = payloads.get("slo")
+    if slo:
+        for run in ("baseline", "slo"):
+            rep = slo.get(run)
+            if not rep:
+                continue
+            attain = rep.get("slo_attainment", {})
+            rows.append(
+                {
+                    "bench": "slo",
+                    "case": run,
+                    "metric": "interactive attainment",
+                    "value": "{:.2f} (shed {}, degraded {})".format(
+                        attain.get("interactive", float("nan")),
+                        rep.get("shed_frames", 0),
+                        rep.get("degraded_frames", 0),
+                    ),
+                    "cycles": str(rep.get("busy_cycles")),
+                }
+            )
     cluster = payloads.get("cluster")
     if cluster:
         for name in sorted(cluster.get("routers", {})):

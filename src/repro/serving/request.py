@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.scenes.cameras import CameraPath
+from repro.serving.slo import DEFAULT_SLO_CLASS, SLO_CLASSES
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,14 @@ class ClientRequest:
             lets the server derive a proportional-share cadence from the
             request's estimated cost and the number of admitted clients.
         tensorf: Serve from the TensoRF backend instead of Instant-NGP.
+        slo_class: Service class (one of
+            :data:`~repro.serving.slo.SLO_CLASSES`).  ``interactive``
+            tightens derived deadlines and boosts scheduling priority,
+            ``batch`` loosens both and volunteers the client's frames for
+            load shedding first; the default ``standard`` prices exactly
+            like the pre-SLO server.  Scheduling metadata only — never
+            part of :meth:`content_key`, so an interactive client can be
+            served from frames a batch twin already rendered.
     """
 
     client_id: str
@@ -50,6 +59,7 @@ class ClientRequest:
     departure_cycle: Optional[int] = None
     frame_interval_cycles: Optional[int] = None
     tensorf: bool = False
+    slo_class: str = DEFAULT_SLO_CLASS
 
     def __post_init__(self) -> None:
         if not self.client_id:
@@ -67,6 +77,10 @@ class ClientRequest:
             )
         if self.frame_interval_cycles is not None and self.frame_interval_cycles <= 0:
             raise ConfigurationError("frame_interval_cycles must be positive")
+        if self.slo_class not in SLO_CLASSES:
+            raise ConfigurationError(
+                f"unknown slo_class {self.slo_class!r}; choose from {SLO_CLASSES}"
+            )
 
     def content_key(self) -> Tuple:
         """Identity of the rendered sequence *content* this request maps

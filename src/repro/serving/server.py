@@ -70,6 +70,7 @@ from repro.exec.execution import FrameExecution, batched_enabled, sequence_execu
 from repro.exec.scheduler import (
     WORK_PROBE,
     WORK_REPLAY,
+    WORK_REUSE,
     FrameWorkItem,
     TemporalCachePartitions,
     sequence_work_items,
@@ -77,16 +78,20 @@ from repro.exec.scheduler import (
 from repro.exec.sequence import SequenceRender, SequenceTrace, pose_key
 from repro.obs.events import (
     EV_ADMISSION,
+    EV_ADMISSION_REJECT,
+    EV_DEGRADE,
     EV_DEPARTURE,
     EV_FRAME_ABORT,
     EV_FRAME_COMPLETE,
     EV_PLAN_CACHE,
     EV_PREEMPTION,
     EV_QUANTUM,
+    EV_QUANTUM_TUNE,
     EV_SCANOUT,
     EV_SCHED,
     EV_SERVE_END,
     EV_SERVE_START,
+    EV_SHED,
     EV_TEMPORAL_CACHE,
     EV_TWIN_DEFER,
 )
@@ -94,6 +99,15 @@ from repro.obs.recorder import NULL_RECORDER, Recorder, ScopedRecorder
 from repro.serving.policies import PendingFrame, SchedulingPolicy, make_policy
 from repro.serving.report import ClientServeReport, ScheduledFrame, ServeReport
 from repro.serving.request import ClientRequest
+from repro.serving.slo import (
+    AUTO_QUANTUM,
+    KEYFRAME_GRACE_INTERVALS,
+    SLO_DEADLINE_MULTIPLIER,
+    SLO_SHED_ORDER,
+    AdmissionError,
+    QuantumAutoTuner,
+    SLOConfig,
+)
 
 #: Cycles-per-density-point prior used before the first measured wavefront
 #: charges calibrate the cost model (the value only shapes
@@ -266,6 +280,13 @@ class SequenceServer:
             :mod:`repro.obs.events`).  Observer-only by contract: it can
             never change the cycles priced.  ``None`` = the no-op
             :data:`~repro.obs.recorder.NULL_RECORDER`.
+        slo: Optional :class:`~repro.serving.slo.SLOConfig` enabling the
+            overload responses — admission control at :meth:`submit`
+            (:class:`~repro.serving.slo.AdmissionError` when the
+            projected backlog exceeds the cap), ``batch``-class load
+            shedding, and degraded-quality serving of non-keyframe
+            frames while some deadlined frame's slack is negative.
+            ``None`` = best-effort (pre-SLO behaviour, bit-identical).
 
     Example lifecycle::
 
@@ -279,6 +300,7 @@ class SequenceServer:
     #: mix, small enough that a never-restarted server stays flat.
     PLAN_CACHE_SIZE = 512
     SCANOUT_MEMO_SIZE = 1024
+    DEGRADED_MEMO_SIZE = 256
 
     def __init__(
         self,
@@ -289,6 +311,7 @@ class SequenceServer:
         context_switch_cycles: int = 0,
         twin_defer_limit: int = 256,
         recorder: Optional[Recorder] = None,
+        slo: Optional[SLOConfig] = None,
     ) -> None:
         if context_switch_cycles < 0:
             raise ConfigurationError("context_switch_cycles must be >= 0")
@@ -307,10 +330,15 @@ class SequenceServer:
         self.shared_content = shared_content
         self.context_switch_cycles = context_switch_cycles
         self.twin_defer_limit = twin_defer_limit
+        self.slo = slo
         self._clients: List[_Client] = []
         self._order_counter = 0
         self._alone_cycles: Dict[Tuple, int] = {}
         self._scanout_memo = _LRUCache(self.SCANOUT_MEMO_SIZE)
+        # Budget-capped trace copies for degraded-quality serving, keyed
+        # by frame content digest + fraction (twins of popular content
+        # share one degraded copy; never keyed by object identity).
+        self._degraded_memo = _LRUCache(self.DEGRADED_MEMO_SIZE)
         # Batched pricing plans, content-addressed by (sequence content
         # token, frame, temporal resident token).  A plan depends only on
         # the frame trace, the accelerator, the pricing knobs (fixed per
@@ -365,6 +393,12 @@ class SequenceServer:
             ConfigurationError: On duplicate client ids, a sequence whose
                 frame count does not match the request's path, or an
                 invalid frame window.
+            AdmissionError: When admission control is configured
+                (:attr:`~repro.serving.slo.SLOConfig.admit_cycles`) and
+                the projected backlog — every admitted client's estimated
+                window cost plus this request's — exceeds the cap.  The
+                server's state is unchanged; the caller may retry after
+                load drains or route the request elsewhere.
         """
         trace = getattr(sequence, "trace", sequence)
         if not isinstance(trace, SequenceTrace):
@@ -388,11 +422,32 @@ class SequenceServer:
                 f"client {request.client_id!r}: invalid frame window "
                 f"[{start_frame}, {end}) for {trace.num_frames} frames"
             )
+        new_items = sequence_work_items(request.client_id, trace)
+        if self.slo is not None and self.slo.admit_cycles is not None:
+            projected = sum(
+                self._window_est_cycles(c.trace, c.items, *c.window)
+                for c in self._clients
+            ) + self._window_est_cycles(trace, new_items, start_frame, end)
+            if projected > self.slo.admit_cycles:
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        EV_ADMISSION_REJECT,
+                        0,
+                        client=request.client_id,
+                        slo_class=request.slo_class,
+                        projected_cycles=projected,
+                        admit_cycles=self.slo.admit_cycles,
+                    )
+                raise AdmissionError(
+                    f"client {request.client_id!r} rejected: projected "
+                    f"backlog {projected:.0f} cycles exceeds the admission "
+                    f"cap of {self.slo.admit_cycles}"
+                )
         self._clients.append(
             _Client(
                 request=request,
                 trace=trace,
-                items=sequence_work_items(request.client_id, trace),
+                items=new_items,
                 pose_keys=[pose_key(cam) for cam in cameras],
                 order=self._order_counter,
                 start_frame=start_frame,
@@ -519,6 +574,48 @@ class SequenceServer:
             self._scanout_memo.put(key, cached)
         return cached
 
+    def _window_est_cycles(
+        self,
+        trace: SequenceTrace,
+        items: List[FrameWorkItem],
+        start: int,
+        end: int,
+    ) -> float:
+        """Pre-run cycle estimate of one client's delivered window —
+        exact scan-out prices for replays, the cycles-per-point prior for
+        everything else.  Feeds derived deadlines and the admission-
+        control backlog projection, so both see the same arithmetic."""
+        return sum(
+            self._scanout_cycles(trace, item.frame)
+            if item.mode == WORK_REPLAY
+            else item.cost_hint * INITIAL_CYCLES_PER_POINT
+            for item in items[start:end]
+        )
+
+    def projected_backlog_cycles(self) -> float:
+        """The admission controller's current backlog projection: the
+        summed pre-run cycle estimate of every admitted client's
+        delivered window.  This is exactly the quantity
+        :meth:`submit` compares against
+        :attr:`~repro.serving.slo.SLOConfig.admit_cycles` (plus the
+        candidate's own estimate), exposed so capacity planners and the
+        overload experiments can pick caps from the same arithmetic."""
+        return sum(
+            self._window_est_cycles(c.trace, c.items, *c.window)
+            for c in self._clients
+        )
+
+    def _degraded_trace(self, client: _Client, frame: int, fraction: float):
+        """The budget-capped copy of one frame's trace (memoised by
+        content digest, so twins and repeated serve() runs share it)."""
+        full = client.trace.frames[frame]
+        key = ("degraded", full.content_digest(), fraction)
+        cached = self._degraded_memo.get(key)
+        if cached is None:
+            cached = full.with_budget_cap(fraction)
+            self._degraded_memo.put(key, cached)
+        return cached
+
     def _prepare_plans(
         self,
         client: _Client,
@@ -606,6 +703,18 @@ class SequenceServer:
         otherwise the server derives a proportional-share cadence — the
         client's estimated alone pace stretched by the number of admitted
         tenants — so deadline misses measure interference, not ambition.
+        The derived cadence is then scaled by the request's SLO class
+        (:data:`~repro.serving.slo.SLO_DEADLINE_MULTIPLIER`): interactive
+        clients are due ahead of their fair share, batch clients well
+        behind it.  The default ``standard`` multiplier is 1.0, so
+        class-less workloads keep their exact pre-SLO deadlines.
+
+        Keyframes (planned frames, which pay a Phase I plan pass on top
+        of rendering) are charged
+        :data:`~repro.serving.slo.KEYFRAME_GRACE_INTERVALS` extra
+        interval(s) of grace: a cadence SLO paces the steady reuse
+        stream, and no steady-pace cadence can absorb a keyframe's
+        one-off planning cost.
         """
         n = len(self._clients)
         for client in self._clients:
@@ -613,15 +722,27 @@ class SequenceServer:
             window_items = client.items[start:end]
             interval = client.request.frame_interval_cycles
             if interval is None:
-                est = sum(
-                    self._scanout_cycles(client.trace, item.frame)
-                    if item.mode == WORK_REPLAY
-                    else item.cost_hint * INITIAL_CYCLES_PER_POINT
-                    for item in window_items
+                est = self._window_est_cycles(
+                    client.trace, client.items, start, end
                 )
                 interval = max(1, math.ceil(est / len(window_items))) * n
+                factor = SLO_DEADLINE_MULTIPLIER.get(
+                    client.request.slo_class, 1.0
+                )
+                interval = max(1, int(interval * factor))
             client.deadlines = [
-                client.request.arrival_cycle + (k - start + 1) * interval
+                client.request.arrival_cycle
+                + (
+                    k
+                    - start
+                    + 1
+                    + (
+                        KEYFRAME_GRACE_INTERVALS
+                        if client.trace.planned[k]
+                        else 0
+                    )
+                )
+                * interval
                 for k in range(len(client.items))
             ]
 
@@ -679,6 +800,17 @@ class SequenceServer:
         if isinstance(policy, str):
             policy = make_policy(policy)
         self._derive_deadlines()
+        slo = self.slo
+        # Quantum auto-tuning: with `quantum="auto"` every decision runs
+        # the tuner's current quantum, re-sized from the measured
+        # cycles-per-step distribution after each charge.  The tuner sees
+        # only values the loop computes anyway, so auto-tuned schedules
+        # are deterministic and engine/recorder independent.
+        tuner = (
+            QuantumAutoTuner()
+            if policy.preemptive and policy.quantum == AUTO_QUANTUM
+            else None
+        )
         # Runtime state is per serve() call: fresh work items (the server
         # is re-entrant across policies), an initially empty partition set
         # (tenants are admitted as they arrive) and a cold cost model.
@@ -708,9 +840,15 @@ class SequenceServer:
                 preset=c.request.path.preset,
                 arrival_cycle=c.request.arrival_cycle,
                 alone_cycles=self.alone_cycles(c.id),
+                slo_class=c.request.slo_class,
             )
             for c in self._clients
         }
+        # Frames dropped by load shedding, per client — an in-sequence
+        # replay whose source frame was shed cascades (there are no
+        # rendered pixels to scan out), so the set is consulted at the
+        # head of every iteration.
+        shed_sets: Dict[str, Set[int]] = {c.id: set() for c in self._clients}
         next_frame = {c.id: c.start_frame for c in self._clients}
         ends = {c.id: c.end for c in self._clients}
         finished: Set[str] = set()  # departed or fully served
@@ -764,9 +902,13 @@ class SequenceServer:
             """Deliver a finished frame: schedule entry, latency, modes."""
             k = item.frame
             seq_id, pose_id = self._content_ids(client, k)
-            executed.add(seq_id)
-            if pose_id is not None:
-                executed.add(pose_id)
+            if item.budget_fraction is None:
+                # Degraded frames never register their content: their
+                # pixels are not the full-quality frames a twin expects
+                # to scan out.
+                executed.add(seq_id)
+                if pose_id is not None:
+                    executed.add(pose_id)
             schedule.append(
                 ScheduledFrame(
                     client=client.id,
@@ -876,6 +1018,41 @@ class SequenceServer:
                 del in_flight_content[cid_key]
             retire(client)
 
+        def shed_frame(client: _Client, est: float) -> None:
+            """Drop the client's head frame under overload: zero cycles,
+            an undelivered schedule row, and the frame counts against the
+            client's SLO attainment (never against conservation)."""
+            k = next_frame[client.id]
+            item = items[client.id][k]
+            rep = reports[client.id]
+            rep.shed_frames += 1
+            shed_sets[client.id].add(k)
+            schedule.append(
+                ScheduledFrame(
+                    client=client.id,
+                    frame=k,
+                    mode=item.mode,
+                    cross_replay=False,
+                    start_cycle=-1,
+                    cycles=0,
+                    completion_cycle=clock,
+                    preemptions=0,
+                    delivered=False,
+                )
+            )
+            if rec is not None:
+                rec.emit(
+                    EV_SHED,
+                    clock,
+                    client=client.id,
+                    frame=k,
+                    slo_class=client.request.slo_class,
+                    est_cycles=est,
+                )
+            next_frame[client.id] = k + 1
+            if next_frame[client.id] == ends[client.id]:
+                retire(client)
+
         while True:
             # 1. Departures first: a client gone by `clock` receives
             #    nothing from this point on.
@@ -923,6 +1100,27 @@ class SequenceServer:
                                 )
                             )
                         )
+
+            # 2b. Shed cascade: an in-sequence replay whose source frame
+            #     was shed has nothing to scan out — it is shed too,
+            #     before it can enter the candidate set.
+            if slo is not None and slo.shed:
+                cascaded = False
+                for c in ready:
+                    while (
+                        c.id not in finished
+                        and next_frame[c.id] < ends[c.id]
+                    ):
+                        k = next_frame[c.id]
+                        src = c.trace.replays[k]
+                        if src is None or src not in shed_sets[c.id]:
+                            break
+                        shed_frame(
+                            c, float(self._scanout_cycles(c.trace, k))
+                        )
+                        cascaded = True
+                if cascaded:
+                    continue
 
             # 3. Build the candidate set (one head frame per ready client).
             #    A candidate is *blocked* when its content is mid-flight
@@ -978,8 +1176,46 @@ class SequenceServer:
                         client_service_cycles=(
                             rep.service_cycles + item.service_cycles
                         ),
+                        slo_class=c.request.slo_class,
                     )
                 )
+
+            # 3b. Overload responses.  The signal is a deadlined head
+            #     frame already past recoverable: raw slack (deadline -
+            #     clock - estimated remaining cycles) below zero.  It
+            #     reuses the estimates just computed, so a server without
+            #     an active SLOConfig pays nothing here.
+            overloaded = (
+                slo is not None
+                and slo.active
+                and any(
+                    p.deadline_cycle is not None
+                    and p.deadline_cycle - clock - p.est_cycles < 0
+                    for p in pending
+                )
+            )
+            if overloaded and slo.shed:
+                # Shed at most one batch-class victim per iteration (the
+                # priciest pending one — the biggest relief per drop),
+                # then re-evaluate: overload may already have cleared.
+                # Started, replay-mode, content-hit and twin-blocked
+                # frames are exempt — they are cheap or already paid for.
+                victims = [
+                    i
+                    for i in range(len(ready))
+                    if pending[i].slo_class in SLO_SHED_ORDER
+                    and not pending[i].started
+                    and pending[i].item.mode != WORK_REPLAY
+                    and not hits[i]
+                    and not blocked[i]
+                ]
+                if victims:
+                    victim = max(
+                        victims,
+                        key=lambda i: (pending[i].est_cycles, ready[i].id),
+                    )
+                    shed_frame(ready[victim], pending[victim].est_cycles)
+                    continue
 
             selectable = (
                 [i for i, b in enumerate(blocked) if not b]
@@ -1083,36 +1319,87 @@ class SequenceServer:
                     context_switch_cycles += self.context_switch_cycles
             engine_owner = client.id
             if not item.started:
-                item.execution = self.accelerator.frame_execution(
-                    client.trace,
-                    k,
-                    group_size=self.group_size,
-                    temporal=partitions.cache_for(client.id),
-                    recorder=(
-                        None
-                        if rec is None
-                        else ScopedRecorder(rec, client=client.id, frame=k)
-                    ),
+                # Degraded-quality mode: while overloaded, a non-keyframe
+                # (plan-reuse) frame starting now runs a budget-capped
+                # copy of its trace instead.  The PSNR guard is honoured
+                # conservatively — when a floor is configured, only
+                # frames with a known measured PSNR at or above it
+                # degrade; unknown quality serves at full budget.
+                degrade_fraction = None
+                psnr = None
+                if overloaded and slo.degrade and item.mode == WORK_REUSE:
+                    psnr = (
+                        slo.degrade_psnr.get((client.id, k))
+                        if slo.degrade_psnr is not None
+                        else None
+                    )
+                    guard = slo.degrade_min_psnr
+                    if guard is None or (psnr is not None and psnr >= guard):
+                        degrade_fraction = slo.degrade_fraction
+                scoped = (
+                    None
+                    if rec is None
+                    else ScopedRecorder(rec, client=client.id, frame=k)
                 )
+                if degrade_fraction is not None:
+                    item.budget_fraction = degrade_fraction
+                    item.execution = self.accelerator.trace_execution(
+                        self._degraded_trace(client, k, degrade_fraction),
+                        group_size=self.group_size,
+                        temporal=partitions.cache_for(client.id),
+                        commit_tag=k,
+                        recorder=scoped,
+                    )
+                    reports[client.id].degraded.append(
+                        {
+                            "frame": k,
+                            "fraction": degrade_fraction,
+                            "psnr": psnr,
+                        }
+                    )
+                    if rec is not None:
+                        rec.emit(
+                            EV_DEGRADE,
+                            clock,
+                            client=client.id,
+                            frame=k,
+                            fraction=degrade_fraction,
+                            psnr=psnr,
+                        )
+                else:
+                    item.execution = self.accelerator.frame_execution(
+                        client.trace,
+                        k,
+                        group_size=self.group_size,
+                        temporal=partitions.cache_for(client.id),
+                        recorder=scoped,
+                    )
                 item.start_cycle = clock
-                if self.shared_content:
+                if self.shared_content and degrade_fraction is None:
                     # This tenant now leads its content: unstarted twins
                     # defer until the commit in `complete_frame` (or this
-                    # client's abort) clears the claim.
+                    # client's abort) clears the claim.  A degraded frame
+                    # never leads — its pixels are not the full-quality
+                    # content a twin would scan out.
                     seq_id, pose_id = self._content_ids(client, k)
                     in_flight_content.setdefault(seq_id, client.id)
                     if pose_id is not None:
                         in_flight_content.setdefault(pose_id, client.id)
-                self._prepare_plans(
-                    client, k, item, ready, hits, blocked, items,
-                    next_frame, partitions, rec=rec, clock=clock,
-                )
+                if degrade_fraction is None:
+                    self._prepare_plans(
+                        client, k, item, ready, hits, blocked, items,
+                        next_frame, partitions, rec=rec, clock=clock,
+                    )
 
             points_before = item.execution.points_done
+            steps_before = item.execution.steps_done
             quantum_start = clock
-            charged = item.execution.run(
-                max_steps=policy.quantum if policy.preemptive else None
-            )
+            max_steps = None
+            if policy.preemptive:
+                max_steps = (
+                    tuner.quantum if tuner is not None else policy.quantum
+                )
+            charged = item.execution.run(max_steps=max_steps)
             cost_model.observe(
                 charged, item.execution.points_done - points_before
             )
@@ -1129,6 +1416,18 @@ class SequenceServer:
                     mode=item.mode,
                     done=item.execution.done,
                 )
+            if tuner is not None:
+                tuned = tuner.observe(
+                    charged, item.execution.steps_done - steps_before
+                )
+                if tuned and rec is not None:
+                    rec.emit(
+                        EV_QUANTUM_TUNE,
+                        clock,
+                        quantum=tuner.quantum,
+                        p95_step_cycles=tuner.p95_step_cycles,
+                        target_cycles=tuner.target_cycles,
+                    )
             if item.execution.done:
                 frame_report = item.execution.finish()
                 complete_frame(client, item, frame_report, cross=False)

@@ -45,6 +45,34 @@ TEST_TENSORF_CONFIG = TensoRFConfig(
 TEST_TRAINING = TrainingConfig(steps=120, batch_size=512, seed=3)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help=(
+            "run the expensive randomized profiles (e.g. 200+ hypothesis "
+            "examples in tests/test_serving_properties.py instead of the "
+            "bounded CI budget)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    # Register hypothesis profiles when the library is available; the
+    # property harness skips itself otherwise.  ``deadline=None``: a
+    # single serving example can legitimately take seconds.
+    try:
+        from hypothesis import settings
+    except ImportError:
+        return
+    settings.register_profile("repro-ci", max_examples=25, deadline=None)
+    settings.register_profile("repro-slow", max_examples=200, deadline=None)
+    settings.load_profile(
+        "repro-slow" if config.getoption("--slow") else "repro-ci"
+    )
+
+
 @pytest.fixture(scope="session")
 def lego_dataset() -> SceneDataset:
     return load_dataset("lego", width=24, height=24)

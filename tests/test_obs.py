@@ -54,6 +54,7 @@ from repro.obs.schemas import (
     validate_file,
     validate_obs_events,
     validate_serving_bench,
+    validate_slo_bench,
     validate_trace_events,
 )
 from repro.serving.cluster import ClusterServer, Migration
@@ -61,6 +62,7 @@ from repro.serving.policies import make_policy
 from repro.serving.profiler import ServeProfile, profile_serve
 from repro.serving.report import bench_table_rows
 from repro.serving.server import SequenceServer
+from repro.serving.slo import AUTO_QUANTUM, AdmissionError, SLOConfig
 from repro.scenes.cameras import camera_path
 from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
 from tests.test_serving import (
@@ -139,6 +141,46 @@ def _abort_events(accelerator):
         quit_seq,
     )
     server.serve(make_policy("round_robin_preemptive", quantum=1))
+    return rec.events
+
+
+def _slo_events(accelerator):
+    """Overload-control scenario: an interactive tenant with an
+    impossible cadence plus batch ballast under an armed
+    :class:`SLOConfig` — admission reject, batch shedding, degraded
+    serving and auto-quantum tuning all fire."""
+    paths = _distinct_paths(4)
+    sequences = {p: synthetic_sequence(p, varied=True) for p in paths}
+    scratch = SequenceServer(accelerator)
+    admitted = [
+        _request(
+            "urgent",
+            paths[0],
+            frame_interval_cycles=50,
+            slo_class="interactive",
+        ),
+        _request("bulk0", paths[1], slo_class="batch"),
+        _request("bulk1", paths[2], slo_class="batch"),
+    ]
+    for request in admitted:
+        scratch.submit(request, sequences[request.path])
+    cap = int(scratch.projected_backlog_cycles()) + 1
+    rec = MemoryRecorder()
+    server = SequenceServer(
+        accelerator,
+        slo=SLOConfig(
+            admit_cycles=cap, shed=True, degrade=True, degrade_fraction=0.5
+        ),
+        recorder=rec,
+    )
+    for request in admitted:
+        server.submit(request, sequences[request.path])
+    with pytest.raises(AdmissionError):
+        server.submit(
+            _request("over", paths[3], slo_class="batch"),
+            sequences[paths[3]],
+        )
+    server.serve(make_policy("deadline_preemptive", quantum=AUTO_QUANTUM))
     return rec.events
 
 
@@ -328,8 +370,9 @@ class TestExport:
             scalar = _serve_events(accelerator)
         cluster = _cluster_events(accelerator)
         aborts = _abort_events(accelerator)
+        slo = _slo_events(accelerator)
         seen = {}
-        for ev in batched + scalar + cluster + aborts:
+        for ev in batched + scalar + cluster + aborts + slo:
             fields = {k for k in ev.fields if k != "shard"}
             seen.setdefault(ev.kind, set()).update(fields)
         assert set(seen) == set(EVENT_KINDS), (
@@ -453,6 +496,61 @@ class TestSchemas:
         broken = json.loads(json.dumps(ok))
         broken["single_shard_identical"] = False
         assert validate_cluster_bench(broken) != []
+
+    def test_slo_bench_checks(self):
+        def run(interactive, busy, shed, degraded):
+            return {
+                "policy": "deadline_preemptive",
+                "slo_attainment": {"batch": 0.0, "interactive": interactive},
+                "busy_cycles": busy,
+                "total_frames": 12,
+                "shed_frames": shed,
+                "degraded_frames": degraded,
+            }
+
+        ok = {
+            "schema": "slo_bench/v1",
+            "baseline": run(0.25, 1000, 0, 0),
+            "slo": {
+                **run(1.0, 800, 4, 1),
+                "degraded": [
+                    {"client": "a", "frame": 2, "fraction": 0.5, "psnr": 31.0}
+                ],
+            },
+            "admission_rejects": 1,
+            "degrade_min_psnr": 25.0,
+        }
+        assert validate_slo_bench(ok) == []
+        assert validate_slo_bench({"schema": "nope"}) != []
+
+        calm = json.loads(json.dumps(ok))
+        calm["baseline"]["slo_attainment"]["interactive"] = 0.9
+        assert any("not an overload" in p for p in validate_slo_bench(calm))
+
+        low = json.loads(json.dumps(ok))
+        low["slo"]["slo_attainment"]["interactive"] = 0.8
+        assert any("floor" in p for p in validate_slo_bench(low))
+
+        pricey = json.loads(json.dumps(ok))
+        pricey["slo"]["busy_cycles"] = 2000
+        assert any("fleet cycles" in p for p in validate_slo_bench(pricey))
+
+        idle = json.loads(json.dumps(ok))
+        idle["slo"]["shed_frames"] = 0
+        idle["admission_rejects"] = 0
+        problems = validate_slo_bench(idle)
+        assert any("shed" in p for p in problems)
+        assert any("admission" in p for p in problems)
+
+        blurry = json.loads(json.dumps(ok))
+        blurry["slo"]["degraded"][0]["psnr"] = 10.0
+        assert any("guard" in p for p in validate_slo_bench(blurry))
+
+        unguarded = json.loads(json.dumps(ok))
+        del unguarded["degrade_min_psnr"]
+        assert any(
+            "degrade_min_psnr" in p for p in validate_slo_bench(unguarded)
+        )
 
     def test_obs_events_checks(self):
         header = {"schema": "obs_events/v1", "clock_hz": 1e9, "meta": {}}

@@ -43,12 +43,25 @@ from repro.serving.policies import (
     RoundRobinPolicy,
     make_policy,
 )
+from repro.obs.events import (
+    EV_ADMISSION_REJECT,
+    EV_DEGRADE,
+    EV_QUANTUM_TUNE,
+    EV_SHED,
+)
+from repro.obs.recorder import MemoryRecorder
 from repro.serving.report import jain_fairness
 from repro.serving.request import ClientRequest
 from repro.serving.server import (
     SequenceServer,
     WavefrontCostModel,
     _LRUCache,
+)
+from repro.serving.slo import (
+    AUTO_QUANTUM,
+    AdmissionError,
+    SLOConfig,
+    weighted_slack,
 )
 from tests.conftest import TEST_GRID, TEST_MODEL_CONFIG
 
@@ -161,7 +174,7 @@ class TestWorkItems:
 # Policy selection (pure logic)
 # ----------------------------------------------------------------------
 def _pending(order, completed=0, est=100.0, deadline=None, mode=WORK_PROBE,
-             arrival=0):
+             arrival=0, slo_class="standard"):
     from repro.exec.scheduler import FrameWorkItem
 
     return PendingFrame(
@@ -173,6 +186,7 @@ def _pending(order, completed=0, est=100.0, deadline=None, mode=WORK_PROBE,
         total_frames=8,
         est_cycles=est,
         deadline_cycle=deadline,
+        slo_class=slo_class,
     )
 
 
@@ -1009,6 +1023,222 @@ class TestTwinDeferral:
             "round_robin"
         ).to_dict()
 
+    def test_leader_departure_releases_deferred_twin(self, accelerator):
+        """Regression: the leader departs mid-flight while its twin is
+        deferred waiting on the leader's scan-out commit.  The abandoned
+        execution never commits, so the follower must fall back to
+        executing its own frames — it progresses to completion and the
+        interleaved cycles still conserve."""
+        shared = camera_path("orbit", FRAMES, SIZE, SIZE, arc=0.3)
+        probe_cycles = (
+            SequenceServer(accelerator)
+            .accelerator.simulate_sequence_frame(
+                synthetic_sequence(shared, varied=True), 0
+            )
+            .total_cycles
+        )
+        leader = _request(
+            "alpha", shared, departure_cycle=max(2, probe_cycles // 4)
+        )
+        twin = _request("beta", shared)
+        server = SequenceServer(accelerator)
+        server.submit(leader, synthetic_sequence(shared, varied=True))
+        server.submit(twin, synthetic_sequence(shared, varied=True))
+        report = server.serve(make_policy("round_robin_preemptive", quantum=1))
+        follower = report.client("beta")
+        assert follower.twin_deferrals > 0
+        assert follower.frames == FRAMES
+        assert report.client("alpha").aborted_frames > 0
+        assert report.busy_cycles == sum(
+            c.service_cycles for c in report.clients
+        )
+
     def test_rejects_negative_limit(self, accelerator):
         with pytest.raises(ConfigurationError):
             SequenceServer(accelerator, twin_defer_limit=-1)
+
+
+# ----------------------------------------------------------------------
+# SLO classes, admission control, shedding, degrade, auto quantum
+# ----------------------------------------------------------------------
+class TestSLOServing:
+    def _overload(self, accelerator, slo=None, recorder=None, n_batch=2):
+        """An interactive tenant on an impossible cadence plus batch
+        ballast — every scheduling instant is an overload once serving
+        starts."""
+        paths = _distinct_paths(1 + n_batch)
+        requests = [
+            _request(
+                "urgent",
+                paths[0],
+                frame_interval_cycles=50,
+                slo_class="interactive",
+            )
+        ] + [
+            _request(f"bulk{i}", paths[1 + i], slo_class="batch")
+            for i in range(n_batch)
+        ]
+        server = SequenceServer(accelerator, slo=slo, recorder=recorder)
+        for request in requests:
+            server.submit(
+                request, synthetic_sequence(request.path, varied=True)
+            )
+        return server
+
+    def test_unknown_slo_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _request("x", _distinct_paths(1)[0], slo_class="platinum")
+
+    def test_weighted_slack_orders_by_class(self):
+        # Positive slack shrinks for urgent classes, negative slack is
+        # amplified — interactive outranks batch on both sides of the
+        # deadline.
+        assert weighted_slack(800.0, "interactive") < weighted_slack(
+            800.0, "batch"
+        )
+        assert weighted_slack(-100.0, "interactive") < weighted_slack(
+            -100.0, "batch"
+        )
+        pending = [
+            _pending(0, est=100.0, deadline=1000.0, slo_class="batch"),
+            _pending(1, est=100.0, deadline=1000.0, slo_class="interactive"),
+        ]
+        assert DeadlineAwarePolicy().select(pending, clock=0) == 1
+
+    def test_best_effort_slack_reprioritises_deadline_less_frames(self):
+        pending = [
+            _pending(0, est=10.0, deadline=None),
+            _pending(1, est=10.0, deadline=100_000.0),
+        ]
+        # Default: no deadline means infinite slack, runs last.
+        assert DeadlineAwarePolicy().select(pending, clock=0) == 1
+        # A finite best-effort slack lets deadline-less work compete.
+        assert make_policy("deadline", best_effort_slack=0.0).select(
+            pending, clock=0
+        ) == 0
+        with pytest.raises(ConfigurationError):
+            make_policy("fifo", best_effort_slack=0.0)
+
+    def test_admission_control_rejects_over_cap(self, accelerator):
+        paths = _distinct_paths(3)
+        scratch = SequenceServer(accelerator)
+        for i, path in enumerate(paths[:2]):
+            scratch.submit(
+                _request(f"c{i}", path), synthetic_sequence(path, varied=True)
+            )
+        cap = int(scratch.projected_backlog_cycles()) + 1
+        rec = MemoryRecorder()
+        server = SequenceServer(
+            accelerator, slo=SLOConfig(admit_cycles=cap), recorder=rec
+        )
+        for i, path in enumerate(paths[:2]):
+            server.submit(
+                _request(f"c{i}", path), synthetic_sequence(path, varied=True)
+            )
+        with pytest.raises(AdmissionError):
+            server.submit(
+                _request("late", paths[2]),
+                synthetic_sequence(paths[2], varied=True),
+            )
+        rejects = [e for e in rec.events if e.kind == EV_ADMISSION_REJECT]
+        assert len(rejects) == 1
+        assert rejects[0].fields["client"] == "late"
+        assert rejects[0].fields["projected_cycles"] > cap
+        # Admitted clients are unaffected by the rejection.
+        report = server.serve("round_robin")
+        assert report.total_frames == 2 * FRAMES
+
+    def test_shedding_drops_batch_frames_only(self, accelerator):
+        rec = MemoryRecorder()
+        server = self._overload(
+            accelerator, slo=SLOConfig(shed=True), recorder=rec
+        )
+        policy = make_policy("deadline_preemptive", quantum=2)
+        report = server.serve(policy)
+        sheds = [e for e in rec.events if e.kind == EV_SHED]
+        assert sheds
+        assert all(e.fields["slo_class"] == "batch" for e in sheds)
+        assert report.client("urgent").shed_frames == 0
+        assert sum(c.shed_frames for c in report.clients) == len(sheds)
+        for c in report.clients:
+            assert c.frames + c.aborted_frames + c.shed_frames == FRAMES
+        assert report.busy_cycles == sum(
+            c.service_cycles for c in report.clients
+        )
+        # Shedding saves fleet cycles versus serving the full backlog.
+        full = self._overload(accelerator).serve(policy)
+        assert report.busy_cycles < full.busy_cycles
+
+    def test_degrade_serves_reduced_budget_frames(self, accelerator):
+        rec = MemoryRecorder()
+        server = self._overload(
+            accelerator,
+            slo=SLOConfig(degrade=True, degrade_fraction=0.5),
+            recorder=rec,
+        )
+        policy = make_policy("deadline_preemptive", quantum=2)
+        report = server.serve(policy)
+        degraded = [d for c in report.clients for d in c.degraded]
+        assert degraded
+        assert all(d["fraction"] == 0.5 for d in degraded)
+        events = [e for e in rec.events if e.kind == EV_DEGRADE]
+        assert len(events) == len(degraded)
+        # Degraded frames are still delivered — nothing is dropped.
+        for c in report.clients:
+            assert c.frames == FRAMES
+        assert report.busy_cycles == sum(
+            c.service_cycles for c in report.clients
+        )
+        # Reduced sampling budget costs fewer cycles.
+        full = self._overload(accelerator).serve(policy)
+        assert report.busy_cycles < full.busy_cycles
+
+    def test_degrade_psnr_guard_is_conservative(self, accelerator):
+        policy = make_policy("deadline_preemptive", quantum=2)
+        # A floor with no measured PSNR: unknown quality never degrades.
+        blind = self._overload(
+            accelerator,
+            slo=SLOConfig(degrade=True, degrade_min_psnr=30.0),
+        ).serve(policy)
+        assert all(not c.degraded for c in blind.clients)
+        # Measured PSNR above the floor degrades and is recorded.
+        psnr = {
+            (c, k): 35.0
+            for c in ("urgent", "bulk0", "bulk1")
+            for k in range(FRAMES)
+        }
+        seen = self._overload(
+            accelerator,
+            slo=SLOConfig(
+                degrade=True, degrade_min_psnr=30.0, degrade_psnr=psnr
+            ),
+        ).serve(policy)
+        degraded = [d for c in seen.clients for d in c.degraded]
+        assert degraded
+        assert all(d["psnr"] == 35.0 for d in degraded)
+        # Measured PSNR below the floor keeps full quality.
+        low = {key: 10.0 for key in psnr}
+        guarded = self._overload(
+            accelerator,
+            slo=SLOConfig(
+                degrade=True, degrade_min_psnr=30.0, degrade_psnr=low
+            ),
+        ).serve(policy)
+        assert all(not c.degraded for c in guarded.clients)
+
+    def test_auto_quantum_tunes_and_stays_deterministic(self, accelerator):
+        rec = MemoryRecorder()
+        server = self._overload(accelerator, recorder=rec)
+        report = server.serve(
+            make_policy("deadline_preemptive", quantum=AUTO_QUANTUM)
+        )
+        tunes = [e for e in rec.events if e.kind == EV_QUANTUM_TUNE]
+        assert tunes
+        assert all(e.fields["quantum"] >= 1 for e in tunes)
+        assert report.busy_cycles == sum(
+            c.service_cycles for c in report.clients
+        )
+        again = self._overload(accelerator).serve(
+            make_policy("deadline_preemptive", quantum=AUTO_QUANTUM)
+        )
+        assert report.to_dict() == again.to_dict()
