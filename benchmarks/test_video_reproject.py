@@ -1,0 +1,138 @@
+"""Temporal reprojection + adaptive keyframe scheduling benchmark.
+
+The artefact of the video-reprojection work: the same slow orbit that
+``test_video_reuse.py`` prices is rendered three ways (fresh per frame,
+plain plan reuse, reprojection armed), then the reprojection config is
+replayed over an orbit broken by a hard camera cut under two Phase I
+schedulers — a fixed even cadence and the adaptive plan/keyframe
+overlap threshold.
+
+The acceptance gates run inside
+:func:`repro.experiments.video.video_bench_payload` and again in the
+``video_bench/v1`` validator (:mod:`repro.obs.schemas`):
+
+* amortised reprojected-orbit speedup over independent per-frame ASDR
+  simulation at least ``VIDEO_SPEEDUP_FLOOR`` (1.5x);
+* every reprojected frame's warp-guard PSNR at or above the configured
+  ``min_psnr``, with no guard fallback;
+* the adaptive scheduler spends strictly fewer Phase I probes than the
+  fixed cadence on the cut sequence at an equal-or-better worst-frame
+  PSNR.
+
+Runs two ways:
+
+* under pytest (with ``pytest-benchmark``) at smoke scale, as part of
+  the tier-1 suite;
+* as a script (numpy-only, no pytest needed) emitting the
+  machine-readable ``BENCH_video.json`` (schema ``video_bench/v1``)::
+
+      PYTHONPATH=src python benchmarks/test_video_reproject.py \
+          --frames 6 --size 16 --out BENCH_video.json
+
+The committed ``BENCH_video.json`` snapshots the full palace orbit;
+CI's ``video-smoke`` job regenerates a small-config one per push and
+validates it through ``tools/validate_bench.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.video import video_bench_payload
+from repro.experiments.workbench import Workbench
+
+try:  # CI's video-smoke job runs script mode on a bare numpy install
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None  # type: ignore[assignment]
+
+
+def timed_payload(
+    scene: str = "palace",
+    frames: int = 6,
+    size: int = 16,
+    scale: str = "server",
+) -> Dict[str, object]:
+    """Build the ``video_bench/v1`` document with its wall-clock attached.
+
+    The gates are asserted inside the builder; the reported time covers
+    the three orbit renders plus the three cut-sequence renders (the
+    workbench memoises repeated configurations internally).
+    """
+    wb = Workbench()
+    t0 = time.perf_counter()
+    payload = video_bench_payload(
+        wb, scene=scene, frames=frames, size=size, scale=scale
+    )
+    payload["build_seconds"] = round(time.perf_counter() - t0, 4)
+    return payload
+
+
+if pytest is not None:
+
+    def test_video_gates_hold_at_smoke_scale(benchmark):
+        """Smoke scale: the speedup/guard/probe gates run inside the
+        payload builder; the committed full-scale ``BENCH_video.json``
+        carries the headline numbers."""
+        payload = benchmark.pedantic(
+            lambda: timed_payload(frames=4, size=8),
+            rounds=1,
+            iterations=1,
+        )
+        assert payload["schema"] == "video_bench/v1"
+        assert payload["orbit"]["speedup_vs_fresh"] >= 1.5
+        kf = payload["keyframes"]
+        assert kf["adaptive"]["probes"] < kf["fixed"]["probes"]
+        assert kf["adaptive"]["min_psnr"] >= kf["fixed"]["min_psnr"]
+        # The validator must agree with the inline gates.
+        from repro.obs.schemas import validate_video_bench
+
+        assert validate_video_bench(payload) == []
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description=(
+            "Temporal-reprojection video benchmark (emits video_bench/v1)"
+        )
+    )
+    parser.add_argument("--scene", default="palace")
+    parser.add_argument("--frames", type=int, default=6)
+    parser.add_argument("--size", type=int, default=16)
+    parser.add_argument("--scale", default="server")
+    parser.add_argument("--out", default="BENCH_video.json")
+    args = parser.parse_args(argv)
+
+    payload = timed_payload(
+        scene=args.scene, frames=args.frames, size=args.size, scale=args.scale
+    )
+    orbit = payload["orbit"]
+    print(
+        f"orbit       : {orbit['speedup_vs_fresh']}x vs fresh "
+        f"({orbit['reproject_cycles']} vs {orbit['fresh_cycles']} cycles), "
+        f"{orbit['speedup_vs_plain']}x vs plain plan reuse"
+    )
+    for run in ("fixed", "adaptive"):
+        entry = payload["keyframes"][run]
+        print(
+            f"{run:12s}: {entry['probes']} Phase I probes, "
+            f"min PSNR {entry['min_psnr']:.2f} dB, "
+            f"mean {entry['mean_psnr']:.2f} dB"
+        )
+    print(
+        f"cut at frame {payload['keyframes']['cut_frame']}; built in "
+        f"{payload['build_seconds']}s"
+    )
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

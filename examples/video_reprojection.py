@@ -1,0 +1,110 @@
+"""Video study: temporal reprojection + adaptive keyframe scheduling.
+
+Plan reuse alone leaves video MLP-bound — every non-keyframe still
+marches every ray, just at a pre-measured budget.  This study shows the
+two levers that break that floor:
+
+* **Temporal reprojection** warps the previous frame's delivered pixels
+  along the camera delta; rays whose accumulated parallax sensitivity
+  stays under the converged threshold are reused at scan-out cost and
+  never touch the MLP (PSNR-guarded, so quality cannot silently drop).
+  A slow orbit is priced three ways — fresh per frame, plain plan
+  reuse, reprojection armed.
+* **Adaptive keyframing** replaces the fixed Phase I cadence with the
+  measured plan/keyframe ray-budget overlap.  On an orbit broken by a
+  hard camera cut, the fixed scheduler probes on a clock (and renders
+  the cut from a stale plan) while the adaptive scheduler re-probes
+  exactly where the measurement collapses — fewer probes, no worse
+  quality.
+
+Usage::
+
+    python examples/video_reprojection.py [scene]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.config import ASDRConfig
+from repro.core.pipeline import ASDRRenderer
+from repro.core.reprojection import ReprojectionConfig
+from repro.experiments.video import (
+    BENCH_ARC,
+    BENCH_OVERLAP,
+    _clamped_psnr,
+    _cut_cameras,
+)
+from repro.experiments.workbench import Workbench, experiment_accelerator
+from repro.metrics.image import psnr
+from repro.scenes.cameras import camera_path
+
+FRAMES = 6
+SIZE = 16
+
+
+def main() -> None:
+    scene = sys.argv[1] if len(sys.argv) > 1 else "palace"
+    wb = Workbench()
+    cfg = ReprojectionConfig(converged_px=0.75)
+    acc = experiment_accelerator("server")
+    path = camera_path("orbit", FRAMES, SIZE, SIZE, arc=BENCH_ARC)
+    print(f"Scene: {scene}, {FRAMES}-frame {SIZE}x{SIZE} orbit "
+          f"(arc {BENCH_ARC})")
+
+    # One orbit, three pipelines.
+    fresh = wb.sequence_render(scene, path, probe_interval=1,
+                               reuse_poses=False)
+    plain = wb.sequence_render(scene, path, probe_interval=0)
+    warped = wb.sequence_render(scene, path, probe_interval=0,
+                                reproject=cfg)
+    group = wb.group_size()
+    reports = {
+        "fresh per frame": acc.simulate_sequence(
+            fresh.trace, group_size=group, temporal=False),
+        "plan reuse": acc.simulate_sequence(plain.trace, group_size=group),
+        "reprojection": acc.simulate_sequence(warped.trace, group_size=group),
+    }
+    base = reports["fresh per frame"].total_cycles
+    print("\norbit, amortised:")
+    for name, report in reports.items():
+        print(f"  {name:16s} {report.total_cycles / 1e3:8.1f} kcycles "
+              f"({base / report.total_cycles:.2f}x vs fresh)")
+    print("\nper-frame ray classification (reprojection run):")
+    for k, result in enumerate(warped.results):
+        rec = result.reprojection
+        if not rec:
+            print(f"  frame {k}: Phase I keyframe")
+            continue
+        quality = psnr(result.image, fresh.results[k].image)
+        print(f"  frame {k}: {rec['reprojected']:3d} warped, "
+              f"{rec['refinable']:3d} refined, {rec['fresh']:3d} fresh; "
+              f"guard {rec['psnr']:.1f} dB, {quality:.1f} dB vs fresh")
+
+    # Fixed cadence vs measured-staleness keyframing across a camera cut.
+    cameras, cut = _cut_cameras(FRAMES, SIZE)
+    renderer = ASDRRenderer(wb.model(scene), config=ASDRConfig(),
+                            num_samples=wb.config.num_samples)
+    reference = renderer.render_sequence(
+        cameras, probe_interval=1, reuse_poses=False, path_key=("ex", "ref"))
+    print(f"\ncamera cut at frame {cut} ({len(cameras)} frames):")
+    for name, kwargs in (
+        ("fixed cadence", dict(probe_interval=2)),
+        ("adaptive", dict(probe_interval=0, adaptive_overlap=BENCH_OVERLAP)),
+    ):
+        run = renderer.render_sequence(
+            cameras, reproject=cfg, path_key=("ex", name), **kwargs)
+        quality = [
+            _clamped_psnr(run.results[k].image, reference.results[k].image)
+            for k in range(len(cameras))
+        ]
+        probes = [k for k, p in enumerate(run.trace.planned) if p]
+        print(f"  {name:14s} probes at {probes} "
+              f"({len(probes)} total), min "
+              f"{min(quality):.2f} dB, mean {np.mean(quality):.2f} dB")
+    print("\nThe adaptive run re-probes exactly at the cut — where the "
+          "measured overlap collapses — instead of on a clock.")
+
+
+if __name__ == "__main__":
+    main()

@@ -90,6 +90,7 @@ def _cmd_render(args) -> int:
 
 
 def _cmd_video(args) -> int:
+    from repro.core.reprojection import ReprojectionConfig
     from repro.experiments.harness import format_table
     from repro.experiments.video import video_rows
     from repro.scenes.cameras import camera_path
@@ -109,6 +110,9 @@ def _cmd_video(args) -> int:
         period=args.period,
         hold=args.hold,
     )
+    reproject = None
+    if args.reproject:
+        reproject = ReprojectionConfig(min_psnr=args.reproject_min_psnr)
     rows = video_rows(
         Workbench(),
         scene=args.scene,
@@ -116,6 +120,8 @@ def _cmd_video(args) -> int:
         scale=args.scale,
         probe_interval=args.probe_interval,
         temporal=not args.no_temporal,
+        reproject=reproject,
+        adaptive_overlap=args.adaptive_overlap,
     )
     print(f"== video: {args.scene}, {args.frames}x{args.size}x{args.size} "
           f"{args.preset} ({args.scale}) ==")
@@ -495,6 +501,8 @@ examples:
   repro video fox --preset shake --hold 2 --frames 6   # pose-replay demo
   repro video family --preset dolly --frames 8 --probe-interval 4
   repro video palace --no-temporal          # price frames independently
+  repro video palace --reproject --size 16 --arc 0.05  # warp converged rays
+  repro video palace --reproject --size 16 --arc 0.05 --adaptive-overlap 0.8
 """,
     )
     p_video.add_argument("scene")
@@ -519,6 +527,17 @@ examples:
                               "1 = every frame (plan reuse off)")
     p_video.add_argument("--no-temporal", action="store_true",
                          help="disable the cross-frame temporal vertex cache")
+    p_video.add_argument("--reproject", action="store_true",
+                         help="warp the previous frame's pixels forward and "
+                              "skip converged rays (PSNR-guarded)")
+    p_video.add_argument("--reproject-min-psnr", type=float, default=24.0,
+                         help="warp-guard floor in dB; frames whose measured "
+                              "warp error exceeds it fall back to plan reuse")
+    p_video.add_argument("--adaptive-overlap", type=float, default=None,
+                         metavar="FRACTION",
+                         help="re-probe Phase I when the measured plan/"
+                              "keyframe ray-budget overlap drops below "
+                              "FRACTION (replaces --probe-interval cadence)")
     p_video.add_argument("--scale", choices=("server", "edge"),
                          default="server", help="accelerator design point")
     p_video.set_defaults(fn=_cmd_video)

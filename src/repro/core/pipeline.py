@@ -39,6 +39,12 @@ import numpy as np
 from repro.core.approximation import anchor_indices, interpolate_group_colors
 from repro.core.config import ASDRConfig
 from repro.core.difficulty import select_sample_budgets
+from repro.core.reprojection import (
+    ReprojectionConfig,
+    classify_rays,
+    plan_overlap,
+    warp_sources,
+)
 from repro.core.sampling_plan import (
     SamplingPlan,
     interpolate_budgets,
@@ -54,6 +60,7 @@ from repro.exec.frame_trace import (
 )
 from repro.exec.scheduler import iter_budget_wavefronts, iter_wavefronts
 from repro.exec.sequence import SequenceRender, render_camera_path
+from repro.metrics.image import psnr
 from repro.nerf.rays import sample_along_rays
 from repro.nerf.renderer import PhaseCounts
 from repro.nerf.volume import composite, composite_prefix, early_termination_counts
@@ -259,16 +266,173 @@ class ASDRRenderer:
             difficulty_evals=0,
         )
 
+    def render_reprojected(
+        self,
+        camera: Camera,
+        plan: SamplingPlan,
+        prev_camera: Camera,
+        prev_image: np.ndarray,
+        config: ReprojectionConfig,
+        accum_sens: Optional[np.ndarray] = None,
+    ) -> ASDRRenderResult:
+        """Render a plan-reuse frame with forward temporal reprojection.
+
+        The previous rendered frame's delivered pixels are warped along
+        the camera delta (:func:`~repro.core.reprojection.warp_sources`)
+        and every ray is classified:
+
+        * **converged** — parallax-insensitive warp: the warped pixel is
+          reused outright, so the ray appears in *no* wavefront and the
+          engines charge it nothing; it is counted in the trace's
+          ``reprojected_pixels`` so scan-out still prices its delivery;
+        * **refinable** — the warp is plausible but not trusted: the ray
+          re-renders at ``refine_fraction`` of its plan budget;
+        * **fresh** — disoccluded or out-of-view: full plan budget.
+
+        Classification uses each ray's *accumulated* sensitivity: its
+        per-step parallax bound plus ``accum_sens``, the sensitivity the
+        ray has carried since it last actually rendered (sub-pixel warps
+        reuse the same source pixel, so warp error compounds invisibly
+        across chained frames — the accumulator makes the total drift
+        the thresholded quantity, bounding chain error by
+        ``converged_px``).  The updated accumulator (warped rays carry
+        their total, rendered rays reset to zero) is returned under
+        ``result.reprojection["accum"]``.
+
+        A sparse validation subset of the converged rays renders anyway;
+        the PSNR between their warped and rendered colors is the guard —
+        below ``config.min_psnr`` the frame falls back to ordinary plan
+        reuse (the validation work already executed stays in the trace),
+        so quality never silently regresses.
+        """
+        n_pixels = camera.height * camera.width
+        if len(plan.budgets) != n_pixels:
+            raise ConfigurationError(
+                f"reused plan covers {len(plan.budgets)} pixels, camera has "
+                f"{n_pixels}"
+            )
+        prev_flat = np.asarray(prev_image, dtype=np.float64).reshape(-1, 3)
+        if prev_flat.shape[0] != prev_camera.height * prev_camera.width:
+            raise ConfigurationError(
+                f"previous image holds {prev_flat.shape[0]} pixels, previous "
+                f"camera has {prev_camera.height * prev_camera.width}"
+            )
+        src_ids, valid, sensitivity = warp_sources(
+            camera, prev_camera, depth=config.depth
+        )
+        if accum_sens is not None:
+            if accum_sens.shape != (n_pixels,):
+                raise ConfigurationError(
+                    f"accum_sens covers {accum_sens.shape} pixels, camera "
+                    f"has {n_pixels}"
+                )
+            sensitivity = sensitivity + accum_sens
+        converged_m, refinable_m, _fresh_m = classify_rays(
+            sensitivity, valid, config
+        )
+        converged = np.nonzero(converged_m)[0]
+        if config.validation_stride > 0 and len(converged):
+            validation = converged[:: config.validation_stride]
+        else:
+            validation = np.empty(0, dtype=np.int64)
+        skipped = np.setdiff1d(converged, validation, assume_unique=True)
+
+        counts = _new_phase_counts()
+        image = np.zeros((n_pixels, 3))
+        sample_counts = np.zeros(n_pixels, dtype=np.int64)
+        wavefronts: List[TraceWavefront] = []
+        full_budgets = np.asarray(plan.budgets, dtype=np.int64)
+        totals = [0, 0, 0]
+
+        def run(budgets: np.ndarray, ray_ids: np.ndarray) -> None:
+            got = self._render_main(
+                camera, budgets, ray_ids, image, sample_counts, counts,
+                wavefronts,
+            )
+            for i in range(3):
+                totals[i] += got[i]
+
+        # The validation subset renders first, at full plan budget — the
+        # guard must measure warp error before any pixel is committed.
+        if len(validation):
+            run(full_budgets, validation)
+        warped = prev_flat[src_ids]
+        guard_psnr = float("inf")
+        if len(validation):
+            guard_psnr = float(psnr(warped[validation], image[validation]))
+        fallback = bool(len(converged)) and guard_psnr < config.min_psnr
+        if fallback:
+            # Guard tripped: warp is untrustworthy this frame.  Everything
+            # not yet rendered runs at its plan budget — the frame
+            # degenerates to ordinary plan reuse, with the validation
+            # wavefronts kept in the trace (their work really ran).
+            rest = np.setdiff1d(
+                np.arange(n_pixels, dtype=np.int64), validation,
+                assume_unique=True,
+            )
+            run(full_budgets, rest)
+            skipped = np.empty(0, dtype=np.int64)
+        else:
+            refined = full_budgets.copy()
+            refinable = np.nonzero(refinable_m)[0]
+            refined[refinable] = np.maximum(
+                1,
+                (refined[refinable] * config.refine_fraction).astype(np.int64),
+            )
+            remaining = np.nonzero(~converged_m)[0]
+            if len(remaining):
+                run(refined, remaining)
+            image[skipped] = warped[skipped]
+            sample_counts[skipped] = 0
+
+        new_accum = np.zeros(n_pixels)
+        if len(skipped):
+            new_accum[skipped] = sensitivity[skipped]
+
+        reused = SamplingPlan(
+            budgets=plan.budgets,
+            probe_indices=np.empty(0, dtype=np.int64),
+            probe_budgets=np.empty(0, dtype=np.int64),
+            full_budget=plan.full_budget,
+            num_candidates=0,
+        )
+        return self._build_result(
+            camera,
+            reused,
+            image,
+            sample_counts,
+            counts,
+            wavefronts,
+            density_points=totals[0],
+            color_points=totals[1],
+            interpolated_points=totals[2],
+            probe_points=0,
+            difficulty_evals=0,
+            reprojected_pixels=int(len(skipped)),
+            reprojection={
+                "converged": int(converged_m.sum()),
+                "refinable": int(refinable_m.sum()),
+                "fresh": int(_fresh_m.sum()),
+                "validated": int(len(validation)),
+                "reprojected": int(len(skipped)),
+                "psnr": guard_psnr,
+                "fallback": fallback,
+                "accum": new_accum,
+            },
+        )
+
     def render_sequence(
         self,
         cameras: Sequence[Camera],
         probe_interval: int = 1,
         reuse_poses: bool = True,
         path_key: Tuple = (),
+        reproject: Optional[ReprojectionConfig] = None,
+        adaptive_overlap: Optional[float] = None,
     ) -> SequenceRender:
         """Render a camera path with cross-frame temporal reuse.
 
-        Two reuse levers run on top of the per-frame pipeline:
+        Four reuse levers run on top of the per-frame pipeline:
 
         * **pose replay** — a camera whose pose/intrinsics are
           bit-identical to an earlier frame's replays that frame's result
@@ -276,7 +440,17 @@ class ASDRRenderer:
         * **plan reuse** — Phase I runs only on keyframes (every
           ``probe_interval``-th rendered frame; ``0`` means the first
           frame only); the frames between render with the last keyframe's
-          budget map via :meth:`render_with_plan`.
+          budget map via :meth:`render_with_plan`;
+        * **temporal reprojection** (``reproject``) — non-keyframes warp
+          the previous rendered frame's pixels along the camera delta and
+          skip converged rays entirely (:meth:`render_reprojected`),
+          PSNR-guarded;
+        * **adaptive keyframing** (``adaptive_overlap``) — the fixed
+          ``probe_interval`` cadence is replaced by an online staleness
+          measurement: Phase I re-probes only when the measured
+          plan/keyframe ray-budget overlap
+          (:func:`~repro.core.reprojection.plan_overlap`) drops below the
+          threshold.
 
         Args:
             cameras: The path's cameras (e.g.
@@ -286,28 +460,75 @@ class ASDRRenderer:
             reuse_poses: Disable to force every frame to render fresh.
             path_key: Identity recorded on the
                 :class:`~repro.exec.sequence.SequenceTrace`.
+            reproject: Arm temporal reprojection for non-keyframes.
+            adaptive_overlap: Overlap threshold in ``(0, 1]``; when set,
+                the fixed cadence is ignored and re-probing is driven by
+                the measured overlap (recorded per frame on
+                ``result.reprojection["overlap"]``).
         """
         if probe_interval < 0:
             raise ConfigurationError("probe_interval must be >= 0")
+        if adaptive_overlap is not None and not 0.0 < adaptive_overlap <= 1.0:
+            raise ConfigurationError(
+                f"adaptive_overlap must be in (0, 1], got {adaptive_overlap}"
+            )
         # Pose replay lives in the shared driver; this closure only
-        # decides, per freshly rendered frame, whether Phase I runs.
-        state: Dict[str, object] = {"plan": None, "since": 0}
+        # decides, per freshly rendered frame, whether Phase I runs and
+        # whether Phase II reprojects.
+        state: Dict[str, object] = {
+            "plan": None,
+            "since": 0,
+            "keyframe_camera": None,
+            "prev_camera": None,
+            "prev_image": None,
+            "accum": None,
+        }
         planned_fresh: List[bool] = []
 
         def render_fn(camera: Camera) -> ASDRRenderResult:
             plan: Optional[SamplingPlan] = state["plan"]
-            fresh = (
-                plan is None
-                or len(plan.budgets) != camera.height * camera.width
-                or (probe_interval > 0 and state["since"] >= probe_interval)
-            )
+            overlap: Optional[float] = None
+            if plan is None or len(plan.budgets) != camera.height * camera.width:
+                fresh = True
+            elif adaptive_overlap is not None:
+                overlap = plan_overlap(
+                    camera,
+                    state["keyframe_camera"],
+                    plan.budgets,
+                    depth=reproject.depth if reproject is not None else None,
+                )
+                fresh = overlap < adaptive_overlap
+            else:
+                fresh = probe_interval > 0 and state["since"] >= probe_interval
             if fresh:
                 result = self.render_image(camera)
                 state["plan"] = result.plan
+                state["keyframe_camera"] = camera
                 state["since"] = 1
+                state["accum"] = None
             else:
-                result = self.render_with_plan(camera, plan)
+                if reproject is not None and state["prev_image"] is not None:
+                    result = self.render_reprojected(
+                        camera,
+                        plan,
+                        state["prev_camera"],
+                        state["prev_image"],
+                        reproject,
+                        accum_sens=state["accum"],
+                    )
+                    info = dict(result.reprojection)
+                    state["accum"] = info.pop("accum")
+                    result.reprojection = info
+                else:
+                    result = self.render_with_plan(camera, plan)
+                    state["accum"] = None
                 state["since"] += 1
+            if overlap is not None:
+                info = dict(result.reprojection or {})
+                info["overlap"] = overlap
+                result.reprojection = info
+            state["prev_camera"] = camera
+            state["prev_image"] = result.image
             planned_fresh.append(fresh)
             return result
 
@@ -377,6 +598,8 @@ class ASDRRenderer:
         interpolated_points: int,
         probe_points: int,
         difficulty_evals: int,
+        reprojected_pixels: int = 0,
+        reprojection: Optional[Dict[str, object]] = None,
     ) -> ASDRRenderResult:
         n_pixels = camera.height * camera.width
         approx = self.config.approximation
@@ -387,6 +610,7 @@ class ASDRRenderer:
             group_size=approx.group_size if approx is not None and approx.enabled else 1,
             difficulty_evals=difficulty_evals,
             wavefronts=wavefronts,
+            reprojected_pixels=reprojected_pixels,
         )
         return ASDRRenderResult(
             image=image.reshape(camera.height, camera.width, 3),
@@ -399,6 +623,7 @@ class ASDRRenderer:
             phase_counts=counts,
             sample_counts=sample_counts,
             trace=trace,
+            reprojection=reprojection,
         )
 
     # ------------------------------------------------------------------

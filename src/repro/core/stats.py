@@ -32,6 +32,10 @@ class ASDRRenderResult:
         trace: The :class:`~repro.exec.frame_trace.FrameTrace` this render
             executed — the simulator and profilers replay it instead of
             re-deriving rays/samples from ``(camera, budgets)``.
+        reprojection: Temporal-reprojection record for frames rendered by
+            :meth:`~repro.core.pipeline.ASDRRenderer.render_reprojected`
+            (ray classification counts, guard PSNR, fallback flag);
+            ``None`` for ordinary renders.
     """
 
     image: np.ndarray
@@ -44,6 +48,7 @@ class ASDRRenderResult:
     phase_counts: Dict[str, PhaseCounts]
     sample_counts: np.ndarray
     trace: Optional[FrameTrace] = None
+    reprojection: Optional[Dict[str, object]] = None
 
     @property
     def total_flops(self) -> int:

@@ -218,6 +218,10 @@ class FrameTrace:
         group_size: Renderer's color-decoupling group size (1 = disabled).
         difficulty_evals: Eq. (3) candidate comparisons of Phase I.
         wavefronts: Execution order: probe wavefronts first, then main.
+        reprojected_pixels: Pixels delivered by temporal reprojection —
+            warped from the previous frame instead of marched, so they
+            appear in no wavefront yet still cross the scan-out bus.
+            Zero for ordinary (non-reprojected) frames.
     """
 
     num_pixels: int
@@ -226,6 +230,7 @@ class FrameTrace:
     group_size: int = 1
     difficulty_evals: int = 0
     wavefronts: List[TraceWavefront] = field(default_factory=list)
+    reprojected_pixels: int = 0
     _corner_cache: Dict[Tuple[int, int], np.ndarray] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -334,14 +339,73 @@ class FrameTrace:
             group_size=self.group_size,
             difficulty_evals=self.difficulty_evals,
             wavefronts=capped,
+            reprojected_pixels=self.reprojected_pixels,
+        )
+
+    def with_reprojection(self, skip_mask: np.ndarray) -> "FrameTrace":
+        """A temporally-reprojected copy of this trace.
+
+        Rays flagged in ``skip_mask`` (a ``(num_pixels,)`` boolean map)
+        are dropped from every wavefront: their pixels are delivered by
+        warping the previous frame's scan-out instead of being marched,
+        so they skip encoding **and** MLP work entirely and cost scan-out
+        only.  Dropped rays the full trace actually rendered are counted
+        in :attr:`reprojected_pixels`, keeping :attr:`rendered_pixels` —
+        and therefore scan-out bus cost — identical to the full trace;
+        only the per-ray compute disappears.  The copy shares no caches
+        with the original and prices through the ordinary engines (stepped
+        and batched alike) with no special-casing, which is what keeps
+        reprojected frames inside the bit-identity envelope.
+        """
+        skip_mask = np.asarray(skip_mask, dtype=bool)
+        if skip_mask.shape != (self.num_pixels,):
+            raise SimulationError(
+                f"reprojection skip mask shape {skip_mask.shape} does not "
+                f"match the frame ({self.num_pixels} pixels)"
+            )
+        reprojected = int(self.reprojected_pixels)
+        kept: List[TraceWavefront] = []
+        for wf in self.wavefronts:
+            keep = ~skip_mask[wf.ray_ids]
+            reprojected += int((wf.used[~keep] > 0).sum())
+            if not keep.any():
+                continue
+            if wf.num_points:
+                points = wf.points[np.repeat(keep, wf.used)]
+            else:
+                points = wf.points
+            kept.append(
+                TraceWavefront(
+                    phase=wf.phase,
+                    budget=wf.budget,
+                    ray_ids=wf.ray_ids[keep],
+                    hit=wf.hit[keep],
+                    used=wf.used[keep],
+                    color_used=wf.color_used[keep],
+                    points=points,
+                )
+            )
+        return FrameTrace(
+            num_pixels=self.num_pixels,
+            full_budget=self.full_budget,
+            kind=self.kind,
+            group_size=self.group_size,
+            difficulty_evals=self.difficulty_evals,
+            wavefronts=kept,
+            reprojected_pixels=reprojected,
         )
 
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
-        """JSON-serialisable form (schema pinned by the golden test)."""
-        return {
+        """JSON-serialisable form (schema pinned by the golden test).
+
+        The reprojection record is emitted only when present, so
+        ordinary frames serialise byte-identically to the pre-reprojection
+        schema the golden file pins.
+        """
+        out = {
             "num_pixels": int(self.num_pixels),
             "full_budget": int(self.full_budget),
             "kind": self.kind,
@@ -349,6 +413,9 @@ class FrameTrace:
             "difficulty_evals": int(self.difficulty_evals),
             "wavefronts": [wf.to_dict() for wf in self.wavefronts],
         }
+        if self.reprojected_pixels:
+            out["reprojected_pixels"] = int(self.reprojected_pixels)
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FrameTrace":
@@ -360,6 +427,7 @@ class FrameTrace:
             group_size=int(data["group_size"]),
             difficulty_evals=int(data["difficulty_evals"]),
             wavefronts=[TraceWavefront.from_dict(w) for w in data["wavefronts"]],
+            reprojected_pixels=int(data.get("reprojected_pixels", 0)),
         )
 
     # ------------------------------------------------------------------
@@ -396,8 +464,11 @@ class FrameTrace:
 
     @property
     def rendered_pixels(self) -> int:
-        """Rays that marched at least one sample (bus RGB traffic)."""
-        return int(sum((wf.used > 0).sum() for wf in self.wavefronts))
+        """Pixels the frame delivers over the scan-out bus: rays that
+        marched at least one sample plus pixels filled by temporal
+        reprojection (warped pixels are scanned out like any other)."""
+        marched = int(sum((wf.used > 0).sum() for wf in self.wavefronts))
+        return marched + int(self.reprojected_pixels)
 
     @property
     def is_uniform(self) -> bool:
@@ -475,6 +546,7 @@ class FrameTrace:
                         self.kind,
                         self.group_size,
                         self.difficulty_evals,
+                        self.reprojected_pixels,
                         len(self.wavefronts),
                     )
                 ).encode()

@@ -140,6 +140,10 @@ class FrameWorkItem:
         budget_fraction: Sampling-budget fraction this frame actually ran
             at (``None`` = full quality; set by the server's
             degraded-quality mode before the first wavefront).
+        reprojected: True when the server served this frame through the
+            temporal-reprojection degrade path (converged rays warped
+            from the previous delivered frame instead of marched); set
+            before the first wavefront, like ``budget_fraction``.
     """
 
     client: str
@@ -153,6 +157,7 @@ class FrameWorkItem:
     service_cycles: int = field(default=0, compare=False)
     preemptions: int = field(default=0, compare=False)
     budget_fraction: Optional[float] = field(default=None, compare=False)
+    reprojected: bool = field(default=False, compare=False)
 
     @property
     def started(self) -> bool:
@@ -173,6 +178,7 @@ class FrameWorkItem:
             service_cycles=0,
             preemptions=0,
             budget_fraction=None,
+            reprojected=False,
         )
 
 

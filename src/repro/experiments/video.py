@@ -14,6 +14,15 @@ accelerator:
   Phase I only on keyframes (plan reuse), and the temporal vertex cache
   serving cross-frame corner fetches.
 
+Two further levers ride on the sequence path (``--reproject`` on the
+CLI): **temporal reprojection** warps the previous frame's delivered
+pixels along the camera delta and skips converged rays entirely
+(PSNR-guarded; see :mod:`repro.core.reprojection`), and **adaptive
+keyframe scheduling** replaces the fixed Phase I cadence with an online
+plan/keyframe overlap measurement that re-probes only when the plan has
+demonstrably gone stale.  :func:`video_bench_payload` pins both behind
+the committed ``BENCH_video.json`` gates.
+
 Per-frame and amortised cycles/energy are reported, along with the
 temporal-cache hit rate and the PSNR of each reused frame against its
 independently rendered twin (the quality cost of plan reuse; ``inf`` for
@@ -27,9 +36,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.arch.accelerator import SequenceSimReport
+from repro.core.config import ASDRConfig
+from repro.core.pipeline import ASDRRenderer
+from repro.core.reprojection import ReprojectionConfig
 from repro.experiments.harness import register
 from repro.experiments.workbench import Workbench, experiment_accelerator
 from repro.metrics.image import psnr
+from repro.obs.schemas import VIDEO_SPEEDUP_FLOOR
 from repro.scenes.cameras import CameraPath, camera_path
 
 #: The acceptance-scale default: a 4-frame 56x56 orbit segment.
@@ -37,11 +50,30 @@ DEFAULT_SCENE = "palace"
 DEFAULT_FRAMES = 4
 DEFAULT_ARC = 0.1
 
+#: The ``video_bench/v1`` shape: a slow orbit (high inter-frame
+#: coherence — the regime temporal reprojection targets) …
+BENCH_ARC = 0.05
+#: … and the adaptive keyframe scheduler's re-probe threshold on the
+#: measured plan/keyframe ray-budget overlap.
+BENCH_OVERLAP = 0.8
+#: Knobs the committed ``BENCH_video.json`` was generated with.  The
+#: tight ``converged_px`` matters: at bench scale each orbit step costs
+#: ~0.55px of parallax sensitivity, so 0.75 lets a ray warp once and
+#: forces a refine render on the second step — bounding chained-warp
+#: drift to one step between re-renders.
+BENCH_REPROJECT = ReprojectionConfig(converged_px=0.75, refine_px=3.0)
+#: Bit-identical frames score infinite PSNR; clamp for strict JSON.
+_PSNR_CLAMP = 99.0
+
 
 def _frame_mode(trace, k: int) -> str:
     if trace.replays[k] is not None:
         return "replay"
     return "probe" if trace.planned[k] else "reuse"
+
+
+def _clamped_psnr(a: np.ndarray, b: np.ndarray) -> float:
+    return float(min(psnr(a, b), _PSNR_CLAMP))
 
 
 def video_rows(
@@ -52,13 +84,18 @@ def video_rows(
     probe_interval: int = 0,
     temporal: bool = True,
     temporal_capacity: Optional[int] = None,
+    reproject: Optional[ReprojectionConfig] = None,
+    adaptive_overlap: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """Render + simulate one camera-path sequence; returns table rows.
 
     The final ``amortised`` row carries the headline numbers: mean
     cycles/energy per delivered frame for all three pipelines and the
     sequence path's amortised speedup over independent per-frame ASDR
-    simulation (``video_speedup``).
+    simulation (``video_speedup``).  With ``reproject`` armed, non-
+    keyframes warp converged rays instead of marching them (their mode
+    column reads ``reproject``); ``adaptive_overlap`` swaps the fixed
+    Phase I cadence for the measured-staleness scheduler.
     """
     if path is None:
         path = camera_path(
@@ -71,7 +108,13 @@ def video_rows(
     group = wb.group_size()
     acc = experiment_accelerator(scale)
 
-    video = wb.sequence_render(scene, path, probe_interval=probe_interval)
+    video = wb.sequence_render(
+        scene,
+        path,
+        probe_interval=probe_interval,
+        reproject=reproject,
+        adaptive_overlap=adaptive_overlap,
+    )
     fresh = wb.sequence_render(
         scene, path, probe_interval=1, reuse_poses=False
     )
@@ -89,10 +132,13 @@ def video_rows(
     rows: List[Dict[str, object]] = []
     for k in range(path.frames):
         v, f, b = video_rep.frames[k], fresh_rep.frames[k], base_rep.frames[k]
+        mode = _frame_mode(video.trace, k)
+        if mode == "reuse" and video.trace.frames[k].reprojected_pixels:
+            mode = "reproject"
         rows.append(
             {
                 "frame": str(k),
-                "mode": _frame_mode(video.trace, k),
+                "mode": mode,
                 "baseline_kcycles": b.total_cycles / 1e3,
                 "asdr_kcycles": f.total_cycles / 1e3,
                 "video_kcycles": v.total_cycles / 1e3,
@@ -145,6 +191,194 @@ def sequence_reports(
         "video": acc.simulate_sequence(video, group_size=group, temporal=temporal),
         "asdr": acc.simulate_sequence(fresh, group_size=group, temporal=False),
         "baseline": acc.simulate_sequence(base, group_size=1, temporal=False),
+    }
+
+
+def _cut_cameras(frames: int, size: int):
+    """An orbit broken by a hard camera cut: ``frames + 1`` poses on one
+    orbit, then ``frames`` poses on a different radius/elevation.  The
+    odd-length first segment places the cut on a *reuse* frame of every
+    even fixed probe cadence, so a fixed scheduler renders the cut with a
+    stale plan while the adaptive scheduler's measured overlap collapses
+    exactly there."""
+    before = camera_path("orbit", frames + 1, size, size, arc=BENCH_ARC)
+    after = camera_path(
+        "orbit",
+        frames,
+        size,
+        size,
+        arc=BENCH_ARC,
+        radius=1.1,
+        elevation=0.65,
+    )
+    return before.cameras() + after.cameras(), before.frames
+
+
+def _keyframe_run(render, reference) -> Dict[str, object]:
+    """Probe count + quality summary of one scheduler's cut-sequence run
+    against per-frame fresh renders."""
+    psnrs = [
+        _clamped_psnr(render.results[k].image, reference.results[k].image)
+        for k in range(len(reference.results))
+    ]
+    overlaps = [
+        r.reprojection.get("overlap")
+        for r in render.results
+        if r.reprojection is not None and "overlap" in r.reprojection
+    ]
+    return {
+        "probes": int(sum(1 for p in render.trace.planned if p)),
+        "min_psnr": min(psnrs),
+        "mean_psnr": float(np.mean(psnrs)),
+        "psnr": psnrs,
+        "overlaps": [round(float(o), 4) for o in overlaps],
+    }
+
+
+def video_bench_payload(
+    wb: Workbench,
+    scene: str = DEFAULT_SCENE,
+    frames: int = 6,
+    size: int = 16,
+    scale: str = "server",
+    reproject: Optional[ReprojectionConfig] = None,
+) -> Dict[str, object]:
+    """The ``video_bench/v1`` payload behind ``BENCH_video.json``.
+
+    Two sections, each gate also asserted inline so a regression fails
+    at build time, not only at validation time:
+
+    * ``orbit`` — a slow orbit rendered fresh per frame, with plain plan
+      reuse, and with temporal reprojection armed.  Gates: amortised
+      reprojected speedup over per-frame ASDR simulation at least
+      :data:`~repro.obs.schemas.VIDEO_SPEEDUP_FLOOR`, and every
+      reprojected frame's measured warp-guard PSNR at or above the
+      configured ``min_psnr`` with no guard fallback.
+    * ``keyframes`` — the same reprojection config on an orbit broken by
+      a camera cut, scheduled by a fixed even cadence vs the adaptive
+      overlap threshold.  Gates: the adaptive scheduler spends strictly
+      fewer Phase I probes *and* its worst frame is no worse — it
+      re-probes exactly where the measurement says the plan went stale,
+      instead of on a clock.
+    """
+    cfg = reproject or BENCH_REPROJECT
+    group = wb.group_size()
+    acc = experiment_accelerator(scale)
+    path = camera_path("orbit", frames, size, size, arc=BENCH_ARC)
+
+    fresh = wb.sequence_render(scene, path, probe_interval=1, reuse_poses=False)
+    plain = wb.sequence_render(scene, path, probe_interval=0)
+    repro = wb.sequence_render(scene, path, probe_interval=0, reproject=cfg)
+
+    fresh_rep = acc.simulate_sequence(
+        fresh.trace, group_size=group, temporal=False
+    )
+    plain_rep = acc.simulate_sequence(plain.trace, group_size=group)
+    repro_rep = acc.simulate_sequence(repro.trace, group_size=group)
+
+    frame_rows: List[Dict[str, object]] = []
+    for k in range(frames):
+        rec = repro.results[k].reprojection or {}
+        guard = rec.get("psnr")
+        frame_rows.append(
+            {
+                "frame": k,
+                "mode": (
+                    "reproject"
+                    if repro.trace.frames[k].reprojected_pixels
+                    else _frame_mode(repro.trace, k)
+                ),
+                "reprojected": int(repro.trace.frames[k].reprojected_pixels),
+                "guard_psnr": (
+                    None if guard is None else min(float(guard), _PSNR_CLAMP)
+                ),
+                "fallback": bool(rec.get("fallback", False)),
+                "psnr_vs_fresh": _clamped_psnr(
+                    repro.results[k].image, fresh.results[k].image
+                ),
+            }
+        )
+    speedup = fresh_rep.total_cycles / max(repro_rep.total_cycles, 1)
+    assert speedup >= VIDEO_SPEEDUP_FLOOR, (
+        f"reprojected orbit speedup {speedup:.2f}x misses the "
+        f"{VIDEO_SPEEDUP_FLOOR}x floor"
+    )
+    reprojected_rows = [r for r in frame_rows if r["reprojected"]]
+    assert reprojected_rows, "no frame reprojected — thresholds too tight"
+    for row in reprojected_rows:
+        assert not row["fallback"], f"frame {row['frame']} hit the guard"
+        assert row["guard_psnr"] is not None and (
+            row["guard_psnr"] >= cfg.min_psnr
+        ), f"frame {row['frame']} guard PSNR {row['guard_psnr']} below floor"
+
+    # ------------------------------------------------------------------
+    # Adaptive keyframe scheduling across a camera cut.
+    # ------------------------------------------------------------------
+    cameras, cut_frame = _cut_cameras(frames, size)
+    asdr = ASDRRenderer(
+        wb.model(scene),
+        config=ASDRConfig(),
+        num_samples=wb.config.num_samples,
+    )
+    reference = asdr.render_sequence(
+        cameras, probe_interval=1, reuse_poses=False, path_key=("cut", "ref")
+    )
+    fixed = asdr.render_sequence(
+        cameras,
+        probe_interval=2,
+        reproject=cfg,
+        path_key=("cut", "fixed"),
+    )
+    adaptive = asdr.render_sequence(
+        cameras,
+        probe_interval=0,
+        reproject=cfg,
+        adaptive_overlap=BENCH_OVERLAP,
+        path_key=("cut", "adaptive"),
+    )
+    fixed_run = _keyframe_run(fixed, reference)
+    adaptive_run = _keyframe_run(adaptive, reference)
+    fixed_run["probe_interval"] = 2
+    adaptive_run["overlap_threshold"] = BENCH_OVERLAP
+    assert adaptive_run["probes"] < fixed_run["probes"], (
+        f"adaptive probed {adaptive_run['probes']}x, fixed "
+        f"{fixed_run['probes']}x — no probe saving"
+    )
+    assert adaptive_run["min_psnr"] >= fixed_run["min_psnr"], (
+        f"adaptive min PSNR {adaptive_run['min_psnr']:.2f} below fixed "
+        f"{fixed_run['min_psnr']:.2f}"
+    )
+
+    return {
+        "schema": "video_bench/v1",
+        "scene": scene,
+        "frames": frames,
+        "size": size,
+        "arc": BENCH_ARC,
+        "psnr_guard": cfg.min_psnr,
+        "reproject": {
+            "converged_px": cfg.converged_px,
+            "refine_px": cfg.refine_px,
+            "refine_fraction": cfg.refine_fraction,
+            "validation_stride": cfg.validation_stride,
+            "min_psnr": cfg.min_psnr,
+        },
+        "orbit": {
+            "fresh_cycles": int(fresh_rep.total_cycles),
+            "plain_cycles": int(plain_rep.total_cycles),
+            "reproject_cycles": int(repro_rep.total_cycles),
+            "speedup_vs_fresh": round(float(speedup), 3),
+            "speedup_vs_plain": round(
+                plain_rep.total_cycles / max(repro_rep.total_cycles, 1), 3
+            ),
+            "frames": frame_rows,
+        },
+        "keyframes": {
+            "cut_frame": int(cut_frame),
+            "total_frames": len(cameras),
+            "fixed": fixed_run,
+            "adaptive": adaptive_run,
+        },
     }
 
 

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.config import ASDRConfig
+from repro.errors import ConfigurationError
 from repro.core.pipeline import ASDRRenderer
 from repro.core.stats import ASDRRenderResult
 from repro.exec.sequence import SequenceRender, SequenceTrace, render_camera_path
@@ -240,6 +241,8 @@ class Workbench:
         baseline: bool = False,
         probe_interval: int = 0,
         reuse_poses: bool = True,
+        reproject=None,
+        adaptive_overlap: Optional[float] = None,
     ) -> SequenceRender:
         """Render a whole camera-path sequence, memoised.
 
@@ -262,7 +265,17 @@ class Workbench:
                 :meth:`repro.core.pipeline.ASDRRenderer.render_sequence`);
                 default ``0`` probes the first frame only.
             reuse_poses: Replay bit-identical poses.
+            reproject: Optional
+                :class:`~repro.core.reprojection.ReprojectionConfig` —
+                arm temporal reprojection for non-keyframes (ASDR only).
+            adaptive_overlap: Optional overlap threshold replacing the
+                fixed ``probe_interval`` cadence (ASDR only).
         """
+        if baseline and (reproject is not None or adaptive_overlap is not None):
+            raise ConfigurationError(
+                "reprojection/adaptive keyframing need Phase I plans; the "
+                "baseline pipeline has none"
+            )
         asdr_config = asdr_config or ASDRConfig()
         key = (
             "sequence",
@@ -273,6 +286,8 @@ class Workbench:
             probe_interval,
             reuse_poses,
             None if baseline else asdr_config.cache_key(),
+            None if reproject is None else reproject.cache_key(),
+            adaptive_overlap,
         )
         if key not in self._renders:
             model = self.tensorf_model(scene) if tensorf else self.model(scene)
@@ -297,6 +312,8 @@ class Workbench:
                     probe_interval=probe_interval,
                     reuse_poses=reuse_poses,
                     path_key=path.cache_key(),
+                    reproject=reproject,
+                    adaptive_overlap=adaptive_overlap,
                 )
             self._renders[key] = outcome
         return self._renders[key]

@@ -16,8 +16,10 @@ one ``results/`` folder out:
   single-shard identity gated;
 * ``BENCH_slo.json`` (``slo_bench/v1``) — overload control (admission,
   shedding, PSNR-guarded degrade), attainment gated;
+* ``BENCH_video.json`` (``video_bench/v1``) — temporal reprojection +
+  adaptive keyframe scheduling, speedup/guard/probe gated;
 * ``results/summary.json`` + a printed closing table — the headline
-  numbers of all four.
+  numbers of all five.
 
 Every artefact is validated through :mod:`repro.obs.schemas` before the
 harness reports success, so a run that emits a malformed snapshot fails
@@ -58,6 +60,8 @@ FULL_PRESET = dict(
     quantum=2,
     rounds=3,
     slo_size=16,
+    video_frames=6,
+    video_size=16,
 )
 
 #: CI smoke scale — the same shapes the per-bench smoke jobs use.
@@ -72,6 +76,8 @@ SMOKE_PRESET = dict(
     quantum=2,
     rounds=1,
     slo_size=8,
+    video_frames=4,
+    video_size=8,
 )
 
 
@@ -98,10 +104,10 @@ def run_all(
     smoke: bool = False,
     progress: Optional[Callable[[str], None]] = print,
 ) -> Dict[str, object]:
-    """Run the serving, engine, cluster and SLO benchmark suites end to
-    end.
+    """Run the serving, engine, cluster, SLO and video benchmark suites
+    end to end.
 
-    Writes the four ``BENCH_*.json`` snapshots into ``out_dir`` and the
+    Writes the five ``BENCH_*.json`` snapshots into ``out_dir`` and the
     telemetry/summary artefacts into ``out_dir/results/``, validates all
     of them, and returns a manifest ``{"artifacts": {name: path},
     "problems": {path: [...]}, "summary_rows": [...]}`` — empty
@@ -123,7 +129,7 @@ def run_all(
     from repro.serving.policies import ALL_POLICY_NAMES
     from repro.serving.report import bench_summary, bench_table_rows
 
-    say(f"[1/4] serving bench ({'smoke' if smoke else 'full'} scale)")
+    say(f"[1/5] serving bench ({'smoke' if smoke else 'full'} scale)")
     wb = Workbench()
     requests = default_client_mix(
         scene=preset["scene"],
@@ -168,7 +174,7 @@ def run_all(
     # ------------------------------------------------------------------
     # 2. Engine throughput (scalar vs batched, identity gated).
     # ------------------------------------------------------------------
-    say("[2/4] engine bench")
+    say("[2/5] engine bench")
     engine = _load_benchmark("test_engine_throughput")
     payloads["engine"] = engine.engine_bench_payload(
         scene=preset["scene"],
@@ -184,7 +190,7 @@ def run_all(
     # ------------------------------------------------------------------
     # 3. Cluster serving (router comparison, identity gated).
     # ------------------------------------------------------------------
-    say("[3/4] cluster bench")
+    say("[3/5] cluster bench")
     cluster = _load_benchmark("test_cluster_serving")
     payloads["cluster"] = cluster.cluster_bench_payload(
         scene=preset["scene"],
@@ -202,7 +208,7 @@ def run_all(
     #    on the palace scene at 4 frames — the shape the gates were
     #    tuned against — so only the resolution follows the preset.
     # ------------------------------------------------------------------
-    say("[4/4] slo bench")
+    say("[4/5] slo bench")
     slo = _load_benchmark("test_slo_serving")
     payloads["slo"] = slo.timed_payload(
         scene="palace",
@@ -211,6 +217,21 @@ def run_all(
     )
     artifacts["slo"] = out / "BENCH_slo.json"
     _write_json(artifacts["slo"], payloads["slo"])
+
+    # ------------------------------------------------------------------
+    # 5. Temporal reprojection + adaptive keyframing (speedup/guard/probe
+    #    gated).  Like the SLO mix, the gates were calibrated on the
+    #    palace scene, so only the resolution/frames follow the preset.
+    # ------------------------------------------------------------------
+    say("[5/5] video bench")
+    video = _load_benchmark("test_video_reproject")
+    payloads["video"] = video.timed_payload(
+        scene="palace",
+        frames=preset["video_frames"],
+        size=preset["video_size"],
+    )
+    artifacts["video"] = out / "BENCH_video.json"
+    _write_json(artifacts["video"], payloads["video"])
 
     # ------------------------------------------------------------------
     # Summary table + one-validator pass over everything written.
@@ -231,7 +252,9 @@ def run_all(
     )
 
     problems: Dict[str, List[str]] = {}
-    for name in ("serving", "engine", "cluster", "slo", "events", "trace"):
+    for name in (
+        "serving", "engine", "cluster", "slo", "video", "events", "trace"
+    ):
         errs = validate_file(artifacts[name])
         if errs:
             problems[str(artifacts[name])] = errs

@@ -50,6 +50,8 @@ EV_TEMPORAL_CACHE = "temporal_cache"  #: per-quantum vertex-cache delta
 EV_ADMISSION_REJECT = "admission_reject"  #: submit refused (backlog cap)
 EV_SHED = "shed"  #: batch-class frame dropped under overload
 EV_DEGRADE = "degrade"  #: frame served at reduced sampling budget
+EV_REPROJECT = "reproject"  #: frame's converged rays warped, not marched
+EV_KEYFRAME_PROBE = "keyframe_probe"  #: Phase I keyframe started serving
 EV_QUANTUM_TUNE = "quantum_tune"  #: auto-tuner resized the quantum
 
 # --- cluster events (admission/serve wall order, no single clock) -----
@@ -81,6 +83,8 @@ EVENT_KINDS = (
     EV_ADMISSION_REJECT,
     EV_SHED,
     EV_DEGRADE,
+    EV_REPROJECT,
+    EV_KEYFRAME_PROBE,
     EV_QUANTUM_TUNE,
     EV_ROUTE,
     EV_SCALE_OUT,

@@ -13,6 +13,7 @@ Covered schemas:
 * ``engine_bench/v1``  — ``benchmarks/test_engine_throughput.py``
 * ``cluster_bench/v1`` — ``benchmarks/test_cluster_serving.py``
 * ``slo_bench/v1``     — ``benchmarks/test_slo_serving.py``
+* ``video_bench/v1``   — ``benchmarks/test_video_reproject.py``
 * ``obs_events/v1``    — :mod:`repro.obs.export` JSONL logs
 * Chrome trace-event JSON — :func:`repro.obs.export.chrome_trace`
 """
@@ -70,6 +71,15 @@ SLO_RUN_KEYS = (
 SLO_INTERACTIVE_FLOOR = 0.95
 #: … on an overload mix where the no-SLO baseline attains less than this.
 SLO_BASELINE_CEILING = 0.7
+
+#: The ``video_bench/v1`` headline gate (also asserted inline by
+#: ``benchmarks/test_video_reproject.py``): amortised cycles of the
+#: reprojected orbit vs independent per-frame ASDR simulation.
+VIDEO_SPEEDUP_FLOOR = 1.5
+
+#: Keys both scheduler runs of a ``video_bench/v1`` ``keyframes``
+#: section must carry.
+VIDEO_KEYFRAME_RUN_KEYS = ("probes", "min_psnr", "mean_psnr")
 
 
 def validate_serving_bench(data: Dict) -> List[str]:
@@ -203,6 +213,81 @@ def validate_slo_bench(data: Dict) -> List[str]:
     return problems
 
 
+def validate_video_bench(data: Dict) -> List[str]:
+    """``video_bench/v1``: the temporal-reprojection acceptance gates.
+
+    The ``orbit`` section must show amortised speedup of at least
+    :data:`VIDEO_SPEEDUP_FLOOR` over independent per-frame ASDR
+    simulation with at least one frame actually reprojected, every
+    reprojected frame's warp-guard PSNR at or above the configured
+    ``psnr_guard`` and no guard fallback.  The ``keyframes`` section
+    (an orbit broken by a camera cut) must show the adaptive scheduler
+    spending strictly fewer Phase I probes than the fixed cadence at an
+    equal-or-better worst-frame PSNR.
+    """
+    problems: List[str] = []
+    if data.get("schema") != "video_bench/v1":
+        return [f"schema is {data.get('schema')!r}, want 'video_bench/v1'"]
+    orbit = data.get("orbit")
+    keyframes = data.get("keyframes")
+    if not isinstance(orbit, dict):
+        problems.append("'orbit' section missing")
+    if not isinstance(keyframes, dict):
+        problems.append("'keyframes' section missing")
+    guard = data.get("psnr_guard")
+    if guard is None:
+        problems.append("missing 'psnr_guard'")
+    if problems:
+        return problems
+    for key in ("fresh_cycles", "reproject_cycles", "speedup_vs_fresh",
+                "frames"):
+        if key not in orbit:
+            problems.append(f"orbit section missing {key!r}")
+    for run_name in ("fixed", "adaptive"):
+        run = keyframes.get(run_name)
+        if not isinstance(run, dict):
+            problems.append(f"keyframes run {run_name!r} missing")
+            continue
+        for key in VIDEO_KEYFRAME_RUN_KEYS:
+            if key not in run:
+                problems.append(f"keyframes run {run_name!r} missing {key!r}")
+    if problems:
+        return problems
+    speedup = orbit["speedup_vs_fresh"]
+    if not speedup >= VIDEO_SPEEDUP_FLOOR:
+        problems.append(
+            f"orbit speedup {speedup} misses the {VIDEO_SPEEDUP_FLOOR}x floor"
+        )
+    reprojected = [
+        f for f in orbit["frames"] if f.get("reprojected", 0) > 0
+    ]
+    if not reprojected:
+        problems.append("no frame reprojected (machinery not exercised)")
+    for f in reprojected:
+        g = f.get("guard_psnr")
+        if g is None or g < guard:
+            problems.append(
+                f"frame {f.get('frame')} guard PSNR {g!r} below the "
+                f"{guard} dB guard"
+            )
+        if f.get("fallback"):
+            problems.append(
+                f"frame {f.get('frame')} fell back to plan reuse"
+            )
+    fixed, adaptive = keyframes["fixed"], keyframes["adaptive"]
+    if not adaptive["probes"] < fixed["probes"]:
+        problems.append(
+            f"adaptive probes {adaptive['probes']} not fewer than fixed "
+            f"{fixed['probes']}"
+        )
+    if not adaptive["min_psnr"] >= fixed["min_psnr"]:
+        problems.append(
+            f"adaptive min PSNR {adaptive['min_psnr']} below fixed "
+            f"{fixed['min_psnr']}"
+        )
+    return problems
+
+
 def validate_obs_events(header: Dict, events: List[Dict]) -> List[str]:
     """``obs_events/v1``: header tag plus per-event shape.
 
@@ -265,6 +350,7 @@ SCHEMA_VALIDATORS = {
     "engine_bench/v1": validate_engine_bench,
     "cluster_bench/v1": validate_cluster_bench,
     "slo_bench/v1": validate_slo_bench,
+    "video_bench/v1": validate_video_bench,
 }
 
 

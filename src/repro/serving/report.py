@@ -435,7 +435,7 @@ def bench_table_rows(payloads: Dict[str, Dict]) -> List[Dict[str, str]]:
     """Flatten run-all bench payloads into one headline summary table.
 
     ``payloads`` maps snapshot name (``serving`` / ``engine`` / ``slo``
-    / ``cluster``) to its parsed ``BENCH_*.json`` document; unknown
+    / ``cluster`` / ``video``) to its parsed ``BENCH_*.json`` document; unknown
     names are skipped, so partial runs still summarise.  One row per headline
     metric — the shape ``repro bench run-all`` writes to
     ``results/summary.json`` and prints as its closing table.
@@ -523,4 +523,31 @@ def bench_table_rows(payloads: Dict[str, Dict]) -> List[Dict[str, str]]:
                 else "IDENTITY BROKEN",
             }
         )
+    video = payloads.get("video")
+    if video:
+        orbit = video.get("orbit", {})
+        rows.append(
+            {
+                "bench": "video",
+                "case": "reprojected orbit",
+                "metric": "speedup vs fresh",
+                "value": f"{orbit.get('speedup_vs_fresh')}x",
+                "cycles": str(orbit.get("reproject_cycles")),
+            }
+        )
+        for run in ("fixed", "adaptive"):
+            rep = video.get("keyframes", {}).get(run)
+            if not rep:
+                continue
+            rows.append(
+                {
+                    "bench": "video",
+                    "case": f"keyframes {run}",
+                    "metric": "probes / min PSNR",
+                    "value": "{} / {:.2f} dB".format(
+                        rep["probes"], rep["min_psnr"]
+                    ),
+                    "cycles": "-",
+                }
+            )
     return rows

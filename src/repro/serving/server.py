@@ -83,10 +83,12 @@ from repro.obs.events import (
     EV_DEPARTURE,
     EV_FRAME_ABORT,
     EV_FRAME_COMPLETE,
+    EV_KEYFRAME_PROBE,
     EV_PLAN_CACHE,
     EV_PREEMPTION,
     EV_QUANTUM,
     EV_QUANTUM_TUNE,
+    EV_REPROJECT,
     EV_SCANOUT,
     EV_SCHED,
     EV_SERVE_END,
@@ -616,6 +618,19 @@ class SequenceServer:
             self._degraded_memo.put(key, cached)
         return cached
 
+    def _reprojected_trace(self, client: _Client, frame: int, mask):
+        """The reprojection-thinned copy of one frame's trace: converged
+        rays (``mask`` True) are dropped from every wavefront and priced
+        as scan-out-only reprojected pixels.  Memoised alongside the
+        budget-capped traces, keyed by content digest plus the mask."""
+        full = client.trace.frames[frame]
+        key = ("reprojected", full.content_digest(), mask.tobytes())
+        cached = self._degraded_memo.get(key)
+        if cached is None:
+            cached = full.with_reprojection(mask)
+            self._degraded_memo.put(key, cached)
+        return cached
+
     def _prepare_plans(
         self,
         client: _Client,
@@ -902,10 +917,10 @@ class SequenceServer:
             """Deliver a finished frame: schedule entry, latency, modes."""
             k = item.frame
             seq_id, pose_id = self._content_ids(client, k)
-            if item.budget_fraction is None:
-                # Degraded frames never register their content: their
-                # pixels are not the full-quality frames a twin expects
-                # to scan out.
+            if item.budget_fraction is None and not item.reprojected:
+                # Degraded/reprojected frames never register their
+                # content: their pixels are not the full-quality frames a
+                # twin expects to scan out.
                 executed.add(seq_id)
                 if pose_id is not None:
                     executed.add(pose_id)
@@ -1320,28 +1335,75 @@ class SequenceServer:
             engine_owner = client.id
             if not item.started:
                 # Degraded-quality mode: while overloaded, a non-keyframe
-                # (plan-reuse) frame starting now runs a budget-capped
-                # copy of its trace instead.  The PSNR guard is honoured
+                # (plan-reuse) frame starting now prefers *temporal
+                # reprojection* — warping its converged rays from the
+                # previous delivered frame at scan-out cost — and falls
+                # back to a budget-capped copy of its trace when no skip
+                # mask is armed.  Both PSNR guards are honoured
                 # conservatively — when a floor is configured, only
                 # frames with a known measured PSNR at or above it
                 # degrade; unknown quality serves at full budget.
                 degrade_fraction = None
+                reproject_mask = None
                 psnr = None
                 if overloaded and slo.degrade and item.mode == WORK_REUSE:
-                    psnr = (
-                        slo.degrade_psnr.get((client.id, k))
-                        if slo.degrade_psnr is not None
-                        else None
-                    )
                     guard = slo.degrade_min_psnr
-                    if guard is None or (psnr is not None and psnr >= guard):
-                        degrade_fraction = slo.degrade_fraction
+                    if slo.reproject_masks is not None:
+                        mask = slo.reproject_masks.get((client.id, k))
+                        if mask is not None:
+                            psnr = (
+                                slo.reproject_psnr.get((client.id, k))
+                                if slo.reproject_psnr is not None
+                                else None
+                            )
+                            if guard is None or (
+                                psnr is not None and psnr >= guard
+                            ):
+                                reproject_mask = mask
+                            else:
+                                psnr = None
+                    if reproject_mask is None:
+                        psnr = (
+                            slo.degrade_psnr.get((client.id, k))
+                            if slo.degrade_psnr is not None
+                            else None
+                        )
+                        if guard is None or (
+                            psnr is not None and psnr >= guard
+                        ):
+                            degrade_fraction = slo.degrade_fraction
                 scoped = (
                     None
                     if rec is None
                     else ScopedRecorder(rec, client=client.id, frame=k)
                 )
-                if degrade_fraction is not None:
+                if reproject_mask is not None:
+                    item.reprojected = True
+                    item.execution = self.accelerator.trace_execution(
+                        self._reprojected_trace(client, k, reproject_mask),
+                        group_size=self.group_size,
+                        temporal=partitions.cache_for(client.id),
+                        commit_tag=k,
+                        recorder=scoped,
+                    )
+                    reports[client.id].degraded.append(
+                        {
+                            "frame": k,
+                            "mode": "reproject",
+                            "pixels": int(reproject_mask.sum()),
+                            "psnr": psnr,
+                        }
+                    )
+                    if rec is not None:
+                        rec.emit(
+                            EV_REPROJECT,
+                            clock,
+                            client=client.id,
+                            frame=k,
+                            pixels=int(reproject_mask.sum()),
+                            psnr=psnr,
+                        )
+                elif degrade_fraction is not None:
                     item.budget_fraction = degrade_fraction
                     item.execution = self.accelerator.trace_execution(
                         self._degraded_trace(client, k, degrade_fraction),
@@ -1375,17 +1437,28 @@ class SequenceServer:
                         recorder=scoped,
                     )
                 item.start_cycle = clock
-                if self.shared_content and degrade_fraction is None:
+                if rec is not None and item.mode == WORK_PROBE:
+                    rec.emit(
+                        EV_KEYFRAME_PROBE,
+                        clock,
+                        client=client.id,
+                        frame=k,
+                        points=item.cost_hint,
+                    )
+                degraded_start = (
+                    degrade_fraction is not None or reproject_mask is not None
+                )
+                if self.shared_content and not degraded_start:
                     # This tenant now leads its content: unstarted twins
                     # defer until the commit in `complete_frame` (or this
-                    # client's abort) clears the claim.  A degraded frame
-                    # never leads — its pixels are not the full-quality
-                    # content a twin would scan out.
+                    # client's abort) clears the claim.  A degraded or
+                    # reprojected frame never leads — its pixels are not
+                    # the full-quality content a twin would scan out.
                     seq_id, pose_id = self._content_ids(client, k)
                     in_flight_content.setdefault(seq_id, client.id)
                     if pose_id is not None:
                         in_flight_content.setdefault(pose_id, client.id)
-                if degrade_fraction is None:
+                if not degraded_start:
                     self._prepare_plans(
                         client, k, item, ready, hits, blocked, items,
                         next_frame, partitions, rec=rec, clock=clock,

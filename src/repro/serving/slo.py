@@ -20,6 +20,9 @@ how the server treats the client when demand exceeds capacity:
   slack goes negative, and degraded-quality mode serves non-keyframe
   frames at a reduced sampling budget — guarded by a per-frame PSNR
   floor so quality never silently falls below the configured bar.
+  When the experiment layer supplies temporal-reprojection skip masks,
+  a degraded frame *prefers* warping its converged rays from the
+  previous delivered frame (scan-out cost only) over cutting budgets.
 * **Quantum auto-tuning** (:class:`QuantumAutoTuner`, policy quantum
   ``"auto"``): bounds head-of-line blocking by sizing the preemption
   quantum from the measured cycles-per-step distribution, targeting a
@@ -127,6 +130,19 @@ class SLOConfig:
             ``(client_id, frame)`` — supplied by the experiment layer,
             which holds the rendered images; recorded on every degraded
             frame's report entry and ``degrade`` event.
+        reproject_masks: Optional per-``(client_id, frame)`` boolean skip
+            masks (``(num_pixels,)``, True = converged ray warped from
+            the previous delivered frame).  When present, the degrade
+            path *prefers* temporal reprojection over budget cuts: an
+            overloaded plan-reuse frame with a mask executes
+            :meth:`~repro.exec.frame_trace.FrameTrace.with_reprojection`
+            instead of a capped-budget trace.  Masks come from the
+            experiment layer's camera geometry (see
+            :mod:`repro.core.reprojection`) — no model evaluation.
+        reproject_psnr: Optional measured warp-guard PSNR per
+            ``(client_id, frame)``; frames whose guard PSNR would fall
+            below ``degrade_min_psnr`` fall back to the budget-cut path,
+            mirroring the renderer's own fallback.
     """
 
     admit_cycles: Optional[int] = None
@@ -135,6 +151,8 @@ class SLOConfig:
     degrade_fraction: float = 0.5
     degrade_min_psnr: Optional[float] = None
     degrade_psnr: Optional[Mapping[Tuple[str, int], float]] = None
+    reproject_masks: Optional[Mapping[Tuple[str, int], object]] = None
+    reproject_psnr: Optional[Mapping[Tuple[str, int], float]] = None
 
     def __post_init__(self) -> None:
         if self.admit_cycles is not None and self.admit_cycles <= 0:
@@ -142,6 +160,11 @@ class SLOConfig:
         if not 0.0 < self.degrade_fraction < 1.0:
             raise ConfigurationError(
                 "degrade_fraction must be in (0, 1) — 1.0 is full quality"
+            )
+        if self.reproject_masks is not None and not self.degrade:
+            raise ConfigurationError(
+                "reproject_masks require degrade=True — reprojection is "
+                "an overload response, not a steady-state mode"
             )
 
     @property

@@ -19,6 +19,7 @@ import importlib.util
 import json
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.arch.accelerator import ASDRAccelerator
@@ -56,6 +57,7 @@ from repro.obs.schemas import (
     validate_serving_bench,
     validate_slo_bench,
     validate_trace_events,
+    validate_video_bench,
 )
 from repro.serving.cluster import ClusterServer, Migration
 from repro.serving.policies import make_policy
@@ -144,11 +146,20 @@ def _abort_events(accelerator):
     return rec.events
 
 
+def _reproject_masks(clients=("urgent",), frames=(1,)):
+    """Boolean skip masks (every other ray converged) keyed like
+    :attr:`SLOConfig.reproject_masks` for the module's SIZE."""
+    mask = np.zeros(SIZE * SIZE, dtype=bool)
+    mask[::2] = True
+    return {(c, k): mask for c in clients for k in frames}
+
+
 def _slo_events(accelerator):
     """Overload-control scenario: an interactive tenant with an
     impossible cadence plus batch ballast under an armed
     :class:`SLOConfig` — admission reject, batch shedding, degraded
-    serving and auto-quantum tuning all fire."""
+    serving, temporal reprojection (one armed frame) and auto-quantum
+    tuning all fire."""
     paths = _distinct_paths(4)
     sequences = {p: synthetic_sequence(p, varied=True) for p in paths}
     scratch = SequenceServer(accelerator)
@@ -169,7 +180,12 @@ def _slo_events(accelerator):
     server = SequenceServer(
         accelerator,
         slo=SLOConfig(
-            admit_cycles=cap, shed=True, degrade=True, degrade_fraction=0.5
+            admit_cycles=cap,
+            shed=True,
+            degrade=True,
+            degrade_fraction=0.5,
+            reproject_masks=_reproject_masks(),
+            reproject_psnr={("urgent", 1): 35.0},
         ),
         recorder=rec,
     )
@@ -262,6 +278,56 @@ class TestNeutrality:
         kinds = {e.kind for e in _serve_events(accelerator)}
         assert "quantum" in kinds and "serve_start" in kinds
         assert "exec_batch" in kinds or "exec_step" in kinds
+
+    def test_reprojected_serve_bit_identical(self, accelerator):
+        """Temporal-reprojection degrade keeps the neutrality contract:
+        recorder on/off reports match bit-for-bit and the reprojected
+        frames actually fire."""
+        paths = _distinct_paths(3)
+        requests = [
+            _request(
+                "urgent",
+                paths[0],
+                frame_interval_cycles=50,
+                slo_class="interactive",
+            ),
+            _request("bulk0", paths[1], slo_class="batch"),
+            _request("bulk1", paths[2], slo_class="batch"),
+        ]
+        slo = SLOConfig(
+            degrade=True,
+            degrade_min_psnr=30.0,
+            reproject_masks=_reproject_masks(
+                clients=("urgent", "bulk0", "bulk1"), frames=(1, 2, 3)
+            ),
+            reproject_psnr={
+                (c, k): 35.0
+                for c in ("urgent", "bulk0", "bulk1")
+                for k in (1, 2, 3)
+            },
+        )
+
+        def run(recorder):
+            server = SequenceServer(accelerator, slo=slo, recorder=recorder)
+            for request in requests:
+                server.submit(
+                    request, synthetic_sequence(request.path, varied=True)
+                )
+            return server.serve(
+                make_policy("deadline_preemptive", quantum=2)
+            )
+
+        rec = MemoryRecorder()
+        on = run(rec)
+        assert any(e.kind == "reproject" for e in rec.events)
+        assert any(
+            d.get("mode") == "reproject"
+            for c in on.clients
+            for d in c.degraded
+        )
+        assert on.to_dict() == run(None).to_dict()
+        with scalar_engine():
+            assert run(None).to_dict() == on.to_dict()
 
 
 # ----------------------------------------------------------------------
@@ -551,6 +617,68 @@ class TestSchemas:
         assert any(
             "degrade_min_psnr" in p for p in validate_slo_bench(unguarded)
         )
+
+    def test_video_bench_checks(self):
+        ok = {
+            "schema": "video_bench/v1",
+            "psnr_guard": 24.0,
+            "orbit": {
+                "fresh_cycles": 1000,
+                "reproject_cycles": 400,
+                "speedup_vs_fresh": 2.5,
+                "frames": [
+                    {"frame": 0, "reprojected": 0},
+                    {
+                        "frame": 1,
+                        "reprojected": 200,
+                        "guard_psnr": 40.0,
+                        "fallback": False,
+                    },
+                ],
+            },
+            "keyframes": {
+                "fixed": {"probes": 7, "min_psnr": 29.0, "mean_psnr": 60.0},
+                "adaptive": {
+                    "probes": 4, "min_psnr": 29.0, "mean_psnr": 55.0,
+                },
+            },
+        }
+        assert validate_video_bench(ok) == []
+        assert validate_video_bench({"schema": "nope"}) != []
+        assert any(
+            "keyframes" in p
+            for p in validate_video_bench(
+                {"schema": "video_bench/v1", "psnr_guard": 24.0, "orbit": {}}
+            )
+        )
+
+        slow = json.loads(json.dumps(ok))
+        slow["orbit"]["speedup_vs_fresh"] = 1.2
+        assert any("floor" in p for p in validate_video_bench(slow))
+
+        idle = json.loads(json.dumps(ok))
+        idle["orbit"]["frames"][1]["reprojected"] = 0
+        assert any(
+            "no frame reprojected" in p for p in validate_video_bench(idle)
+        )
+
+        blurry = json.loads(json.dumps(ok))
+        blurry["orbit"]["frames"][1]["guard_psnr"] = 20.0
+        assert any("guard" in p for p in validate_video_bench(blurry))
+
+        bailed = json.loads(json.dumps(ok))
+        bailed["orbit"]["frames"][1]["fallback"] = True
+        assert any("fell back" in p for p in validate_video_bench(bailed))
+
+        clocked = json.loads(json.dumps(ok))
+        clocked["keyframes"]["adaptive"]["probes"] = 7
+        assert any(
+            "not fewer" in p for p in validate_video_bench(clocked)
+        )
+
+        lossy = json.loads(json.dumps(ok))
+        lossy["keyframes"]["adaptive"]["min_psnr"] = 20.0
+        assert any("below fixed" in p for p in validate_video_bench(lossy))
 
     def test_obs_events_checks(self):
         header = {"schema": "obs_events/v1", "clock_hz": 1e9, "meta": {}}

@@ -249,6 +249,37 @@ class TestTemporalDeltas:
         ).trace
         assert trace.temporal_deltas([8]) is trace.temporal_deltas([8])
 
+    def test_single_frame_has_no_deltas(self, trained_model):
+        renderer = ASDRRenderer(trained_model, num_samples=16)
+        trace = renderer.render_sequence(
+            camera_path("orbit", 1, 16, 16).cameras()
+        ).trace
+        assert trace.temporal_deltas([8]) == []
+
+    def test_identical_pose_hold_scores_full_overlap(self, trained_model):
+        renderer = ASDRRenderer(trained_model, num_samples=16)
+        trace = renderer.render_sequence(
+            camera_path("orbit", 2, 16, 16, hold=2).cameras()
+        ).trace
+        assert trace.replays == [None, 0]
+        (delta,) = trace.temporal_deltas([8])
+        assert delta.ray_budget_overlap == 1.0
+        assert delta.corner_overlap[8] == 1.0
+        assert delta.stream_overlap[8] == 1.0
+
+    def test_camera_cut_zeroes_ray_budget_overlap(self):
+        """A hard cut that rewrites every pixel's budget: nothing of the
+        previous frame's execution structure survives the diff."""
+        camera = camera_path("orbit", 1, 8, 8).cameras()[0]
+        before = FrameTrace.from_budgets(camera, np.full(64, 4))
+        after = FrameTrace.from_budgets(camera, np.full(64, 8))
+        seq = SequenceTrace(frames=[before, after])
+        (delta,) = seq.temporal_deltas([8])
+        assert delta.ray_budget_overlap == 0.0
+        # Same rays through the same scene: the voxel working set still
+        # overlaps even though every per-pixel budget changed.
+        assert delta.corner_overlap[8] > 0.0
+
 
 class TestSimulateSequence:
     @pytest.fixture(scope="class")

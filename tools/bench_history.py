@@ -4,7 +4,8 @@
 Walks ``git log`` for every commit that touched a benchmark snapshot,
 loads each revision's payload via ``git show``, and prints the headline
 numbers per commit — engine speedup, serving busy cycles and p95
-latency, cluster fleet cycles and the affinity/random ratio — so a
+latency, cluster fleet cycles and the affinity/random ratio, SLO
+attainment, video reprojection speedup and probe counts — so a
 performance regression shows up as a trend break in one table instead
 of a diff archaeology session.
 
@@ -26,7 +27,13 @@ import sys
 from pathlib import Path
 
 #: Snapshots tracked, with the headline metrics pulled from each.
-BENCH_FILES = ("BENCH_serving.json", "BENCH_engine.json", "BENCH_cluster.json")
+BENCH_FILES = (
+    "BENCH_serving.json",
+    "BENCH_engine.json",
+    "BENCH_cluster.json",
+    "BENCH_slo.json",
+    "BENCH_video.json",
+)
 
 
 def _git(root: Path, *args: str) -> str:
@@ -90,6 +97,30 @@ def _headline(bench_file: str, payload) -> dict:
                 "affinity_over_random_cycles"
             ),
         }
+    if bench_file == "BENCH_slo.json":
+        return {
+            "interactive_attainment": {
+                run: payload.get(run, {})
+                .get("slo_attainment", {})
+                .get("interactive")
+                for run in ("baseline", "slo")
+            },
+            "slo_busy_cycles": payload.get("slo", {}).get("busy_cycles"),
+        }
+    if bench_file == "BENCH_video.json":
+        keyframes = payload.get("keyframes", {})
+        return {
+            "orbit_speedup": payload.get("orbit", {}).get(
+                "speedup_vs_fresh"
+            ),
+            "probes": {
+                run: keyframes.get(run, {}).get("probes")
+                for run in ("fixed", "adaptive")
+            },
+            "adaptive_min_psnr": keyframes.get("adaptive", {}).get(
+                "min_psnr"
+            ),
+        }
     return {}
 
 
@@ -135,7 +166,7 @@ def main(argv=None) -> int:
         "--file",
         action="append",
         choices=BENCH_FILES,
-        help="restrict to one snapshot (repeatable; default: all three)",
+        help="restrict to one snapshot (repeatable; default: all tracked)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit the history as JSON"
